@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the Weyl-chamber analysis and the NuOp template
+//! optimizer that drive the Fig. 15 study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snailqc_circuit::Gate;
+use snailqc_decompose::{BasisGate, NuOpDecomposer};
+use snailqc_math::random::haar_unitary4;
+use snailqc_math::weyl::weyl_coordinates;
+
+fn bench_weyl(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let targets: Vec<_> = (0..32).map(|_| haar_unitary4(&mut rng)).collect();
+    c.bench_function("weyl_coordinates_haar", |b| {
+        let mut idx = 0usize;
+        b.iter(|| {
+            let w = weyl_coordinates(&targets[idx % targets.len()]);
+            idx += 1;
+            w
+        })
+    });
+    c.bench_function("basis_count_haar", |b| {
+        let mut idx = 0usize;
+        b.iter(|| {
+            let n = BasisGate::SqrtISwap.count_for_unitary(&targets[idx % targets.len()]);
+            idx += 1;
+            n
+        })
+    });
+}
+
+fn bench_nuop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nuop_fit");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(5);
+    let target = haar_unitary4(&mut rng);
+    let decomposer = NuOpDecomposer::new(Gate::SqrtISwap)
+        .with_max_iterations(80)
+        .with_restarts(1);
+    group.bench_function("sqrt_iswap_k3", |b| b.iter(|| decomposer.fit(&target, 3, 11)));
+    let quarter = NuOpDecomposer::new(Gate::ISwapPow(0.25))
+        .with_max_iterations(80)
+        .with_restarts(1);
+    group.bench_function("quarter_iswap_k4", |b| b.iter(|| quarter.fit(&target, 4, 11)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_weyl, bench_nuop);
+criterion_main!(benches);

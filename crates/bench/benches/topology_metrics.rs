@@ -1,0 +1,27 @@
+//! Criterion benchmarks for topology construction and the Table 1/2 metrics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snailqc_topology::catalog;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_construction");
+    group.bench_function("tree_84", |b| b.iter(catalog::tree_84));
+    group.bench_function("tree_rr_84", |b| b.iter(catalog::tree_rr_84));
+    group.bench_function("hypercube_84", |b| b.iter(catalog::hypercube_84));
+    group.bench_function("heavy_hex_84", |b| b.iter(catalog::heavy_hex_84));
+    group.bench_function("corral12_16", |b| b.iter(catalog::corral12_16));
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_metrics");
+    let tree = catalog::tree_84();
+    let heavy = catalog::heavy_hex_84();
+    group.bench_function("metrics_tree_84", |b| b.iter(|| tree.metrics()));
+    group.bench_function("metrics_heavy_hex_84", |b| b.iter(|| heavy.metrics()));
+    group.bench_function("table1", |b| b.iter(catalog::table1));
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_metrics);
+criterion_main!(benches);

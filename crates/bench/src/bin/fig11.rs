@@ -1,0 +1,39 @@
+//! Regenerates Fig. 11: total and critical-path SWAP counts for the proposed
+//! 16–20 qubit SNAIL topologies (gate-agnostic).
+
+use snailqc_bench::{is_full_run, print_sweep, write_json};
+use snailqc_core::sweep::{run_swap_sweep, SweepConfig};
+use snailqc_topology::catalog;
+use snailqc_workloads::Workload;
+
+fn main() {
+    let graphs = vec![
+        catalog::square_lattice_16(),
+        catalog::hypercube_16(),
+        catalog::tree_20(),
+        catalog::tree_rr_20(),
+        catalog::corral11_16(),
+        catalog::corral12_16(),
+    ];
+    let sizes = if is_full_run() {
+        SweepConfig::small_sizes()
+    } else {
+        vec![4, 8, 12, 16]
+    };
+    let config = SweepConfig {
+        workloads: Workload::all().to_vec(),
+        sizes,
+        routing_trials: 4,
+        seed: 2022,
+    };
+    let points = run_swap_sweep(&graphs, &config);
+
+    print_sweep("Fig. 11 (top) — total SWAP count", &points, |p| p.report.swap_count as f64);
+    print_sweep("Fig. 11 (bottom) — critical-path SWAPs", &points, |p| {
+        p.report.swap_depth as f64
+    });
+
+    if let Some(path) = write_json("fig11", &points) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates Fig. 12: total and critical-path SWAP counts at 84 qubits,
+//! comparing the SNAIL trees against the common baselines (gate-agnostic).
+
+use snailqc_bench::{is_full_run, print_sweep, write_json};
+use snailqc_core::sweep::{run_swap_sweep, SweepConfig};
+use snailqc_topology::catalog;
+use snailqc_workloads::Workload;
+
+fn main() {
+    let graphs = vec![
+        catalog::heavy_hex_84(),
+        catalog::square_lattice_84(),
+        catalog::tree_84(),
+        catalog::tree_rr_84(),
+        catalog::hypercube_84(),
+    ];
+    let sizes = if is_full_run() {
+        SweepConfig::large_sizes()
+    } else {
+        vec![8, 24, 48, 80]
+    };
+    let config = SweepConfig {
+        workloads: Workload::all().to_vec(),
+        sizes,
+        routing_trials: if is_full_run() { 4 } else { 2 },
+        seed: 2022,
+    };
+    eprintln!(
+        "running Fig. 12 sweep ({} sizes × {} workloads × {} topologies)…",
+        config.sizes.len(),
+        config.workloads.len(),
+        graphs.len()
+    );
+    let points = run_swap_sweep(&graphs, &config);
+
+    print_sweep("Fig. 12 (top) — total SWAP count", &points, |p| p.report.swap_count as f64);
+    print_sweep("Fig. 12 (bottom) — critical-path SWAPs", &points, |p| {
+        p.report.swap_depth as f64
+    });
+
+    if let Some(path) = write_json("fig12", &points) {
+        println!("\nwrote {}", path.display());
+    }
+}

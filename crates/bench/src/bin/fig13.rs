@@ -1,0 +1,34 @@
+//! Regenerates Fig. 13: total and critical-path two-qubit gate counts after
+//! basis translation on the 16–20 qubit co-designed machines.
+
+use snailqc_bench::{is_full_run, print_sweep, write_json};
+use snailqc_core::machine::Machine;
+use snailqc_core::sweep::{run_codesign_sweep, SweepConfig};
+use snailqc_workloads::Workload;
+
+fn main() {
+    let machines = Machine::figure13_lineup();
+    let sizes = if is_full_run() {
+        SweepConfig::small_sizes()
+    } else {
+        vec![4, 8, 12, 16]
+    };
+    let config = SweepConfig {
+        workloads: Workload::all().to_vec(),
+        sizes,
+        routing_trials: 4,
+        seed: 2022,
+    };
+    let points = run_codesign_sweep(&machines, &config);
+
+    print_sweep("Fig. 13 (top) — total 2Q basis gates", &points, |p| {
+        p.report.basis_gate_count as f64
+    });
+    print_sweep("Fig. 13 (bottom) — critical-path 2Q gates (pulse duration)", &points, |p| {
+        p.report.basis_gate_depth as f64
+    });
+
+    if let Some(path) = write_json("fig13", &points) {
+        println!("\nwrote {}", path.display());
+    }
+}

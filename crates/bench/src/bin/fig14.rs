@@ -1,0 +1,40 @@
+//! Regenerates Fig. 14: total and critical-path two-qubit gate counts after
+//! basis translation on the 84-qubit co-designed machines.
+
+use snailqc_bench::{is_full_run, print_sweep, write_json};
+use snailqc_core::machine::Machine;
+use snailqc_core::sweep::{run_codesign_sweep, SweepConfig};
+use snailqc_workloads::Workload;
+
+fn main() {
+    let machines = Machine::figure14_lineup();
+    let sizes = if is_full_run() {
+        SweepConfig::large_sizes()
+    } else {
+        vec![8, 24, 48, 80]
+    };
+    let config = SweepConfig {
+        workloads: Workload::all().to_vec(),
+        sizes,
+        routing_trials: if is_full_run() { 4 } else { 2 },
+        seed: 2022,
+    };
+    eprintln!(
+        "running Fig. 14 sweep ({} sizes × {} workloads × {} machines)…",
+        config.sizes.len(),
+        config.workloads.len(),
+        machines.len()
+    );
+    let points = run_codesign_sweep(&machines, &config);
+
+    print_sweep("Fig. 14 (top) — total 2Q basis gates", &points, |p| {
+        p.report.basis_gate_count as f64
+    });
+    print_sweep("Fig. 14 (bottom) — critical-path 2Q gates (pulse duration)", &points, |p| {
+        p.report.basis_gate_depth as f64
+    });
+
+    if let Some(path) = write_json("fig14", &points) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerates the paper's headline numbers (abstract, §6.1, conclusion):
+//! hypercube + √iSWAP versus heavy-hex + CNOT on Quantum Volume circuits, and
+//! the Heavy-Hex → Tree → Hypercube SWAP progression.
+
+use snailqc_bench::{is_full_run, print_table, write_json};
+use snailqc_core::headline::{quantum_volume_headline, tree_progression, HeadlineConfig};
+
+fn main() {
+    let config = if is_full_run() {
+        HeadlineConfig::default()
+    } else {
+        HeadlineConfig { sizes: vec![16, 32, 48], routing_trials: 2, seed: 2022 }
+    };
+    eprintln!("running headline Quantum Volume sweep over sizes {:?}…", config.sizes);
+    let ratios = quantum_volume_headline(&config);
+
+    print_table(
+        "Headline — Hypercube+sqrt-iSWAP vs Heavy-Hex+CNOT (Quantum Volume)",
+        &["metric", "measured ratio", "paper"],
+        &[
+            vec!["total SWAPs".into(), format!("{:.2}×", ratios.total_swap_ratio), "2.57×".into()],
+            vec![
+                "critical-path SWAPs".into(),
+                format!("{:.2}×", ratios.critical_swap_ratio),
+                "5.63×".into(),
+            ],
+            vec!["total 2Q gates".into(), format!("{:.2}×", ratios.total_2q_ratio), "3.16×".into()],
+            vec![
+                "duration-weighted 2Q gates".into(),
+                format!("{:.2}×", ratios.critical_2q_ratio),
+                "6.11×".into(),
+            ],
+        ],
+    );
+
+    let ((hh_tree_total, hh_tree_crit), (tree_hyper_total, tree_hyper_crit)) =
+        tree_progression(&config);
+    print_table(
+        "§6.1 — SWAP reductions on the largest Quantum Volume size",
+        &["transition", "total SWAPs", "critical-path SWAPs", "paper"],
+        &[
+            vec![
+                "Heavy-Hex → Tree".into(),
+                format!("-{:.1}%", hh_tree_total * 100.0),
+                format!("-{:.1}%", hh_tree_crit * 100.0),
+                "-54.3% / -79.8%".into(),
+            ],
+            vec![
+                "Tree → Hypercube".into(),
+                format!("-{:.1}%", tree_hyper_total * 100.0),
+                format!("-{:.1}%", tree_hyper_crit * 100.0),
+                "-42.5% / -54.3%".into(),
+            ],
+        ],
+    );
+
+    if let Some(path) = write_json("headline", &ratios) {
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -1,0 +1,308 @@
+//! A small dense statevector simulator.
+//!
+//! The co-design study itself only needs structural circuit metrics, but a
+//! simulator makes the rest of the stack testable: workload generators are
+//! checked against known output states and the router's correctness is
+//! verified by comparing statevectors before and after SWAP insertion (up to
+//! the tracked qubit permutation). Intended for ≲ 20 qubits.
+
+use crate::circuit::Circuit;
+use snailqc_math::complex::{C64, ONE, ZERO};
+
+/// A dense complex statevector over `n` qubits.
+///
+/// Qubit 0 is the most significant bit of the basis-state index, matching the
+/// `|q0 q1 …⟩` labelling used by [`snailqc_math::gates`].
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    num_qubits: usize,
+    amplitudes: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 26, "statevector simulator limited to 26 qubits");
+        let mut amplitudes = vec![ZERO; 1 << num_qubits];
+        amplitudes[0] = ONE;
+        Self { num_qubits, amplitudes }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The amplitude vector in computational-basis order.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amplitudes
+    }
+
+    /// The probability of measuring basis state `index`.
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amplitudes[index].norm_sqr()
+    }
+
+    /// Sum of all probabilities (should be 1 for a normalized state).
+    pub fn total_probability(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        let overlap: C64 = self
+            .amplitudes
+            .iter()
+            .zip(other.amplitudes.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum();
+        overlap.norm_sqr()
+    }
+
+    fn bit_position(&self, qubit: usize) -> usize {
+        self.num_qubits - 1 - qubit
+    }
+
+    /// Applies a single-qubit unitary to `qubit`.
+    pub fn apply_1q(&mut self, m: &snailqc_math::Matrix2, qubit: usize) {
+        assert!(qubit < self.num_qubits);
+        let bit = 1usize << self.bit_position(qubit);
+        let dim = self.amplitudes.len();
+        for idx in 0..dim {
+            if idx & bit != 0 {
+                continue;
+            }
+            let i0 = idx;
+            let i1 = idx | bit;
+            let a0 = self.amplitudes[i0];
+            let a1 = self.amplitudes[i1];
+            self.amplitudes[i0] = m[(0, 0)] * a0 + m[(0, 1)] * a1;
+            self.amplitudes[i1] = m[(1, 0)] * a0 + m[(1, 1)] * a1;
+        }
+    }
+
+    /// Applies a two-qubit unitary to `(q0, q1)` where `q0` is the most
+    /// significant operand of the 4×4 matrix.
+    pub fn apply_2q(&mut self, m: &snailqc_math::Matrix4, q0: usize, q1: usize) {
+        assert!(q0 < self.num_qubits && q1 < self.num_qubits && q0 != q1);
+        let b0 = 1usize << self.bit_position(q0);
+        let b1 = 1usize << self.bit_position(q1);
+        let dim = self.amplitudes.len();
+        for idx in 0..dim {
+            if idx & b0 != 0 || idx & b1 != 0 {
+                continue;
+            }
+            let i = [idx, idx | b1, idx | b0, idx | b0 | b1];
+            let a = [
+                self.amplitudes[i[0]],
+                self.amplitudes[i[1]],
+                self.amplitudes[i[2]],
+                self.amplitudes[i[3]],
+            ];
+            for r in 0..4 {
+                let mut acc = ZERO;
+                for c in 0..4 {
+                    acc += m[(r, c)] * a[c];
+                }
+                self.amplitudes[i[r]] = acc;
+            }
+        }
+    }
+
+    /// Applies every instruction of `circuit` in order.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.num_qubits);
+        for inst in circuit.instructions() {
+            match inst.gate.num_qubits() {
+                1 => {
+                    let m = inst.gate.matrix2().expect("1q matrix");
+                    self.apply_1q(&m, inst.qubits[0]);
+                }
+                2 => {
+                    let m = inst.gate.matrix4().expect("2q matrix");
+                    self.apply_2q(&m, inst.qubits[0], inst.qubits[1]);
+                }
+                _ => unreachable!("only 1- and 2-qubit gates exist"),
+            }
+        }
+    }
+
+    /// Permutes the qubit labels: qubit `q` of the current state becomes
+    /// qubit `perm[q]` of the returned state. Used to undo the layout
+    /// permutation a router leaves behind.
+    pub fn permute_qubits(&self, perm: &[usize]) -> StateVector {
+        assert_eq!(perm.len(), self.num_qubits);
+        let mut out = StateVector {
+            num_qubits: self.num_qubits,
+            amplitudes: vec![ZERO; self.amplitudes.len()],
+        };
+        for (idx, amp) in self.amplitudes.iter().enumerate() {
+            let mut new_idx = 0usize;
+            for q in 0..self.num_qubits {
+                let bit = (idx >> self.bit_position(q)) & 1;
+                if bit == 1 {
+                    new_idx |= 1 << (self.num_qubits - 1 - perm[q]);
+                }
+            }
+            out.amplitudes[new_idx] = *amp;
+        }
+        out
+    }
+}
+
+/// Runs `circuit` on `|0…0⟩` and returns the final state.
+pub fn simulate(circuit: &Circuit) -> StateVector {
+    let mut sv = StateVector::zero_state(circuit.num_qubits());
+    sv.apply_circuit(circuit);
+    sv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn zero_state_is_normalized() {
+        let sv = StateVector::zero_state(3);
+        assert!((sv.total_probability() - 1.0).abs() < TOL);
+        assert!((sv.probability(0) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips_the_addressed_qubit() {
+        // X on qubit 0 of |00⟩ gives |10⟩ = index 2.
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let sv = simulate(&c);
+        assert!((sv.probability(0b10) - 1.0).abs() < TOL);
+
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let sv = simulate(&c);
+        assert!((sv.probability(0b01) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn bell_state_from_h_cx() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let sv = simulate(&c);
+        assert!((sv.probability(0b00) - 0.5).abs() < TOL);
+        assert!((sv.probability(0b11) - 0.5).abs() < TOL);
+        assert!(sv.probability(0b01) < TOL);
+        assert!(sv.probability(0b10) < TOL);
+    }
+
+    #[test]
+    fn ghz_state_probabilities() {
+        let n = 5;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        let sv = simulate(&c);
+        assert!((sv.probability(0) - 0.5).abs() < TOL);
+        assert!((sv.probability((1 << n) - 1) - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn swap_gate_exchanges_qubits() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        c.swap(0, 1);
+        let sv = simulate(&c);
+        assert!((sv.probability(0b01) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn circuit_equals_its_unitary_action() {
+        // CX(0,1) applied via apply_2q vs via Gate matrix on a superposition.
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.h(1);
+        c.push(Gate::CZ, &[0, 1]);
+        let sv = simulate(&c);
+        assert!((sv.total_probability() - 1.0).abs() < TOL);
+        // All four basis states have probability 1/4 (CZ only adds phases).
+        for idx in 0..4 {
+            assert!((sv.probability(idx) - 0.25).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn unitarity_is_preserved_through_random_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cx(0, 1);
+        c.push(Gate::SqrtISwap, &[1, 2]);
+        c.push(Gate::Syc, &[2, 3]);
+        c.rz(0.7, 3);
+        c.push(Gate::RZZ(0.3), &[0, 3]);
+        let sv = simulate(&c);
+        assert!((sv.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_circuit_returns_to_zero() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.push(Gate::SqrtISwap, &[1, 2]);
+        c.rz(0.9, 2);
+        let mut full = c.clone();
+        full.compose(&c.inverse());
+        let sv = simulate(&full);
+        assert!((sv.probability(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permute_qubits_relabels_state() {
+        // |10⟩ with permutation q0→q1, q1→q0 becomes |01⟩.
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let sv = simulate(&c);
+        let permuted = sv.permute_qubits(&[1, 0]);
+        assert!((permuted.probability(0b01) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        let a = simulate(&c);
+        let b = simulate(&c);
+        assert!((a.fidelity(&b) - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let zero = StateVector::zero_state(2);
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let one = simulate(&c);
+        assert!(zero.fidelity(&one) < TOL);
+    }
+
+    #[test]
+    fn swap_equivalence_with_permutation() {
+        // Applying SWAP(0,1) is the same as relabelling the qubits.
+        let mut base = Circuit::new(3);
+        base.h(0);
+        base.cx(0, 2);
+        base.rz(0.4, 2);
+        let mut swapped = base.clone();
+        swapped.swap(0, 1);
+        let sv_swapped = simulate(&swapped);
+        let sv_base = simulate(&base);
+        let undone = sv_swapped.permute_qubits(&[1, 0, 2]);
+        assert!((sv_base.fidelity(&undone) - 1.0).abs() < 1e-9);
+    }
+}

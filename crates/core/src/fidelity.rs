@@ -1,0 +1,172 @@
+//! End-to-end circuit fidelity estimation under the paper's two error
+//! regimes (§3.1).
+//!
+//! The paper normalizes machines by assuming uniform gate fidelity and free
+//! single-qubit gates, and argues that the right figure of merit depends on
+//! the dominant error source:
+//!
+//! * **control-error dominated** — every applied two-qubit gate contributes
+//!   the same infidelity, so the *total* basis-gate count matters;
+//! * **decoherence dominated** — only wall-clock time matters, so the
+//!   *critical-path* (pulse-duration) count matters, scaled by the basis
+//!   gate's pulse fraction (a √iSWAP pulse is half an iSWAP, Eq. 12).
+//!
+//! [`estimate_fidelity`] turns a [`TranspileReport`] into both estimates plus
+//! their product, which is the quantity the paper uses to argue the co-design
+//! advantage translates into reliability.
+
+use serde::Serialize;
+use snailqc_decompose::BasisGate;
+use snailqc_transpiler::TranspileReport;
+
+/// Error-model parameters for the fidelity estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ErrorModel {
+    /// Infidelity contributed by each applied basis-gate pulse
+    /// (control-error channel).
+    pub per_gate_infidelity: f64,
+    /// Infidelity accumulated per unit of critical-path pulse time, in units
+    /// of a full iSWAP-length pulse (decoherence channel).
+    pub per_pulse_time_infidelity: f64,
+}
+
+impl Default for ErrorModel {
+    fn default() -> Self {
+        // The paper's running example: a 99%-fidelity full-length pulse.
+        Self { per_gate_infidelity: 1e-3, per_pulse_time_infidelity: 1e-2 }
+    }
+}
+
+impl ErrorModel {
+    /// A model where only gate count matters (idle qubits retain coherence).
+    pub fn control_limited(per_gate_infidelity: f64) -> Self {
+        Self { per_gate_infidelity, per_pulse_time_infidelity: 0.0 }
+    }
+
+    /// A model where only circuit duration matters.
+    pub fn decoherence_limited(per_pulse_time_infidelity: f64) -> Self {
+        Self { per_gate_infidelity: 0.0, per_pulse_time_infidelity }
+    }
+}
+
+/// The fidelity estimate for one transpiled circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FidelityEstimate {
+    /// Basis gate the report was translated into.
+    pub basis: BasisGate,
+    /// Number of basis-gate pulses applied.
+    pub gate_count: usize,
+    /// Critical-path pulse duration in iSWAP units
+    /// (`basis_gate_depth × pulse_fraction`).
+    pub pulse_duration: f64,
+    /// Fidelity under the control-error channel: `(1 − ε_g)^gates`.
+    pub control_fidelity: f64,
+    /// Fidelity under the decoherence channel: `(1 − ε_t)^duration`.
+    pub decoherence_fidelity: f64,
+    /// Product of the two channels.
+    pub total_fidelity: f64,
+}
+
+/// Estimates the end-to-end fidelity of a transpiled circuit.
+///
+/// # Panics
+/// Panics if the report was produced without basis translation (the pulse
+/// counts would be meaningless).
+pub fn estimate_fidelity(report: &TranspileReport, model: &ErrorModel) -> FidelityEstimate {
+    let basis = report
+        .basis
+        .expect("fidelity estimation needs a basis-translated report");
+    let gate_count = report.basis_gate_count;
+    let pulse_duration = report.basis_gate_depth as f64 * basis.pulse_fraction();
+    let control_fidelity = (1.0 - model.per_gate_infidelity).powi(gate_count as i32);
+    let decoherence_fidelity = (1.0 - model.per_pulse_time_infidelity).powf(pulse_duration);
+    FidelityEstimate {
+        basis,
+        gate_count,
+        pulse_duration,
+        control_fidelity,
+        decoherence_fidelity,
+        total_fidelity: control_fidelity * decoherence_fidelity,
+    }
+}
+
+/// Compares two machines on the same workload: returns
+/// `(proposed_estimate, baseline_estimate, advantage)` where `advantage` is
+/// the ratio of total infidelities (baseline / proposed; > 1 favors the
+/// proposed machine).
+pub fn fidelity_advantage(
+    proposed: &TranspileReport,
+    baseline: &TranspileReport,
+    model: &ErrorModel,
+) -> (FidelityEstimate, FidelityEstimate, f64) {
+    let p = estimate_fidelity(proposed, model);
+    let b = estimate_fidelity(baseline, model);
+    let advantage = (1.0 - b.total_fidelity) / (1.0 - p.total_fidelity).max(f64::MIN_POSITIVE);
+    (p, b, advantage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snailqc_topology::catalog;
+    use snailqc_transpiler::{transpile, TranspileOptions};
+    use snailqc_workloads::Workload;
+
+    fn report_for(basis: BasisGate, graph: &snailqc_topology::CouplingGraph) -> TranspileReport {
+        let circuit = Workload::Qft.generate(12, 3);
+        transpile(&circuit, graph, &TranspileOptions::with_basis(basis)).report
+    }
+
+    #[test]
+    fn fidelities_are_probabilities() {
+        let report = report_for(BasisGate::SqrtISwap, &catalog::corral12_16());
+        let est = estimate_fidelity(&report, &ErrorModel::default());
+        for f in [est.control_fidelity, est.decoherence_fidelity, est.total_fidelity] {
+            assert!((0.0..=1.0).contains(&f), "{f}");
+        }
+        assert!(est.total_fidelity <= est.control_fidelity);
+        assert!(est.total_fidelity <= est.decoherence_fidelity);
+    }
+
+    #[test]
+    fn more_gates_mean_lower_control_fidelity() {
+        let small = report_for(BasisGate::SqrtISwap, &catalog::corral12_16());
+        let big = report_for(BasisGate::Cnot, &catalog::heavy_hex_20());
+        let model = ErrorModel::control_limited(1e-3);
+        let f_small = estimate_fidelity(&small, &model);
+        let f_big = estimate_fidelity(&big, &model);
+        assert!(f_small.gate_count < f_big.gate_count);
+        assert!(f_small.total_fidelity > f_big.total_fidelity);
+    }
+
+    #[test]
+    fn sqrt_iswap_pulse_duration_uses_half_pulses() {
+        let report = report_for(BasisGate::SqrtISwap, &catalog::tree_20());
+        let est = estimate_fidelity(&report, &ErrorModel::default());
+        assert!((est.pulse_duration - report.basis_gate_depth as f64 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codesigned_machine_has_fidelity_advantage_over_baseline() {
+        let snail = report_for(BasisGate::SqrtISwap, &catalog::corral12_16());
+        let ibm = report_for(BasisGate::Cnot, &catalog::heavy_hex_20());
+        let (_, _, advantage) = fidelity_advantage(&snail, &ibm, &ErrorModel::default());
+        assert!(advantage > 1.0, "advantage = {advantage}");
+    }
+
+    #[test]
+    fn pure_decoherence_model_ignores_gate_count() {
+        let report = report_for(BasisGate::SqrtISwap, &catalog::tree_20());
+        let est = estimate_fidelity(&report, &ErrorModel::decoherence_limited(1e-2));
+        assert!((est.control_fidelity - 1.0).abs() < 1e-12);
+        assert!(est.decoherence_fidelity < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a basis-translated report")]
+    fn rejects_reports_without_basis() {
+        let circuit = Workload::Ghz.generate(6, 1);
+        let report = transpile(&circuit, &catalog::tree_20(), &TranspileOptions::default()).report;
+        estimate_fidelity(&report, &ErrorModel::default());
+    }
+}

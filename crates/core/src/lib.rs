@@ -1,0 +1,45 @@
+//! # snailqc-core
+//!
+//! The co-design experiment harness — the paper's primary contribution
+//! expressed as a library. It ties the other crates together:
+//!
+//! * [`machine::Machine`] — a (topology, basis gate) pairing, the unit of
+//!   co-design. Pre-built line-ups reproduce the machines compared in
+//!   Figs. 13 and 14 (Heavy-Hex/CNOT, Square-Lattice/SYC, and the SNAIL
+//!   machines with √iSWAP on Tree, Tree-RR, Corral and Hypercube).
+//! * [`sweep`] — (workload × size × machine) sweeps collecting total and
+//!   critical-path SWAP and 2Q gate counts, the data behind Figs. 4, 11–14.
+//! * [`headline`] — the summary ratios quoted in the abstract and §6
+//!   (hypercube+√iSWAP vs heavy-hex+CNOT, the Tree progression, the QAOA
+//!   critical-path comparison).
+//!
+//! ```
+//! use snailqc_core::machine::{Machine, SizeClass};
+//! use snailqc_core::sweep::{run_codesign_sweep, SweepConfig};
+//! use snailqc_workloads::Workload;
+//!
+//! let machines = [
+//!     Machine::ibm_baseline(SizeClass::Small),
+//!     Machine::snail_machines(SizeClass::Small)[0],
+//! ];
+//! let config = SweepConfig {
+//!     workloads: vec![Workload::Ghz],
+//!     sizes: vec![6],
+//!     routing_trials: 1,
+//!     seed: 1,
+//! };
+//! let points = run_codesign_sweep(&machines, &config);
+//! assert_eq!(points.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fidelity;
+pub mod headline;
+pub mod machine;
+pub mod sweep;
+
+pub use fidelity::{estimate_fidelity, ErrorModel, FidelityEstimate};
+pub use headline::{headline_ratios, quantum_volume_headline, HeadlineConfig, HeadlineRatios};
+pub use machine::{Machine, SizeClass};
+pub use sweep::{run_codesign_sweep, run_swap_sweep, SweepConfig, SweepPoint};

@@ -1,0 +1,142 @@
+//! Machine configurations: a (topology, basis gate) pair.
+//!
+//! The paper's thesis is that these two choices must be made together because
+//! both are set by the modulator: the CR modulator gives CNOT on sparse
+//! heavy-hex lattices, the FSIM coupler gives SYC on square lattices, and the
+//! SNAIL gives `√iSWAP` on trees and corrals. A [`Machine`] bundles one such
+//! pairing plus the device size class.
+
+use serde::Serialize;
+use snailqc_decompose::BasisGate;
+use snailqc_topology::{CouplingGraph, TopologyKind};
+
+/// Device size class used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SizeClass {
+    /// The 16–20 qubit prototypes of Table 1.
+    Small,
+    /// The 84-qubit extrapolations of Table 2.
+    Large,
+}
+
+/// A co-designed machine: a topology paired with its native basis gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct Machine {
+    /// Coupling topology family.
+    pub topology: TopologyKind,
+    /// Native two-qubit basis gate.
+    pub basis: BasisGate,
+    /// Device size class.
+    pub size: SizeClass,
+}
+
+impl Machine {
+    /// Creates a machine description.
+    pub fn new(topology: TopologyKind, basis: BasisGate, size: SizeClass) -> Self {
+        Self { topology, basis, size }
+    }
+
+    /// Builds the machine's coupling graph.
+    pub fn graph(&self) -> CouplingGraph {
+        match self.size {
+            SizeClass::Small => self.topology.build_small(),
+            SizeClass::Large => self.topology.build_large(),
+        }
+    }
+
+    /// Figure-legend style label, e.g. `Tree-sqrt-iSWAP` or `Heavy-Hex-CX`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.topology.label(), self.basis.label())
+    }
+
+    /// The IBM-style baseline: CR modulator ⇒ CNOT on heavy-hex.
+    pub fn ibm_baseline(size: SizeClass) -> Self {
+        Self::new(TopologyKind::HeavyHex, BasisGate::Cnot, size)
+    }
+
+    /// The Google-style baseline: FSIM coupler ⇒ SYC on a square lattice.
+    pub fn google_baseline(size: SizeClass) -> Self {
+        Self::new(TopologyKind::SquareLattice, BasisGate::Syc, size)
+    }
+
+    /// The paper's proposed SNAIL machines (√iSWAP on Tree, Tree-RR and, at
+    /// small scale, the Corrals; the hypercube stands in at 84 qubits).
+    pub fn snail_machines(size: SizeClass) -> Vec<Self> {
+        let mut machines = vec![
+            Self::new(TopologyKind::Tree, BasisGate::SqrtISwap, size),
+            Self::new(TopologyKind::TreeRoundRobin, BasisGate::SqrtISwap, size),
+            Self::new(TopologyKind::Hypercube, BasisGate::SqrtISwap, size),
+        ];
+        if size == SizeClass::Small {
+            machines.push(Self::new(TopologyKind::Corral11, BasisGate::SqrtISwap, size));
+            machines.push(Self::new(TopologyKind::Corral12, BasisGate::SqrtISwap, size));
+        }
+        machines
+    }
+
+    /// The machine line-up of Fig. 13 (16–20 qubit, co-designed comparison).
+    pub fn figure13_lineup() -> Vec<Self> {
+        let mut v = vec![
+            Self::ibm_baseline(SizeClass::Small),
+            Self::google_baseline(SizeClass::Small),
+        ];
+        v.extend(Self::snail_machines(SizeClass::Small));
+        v
+    }
+
+    /// The machine line-up of Fig. 14 (84-qubit scaled comparison).
+    pub fn figure14_lineup() -> Vec<Self> {
+        let mut v = vec![
+            Self::ibm_baseline(SizeClass::Large),
+            Self::google_baseline(SizeClass::Large),
+        ];
+        v.extend(Self::snail_machines(SizeClass::Large));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_match_paper_pairings() {
+        let ibm = Machine::ibm_baseline(SizeClass::Small);
+        assert_eq!(ibm.basis, BasisGate::Cnot);
+        assert_eq!(ibm.topology, TopologyKind::HeavyHex);
+        assert_eq!(ibm.label(), "Heavy-Hex-CX");
+
+        let google = Machine::google_baseline(SizeClass::Large);
+        assert_eq!(google.basis, BasisGate::Syc);
+        assert_eq!(google.label(), "Square-Lattice-SYC");
+    }
+
+    #[test]
+    fn snail_machines_use_sqrt_iswap() {
+        for m in Machine::snail_machines(SizeClass::Small) {
+            assert_eq!(m.basis, BasisGate::SqrtISwap);
+            assert!(
+                m.topology.is_snail_topology() || m.topology == TopologyKind::Hypercube,
+                "{}",
+                m.label()
+            );
+        }
+    }
+
+    #[test]
+    fn lineups_have_expected_sizes() {
+        assert_eq!(Machine::figure13_lineup().len(), 7);
+        assert_eq!(Machine::figure14_lineup().len(), 5);
+    }
+
+    #[test]
+    fn graphs_build_for_every_lineup_entry() {
+        for m in Machine::figure13_lineup() {
+            let g = m.graph();
+            assert!(g.num_qubits() >= 16 && g.num_qubits() <= 20, "{}", m.label());
+        }
+        for m in Machine::figure14_lineup() {
+            assert_eq!(m.graph().num_qubits(), 84, "{}", m.label());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Benchmark sweeps over (workload, size, machine) — the engine behind
+//! Figs. 4 and 11–14.
+//!
+//! A sweep transpiles every workload at every requested size onto every
+//! machine and records the paper's four series (total / critical-path SWAPs,
+//! total / critical-path 2Q gates). Results serialize to JSON so the bench
+//! binaries can emit machine-readable tables alongside the printed ones.
+
+use crate::machine::Machine;
+use serde::Serialize;
+use snailqc_decompose::BasisGate;
+use snailqc_topology::CouplingGraph;
+use snailqc_transpiler::{transpile, LayoutStrategy, RouterConfig, TranspileOptions, TranspileReport};
+use snailqc_workloads::Workload;
+
+/// One transpiled data point of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Workload label.
+    pub workload: Workload,
+    /// Program size in qubits.
+    pub circuit_qubits: usize,
+    /// Topology name (e.g. `Tree-84`).
+    pub topology: String,
+    /// Basis gate, when basis translation ran.
+    pub basis: Option<BasisGate>,
+    /// Collected metrics.
+    pub report: TranspileReport,
+}
+
+/// Configuration of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepConfig {
+    /// Workloads to run.
+    pub workloads: Vec<Workload>,
+    /// Program sizes (qubits).
+    pub sizes: Vec<usize>,
+    /// Routing trials per point (StochasticSwap analogue).
+    pub routing_trials: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { workloads: Workload::all().to_vec(), sizes: vec![8, 12, 16], routing_trials: 4, seed: 2022 }
+    }
+}
+
+impl SweepConfig {
+    /// The small-machine size grid used by Figs. 11 and 13 (4–16 qubits).
+    pub fn small_sizes() -> Vec<usize> {
+        vec![4, 6, 8, 10, 12, 14, 16]
+    }
+
+    /// The large-machine size grid used by Figs. 4, 12 and 14 (8–80 qubits).
+    pub fn large_sizes() -> Vec<usize> {
+        vec![8, 16, 24, 32, 40, 48, 56, 64, 72, 80]
+    }
+
+    /// A minimal configuration for tests.
+    pub fn smoke() -> Self {
+        Self {
+            workloads: vec![Workload::Ghz, Workload::Qft],
+            sizes: vec![4, 6],
+            routing_trials: 1,
+            seed: 3,
+        }
+    }
+}
+
+/// Runs a gate-agnostic sweep (routing only, no basis translation) over a set
+/// of named coupling graphs — the engine of Figs. 4, 11 and 12.
+pub fn run_swap_sweep(
+    graphs: &[CouplingGraph],
+    config: &SweepConfig,
+) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for workload in &config.workloads {
+        for &size in &config.sizes {
+            let circuit = workload.generate(size, config.seed ^ size as u64);
+            for graph in graphs {
+                if graph.num_qubits() < circuit.num_qubits() {
+                    continue;
+                }
+                let options = TranspileOptions {
+                    layout: LayoutStrategy::Dense,
+                    router: RouterConfig {
+                        trials: config.routing_trials,
+                        seed: config.seed ^ (size as u64) << 16,
+                        ..RouterConfig::default()
+                    },
+                    basis: None,
+                };
+                let result = transpile(&circuit, graph, &options);
+                points.push(SweepPoint {
+                    workload: *workload,
+                    circuit_qubits: circuit.num_qubits(),
+                    topology: graph.name().to_string(),
+                    basis: None,
+                    report: result.report,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Runs a co-designed sweep (routing plus basis translation) over a set of
+/// machines — the engine of Figs. 13 and 14.
+pub fn run_codesign_sweep(machines: &[Machine], config: &SweepConfig) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    let graphs: Vec<(Machine, CouplingGraph)> =
+        machines.iter().map(|m| (*m, m.graph())).collect();
+    for workload in &config.workloads {
+        for &size in &config.sizes {
+            let circuit = workload.generate(size, config.seed ^ size as u64);
+            for (machine, graph) in &graphs {
+                if graph.num_qubits() < circuit.num_qubits() {
+                    continue;
+                }
+                let options = TranspileOptions {
+                    layout: LayoutStrategy::Dense,
+                    router: RouterConfig {
+                        trials: config.routing_trials,
+                        seed: config.seed ^ (size as u64) << 16,
+                        ..RouterConfig::default()
+                    },
+                    basis: Some(machine.basis),
+                };
+                let result = transpile(&circuit, graph, &options);
+                points.push(SweepPoint {
+                    workload: *workload,
+                    circuit_qubits: circuit.num_qubits(),
+                    topology: machine.label(),
+                    basis: Some(machine.basis),
+                    report: result.report,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Aggregates sweep points: average of `metric` over all points matching a
+/// topology label, grouped by workload. Returns `(workload, topology, mean)`.
+pub fn aggregate_by_topology<F>(points: &[SweepPoint], metric: F) -> Vec<(Workload, String, f64)>
+where
+    F: Fn(&TranspileReport) -> f64,
+{
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, String), (f64, usize)> = BTreeMap::new();
+    for p in points {
+        let key = (format!("{:?}", p.workload), p.topology.clone());
+        let entry = groups.entry(key).or_insert((0.0, 0));
+        entry.0 += metric(&p.report);
+        entry.1 += 1;
+    }
+    points
+        .iter()
+        .map(|p| (p.workload, p.topology.clone()))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .map(|(w, t)| {
+            let (sum, n) = groups[&(format!("{w:?}"), t.clone())];
+            (w, t, sum / n as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SizeClass;
+    use snailqc_topology::catalog;
+
+    #[test]
+    fn swap_sweep_produces_a_point_per_cell() {
+        let graphs = vec![catalog::hypercube_16(), catalog::tree_20()];
+        let config = SweepConfig::smoke();
+        let points = run_swap_sweep(&graphs, &config);
+        // 2 workloads × 2 sizes × 2 graphs.
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert!(p.basis.is_none());
+            assert_eq!(
+                p.report.routed_two_qubit_gates,
+                p.report.input_two_qubit_gates + p.report.swap_count
+            );
+        }
+    }
+
+    #[test]
+    fn codesign_sweep_translates_to_each_machine_basis() {
+        let machines = vec![
+            Machine::ibm_baseline(SizeClass::Small),
+            Machine::snail_machines(SizeClass::Small)[0],
+        ];
+        let config = SweepConfig::smoke();
+        let points = run_codesign_sweep(&machines, &config);
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert!(p.basis.is_some());
+            assert!(p.report.basis_gate_count >= p.report.routed_two_qubit_gates);
+        }
+    }
+
+    #[test]
+    fn oversized_circuits_are_skipped() {
+        let graphs = vec![catalog::hypercube_16()];
+        let config = SweepConfig {
+            workloads: vec![Workload::Ghz],
+            sizes: vec![30],
+            routing_trials: 1,
+            seed: 1,
+        };
+        let points = run_swap_sweep(&graphs, &config);
+        assert!(points.is_empty());
+    }
+
+    #[test]
+    fn aggregate_means_are_in_range() {
+        let graphs = vec![catalog::hypercube_16(), catalog::heavy_hex_20()];
+        let config = SweepConfig::smoke();
+        let points = run_swap_sweep(&graphs, &config);
+        let agg = aggregate_by_topology(&points, |r| r.swap_count as f64);
+        assert!(!agg.is_empty());
+        for (_, _, mean) in &agg {
+            assert!(*mean >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Decoherence-aware fidelity model for the `ⁿ√iSWAP` family
+//! (paper §6.3, Eq. 12–13).
+//!
+//! The SNAIL produces `ⁿ√iSWAP` by shortening the pump pulse, so decoherence
+//! per application scales down with `1/n` (Eq. 12). The total fidelity of a
+//! decomposition with `k` basis applications combines the approximation error
+//! of the template with the decoherence of its pulses (Eq. 13); for each
+//! basis fidelity the best `k` is the one maximizing that product.
+
+use crate::nuop::TemplateFit;
+
+/// Decoherence-limited fidelity of one `ⁿ√iSWAP` pulse given the fidelity of
+/// a full iSWAP pulse (paper Eq. 12): `F_b(ⁿ√iSWAP) = 1 − (1 − F_b(iSWAP))/n`.
+pub fn nth_root_basis_fidelity(fb_iswap: f64, n: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&fb_iswap), "fidelity must be in [0, 1]");
+    1.0 - (1.0 - fb_iswap) / f64::from(n.max(1))
+}
+
+/// Total fidelity of a decomposition (paper Eq. 13):
+/// `F_t = F_d · F_b^k` for a template with `k` basis applications, each with
+/// per-pulse fidelity `F_b`.
+pub fn total_fidelity(decomposition_fidelity: f64, basis_fidelity: f64, k: usize) -> f64 {
+    decomposition_fidelity * basis_fidelity.powi(k as i32)
+}
+
+/// Total pulse duration of `k` applications of `ⁿ√iSWAP`, in units of a full
+/// iSWAP pulse.
+pub fn pulse_duration(k: usize, n: u32) -> f64 {
+    k as f64 / f64::from(n.max(1))
+}
+
+/// One point of the Fig. 15 study: a template size evaluated under the
+/// decoherence model.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct FidelityPoint {
+    /// Root index `n` of the `ⁿ√iSWAP` basis.
+    pub n: u32,
+    /// Number of basis applications.
+    pub k: usize,
+    /// Decomposition (approximation) fidelity `F_d`.
+    pub decomposition_fidelity: f64,
+    /// Per-pulse basis fidelity `F_b(ⁿ√iSWAP)`.
+    pub basis_fidelity: f64,
+    /// Total fidelity `F_t` (Eq. 13).
+    pub total_fidelity: f64,
+    /// Total pulse duration `k/n` in iSWAP units.
+    pub pulse_duration: f64,
+}
+
+/// Evaluates Eq. 13 for a set of template fits of the same target in the
+/// `ⁿ√iSWAP` basis and returns every point plus the best one.
+pub fn evaluate_fits(
+    fits: &[TemplateFit],
+    n: u32,
+    fb_iswap: f64,
+) -> (Vec<FidelityPoint>, FidelityPoint) {
+    assert!(!fits.is_empty());
+    let fb = nth_root_basis_fidelity(fb_iswap, n);
+    let points: Vec<FidelityPoint> = fits
+        .iter()
+        .map(|fit| FidelityPoint {
+            n,
+            k: fit.k,
+            decomposition_fidelity: fit.fidelity,
+            basis_fidelity: fb,
+            total_fidelity: total_fidelity(fit.fidelity, fb, fit.k),
+            pulse_duration: pulse_duration(fit.k, n),
+        })
+        .collect();
+    let best = *points
+        .iter()
+        .max_by(|a, b| a.total_fidelity.partial_cmp(&b.total_fidelity).unwrap())
+        .expect("non-empty");
+    (points, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_fidelity_scales_linearly_with_inverse_n() {
+        // Paper's example: a 90%-fidelity iSWAP gives a 95% √iSWAP.
+        assert!((nth_root_basis_fidelity(0.90, 2) - 0.95).abs() < 1e-12);
+        assert!((nth_root_basis_fidelity(0.99, 1) - 0.99).abs() < 1e-12);
+        assert!((nth_root_basis_fidelity(0.99, 4) - 0.9975).abs() < 1e-12);
+        // Larger n always improves the per-pulse fidelity.
+        for n in 2..8 {
+            assert!(
+                nth_root_basis_fidelity(0.97, n + 1) > nth_root_basis_fidelity(0.97, n)
+            );
+        }
+    }
+
+    #[test]
+    fn total_fidelity_composes_multiplicatively() {
+        let ft = total_fidelity(0.999, 0.99, 3);
+        assert!((ft - 0.999 * 0.99f64.powi(3)).abs() < 1e-12);
+        // More gates at the same per-gate fidelity always hurt.
+        assert!(total_fidelity(1.0, 0.99, 4) < total_fidelity(1.0, 0.99, 3));
+    }
+
+    #[test]
+    fn pulse_duration_examples_from_paper() {
+        // §6.3: k=3 of √iSWAP lasts 1.5 iSWAPs; k=4 of ³√iSWAP lasts 1.33.
+        assert!((pulse_duration(3, 2) - 1.5).abs() < 1e-12);
+        assert!((pulse_duration(4, 3) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_fits_picks_best_tradeoff() {
+        // Synthetic fits: k=2 approximate, k=3 exact.
+        let fits = vec![
+            TemplateFit { k: 2, fidelity: 0.97, params: vec![] },
+            TemplateFit { k: 3, fidelity: 0.999999, params: vec![] },
+        ];
+        // With a very good basis gate the exact k=3 decomposition wins.
+        let (_, best) = evaluate_fits(&fits, 2, 0.999);
+        assert_eq!(best.k, 3);
+        // With a poor basis gate the shorter, approximate template wins.
+        let (_, best) = evaluate_fits(&fits, 2, 0.90);
+        assert_eq!(best.k, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fidelity must be in [0, 1]")]
+    fn rejects_out_of_range_fidelity() {
+        nth_root_basis_fidelity(1.2, 2);
+    }
+}

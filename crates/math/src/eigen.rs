@@ -1,0 +1,286 @@
+//! Small dense eigen-solvers.
+//!
+//! The Weyl-chamber analysis needs the spectral decomposition of a 4×4
+//! complex *symmetric unitary* matrix. Writing `S = A + iB`, unitarity and
+//! symmetry imply that `A` and `B` are real symmetric and commute, so they can
+//! be simultaneously diagonalized by a real orthogonal matrix. We therefore
+//! only need a real-symmetric Jacobi solver plus a clustering step.
+
+/// Result of a real symmetric eigendecomposition: `a = v · diag(λ) · vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, in the order of the eigenvector columns.
+    pub values: Vec<f64>,
+    /// Orthogonal matrix whose columns are eigenvectors (`vectors[r][c]` is
+    /// row `r`, column `c`).
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Jacobi eigenvalue algorithm for a small real symmetric matrix.
+///
+/// `a` must be square and symmetric; sizes up to ~8 are intended. The
+/// returned eigenvectors form an orthogonal matrix with the eigenvalues in
+/// matching column order (not sorted).
+pub fn jacobi_symmetric(a: &[Vec<f64>]) -> SymEigen {
+    let n = a.len();
+    debug_assert!(a.iter().all(|row| row.len() == n), "matrix must be square");
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut v = identity(n);
+
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        let off = off_diagonal_norm(&m);
+        if off < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if m[p][q].abs() < 1e-16 {
+                    continue;
+                }
+                let app = m[p][p];
+                let aqq = m[q][q];
+                let apq = m[p][q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) on both sides: m ← Gᵀ m G.
+                for k in 0..n {
+                    let mkp = m[k][p];
+                    let mkq = m[k][q];
+                    m[k][p] = c * mkp - s * mkq;
+                    m[k][q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p][k];
+                    let mqk = m[q][k];
+                    m[p][k] = c * mpk - s * mqk;
+                    m[q][k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let values = (0..n).map(|i| m[i][i]).collect();
+    SymEigen { values, vectors: v }
+}
+
+/// Simultaneously diagonalizes two commuting real symmetric matrices.
+///
+/// Returns an orthogonal matrix `O` (columns = common eigenvectors) such that
+/// both `Oᵀ a O` and `Oᵀ b O` are diagonal to within numerical tolerance.
+pub fn simultaneous_diagonalize(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let first = jacobi_symmetric(a);
+    let mut o = first.vectors.clone();
+
+    // Rotate b into a's eigenbasis.
+    let bt = conjugate(b, &o);
+
+    // Cluster indices with (numerically) equal a-eigenvalues; within each
+    // cluster, b restricted to the eigenspace must still be diagonalized.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| first.values[i].partial_cmp(&first.values[j]).unwrap());
+
+    let tol = 1e-7;
+    let mut idx = 0;
+    while idx < n {
+        let mut cluster = vec![order[idx]];
+        let mut j = idx + 1;
+        while j < n && (first.values[order[j]] - first.values[order[idx]]).abs() < tol {
+            cluster.push(order[j]);
+            j += 1;
+        }
+        if cluster.len() > 1 {
+            // Diagonalize the cluster's block of bt.
+            let k = cluster.len();
+            let mut block = vec![vec![0.0; k]; k];
+            for (bi, &ci) in cluster.iter().enumerate() {
+                for (bj, &cj) in cluster.iter().enumerate() {
+                    block[bi][bj] = bt[ci][cj];
+                }
+            }
+            let sub = jacobi_symmetric(&block);
+            // Update the columns of o spanned by the cluster: o_cluster ← o_cluster · W.
+            let mut new_cols = vec![vec![0.0; k]; n];
+            for r in 0..n {
+                for (bj, _col) in cluster.iter().enumerate() {
+                    let mut acc = 0.0;
+                    for (bi, &ci) in cluster.iter().enumerate() {
+                        acc += o[r][ci] * sub.vectors[bi][bj];
+                    }
+                    new_cols[r][bj] = acc;
+                }
+            }
+            for r in 0..n {
+                for (bj, &cj) in cluster.iter().enumerate() {
+                    o[r][cj] = new_cols[r][bj];
+                }
+            }
+        }
+        idx = j;
+    }
+    o
+}
+
+/// Computes `oᵀ · m · o`.
+pub fn conjugate(m: &[Vec<f64>], o: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = m.len();
+    let mut tmp = vec![vec![0.0; n]; n];
+    for r in 0..n {
+        for c in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += m[r][k] * o[k][c];
+            }
+            tmp[r][c] = acc;
+        }
+    }
+    let mut out = vec![vec![0.0; n]; n];
+    for r in 0..n {
+        for c in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += o[k][r] * tmp[k][c];
+            }
+            out[r][c] = acc;
+        }
+    }
+    out
+}
+
+fn identity(n: usize) -> Vec<Vec<f64>> {
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    v
+}
+
+fn off_diagonal_norm(m: &[Vec<f64>]) -> f64 {
+    let n = m.len();
+    let mut acc = 0.0;
+    for r in 0..n {
+        for c in 0..n {
+            if r != c {
+                acc += m[r][c] * m[r][c];
+            }
+        }
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| r.to_vec()).collect()
+    }
+
+    fn max_offdiag(m: &[Vec<f64>]) -> f64 {
+        let n = m.len();
+        let mut best: f64 = 0.0;
+        for r in 0..n {
+            for c in 0..n {
+                if r != c {
+                    best = best.max(m[r][c].abs());
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = mat(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = jacobi_symmetric(&a);
+        let mut vals = e.values.clone();
+        vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((vals[0] + 1.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = mat(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = jacobi_symmetric(&a);
+        let mut vals = e.values.clone();
+        vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_4x4() {
+        let a = mat(&[
+            &[4.0, 1.0, 0.5, 0.0],
+            &[1.0, 3.0, 0.2, 0.1],
+            &[0.5, 0.2, 2.0, 0.3],
+            &[0.0, 0.1, 0.3, 1.0],
+        ]);
+        let e = jacobi_symmetric(&a);
+        // vᵀ a v must be diagonal with the eigenvalues.
+        let d = conjugate(&a, &e.vectors);
+        assert!(max_offdiag(&d) < 1e-9);
+        for i in 0..4 {
+            assert!((d[i][i] - e.values[i]).abs() < 1e-9);
+        }
+        // v must be orthogonal.
+        let vtv = conjugate(&identity(4), &e.vectors);
+        for r in 0..4 {
+            for c in 0..4 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((vtv[r][c] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn simultaneous_diagonalization_with_degeneracy() {
+        // a has a two-fold degenerate eigenvalue; b breaks the degeneracy.
+        // a = diag(1, 1, 2, 3) in a rotated basis, b commutes with a.
+        let a = mat(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0, 0.0],
+            &[0.0, 0.0, 2.0, 0.0],
+            &[0.0, 0.0, 0.0, 3.0],
+        ]);
+        // b acts nontrivially inside the degenerate subspace.
+        let b = mat(&[
+            &[0.0, 1.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.0, 0.0, 5.0, 0.0],
+            &[0.0, 0.0, 0.0, 7.0],
+        ]);
+        let o = simultaneous_diagonalize(&a, &b);
+        assert!(max_offdiag(&conjugate(&a, &o)) < 1e-9);
+        assert!(max_offdiag(&conjugate(&b, &o)) < 1e-9);
+    }
+
+    #[test]
+    fn simultaneous_diagonalization_identity_block() {
+        // Fully degenerate a (identity): everything hinges on b.
+        let a = identity(4);
+        let b = mat(&[
+            &[2.0, 1.0, 0.0, 0.0],
+            &[1.0, 2.0, 0.0, 0.0],
+            &[0.0, 0.0, 4.0, 0.5],
+            &[0.0, 0.0, 0.5, 4.0],
+        ]);
+        let o = simultaneous_diagonalize(&a, &b);
+        assert!(max_offdiag(&conjugate(&b, &o)) < 1e-9);
+    }
+}

@@ -1,0 +1,499 @@
+//! Unitary matrices for the standard single- and two-qubit gates used by the
+//! co-design study.
+//!
+//! Conventions:
+//! * Basis ordering for two-qubit operators is `|00⟩, |01⟩, |10⟩, |11⟩` with
+//!   qubit 0 as the most significant bit (left tensor factor).
+//! * Controlled gates have qubit 0 as control and qubit 1 as target.
+//! * `iswap_pow(t)` implements the paper's `ⁿ√iSWAP` family (Eq. 2) with
+//!   `t = 1/n`; `t = 1` is a full `iSWAP`.
+
+use crate::complex::{C64, I, ONE, ZERO};
+use crate::matrix::{Matrix2, Matrix4};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, FRAC_PI_6, PI};
+
+// ---------------------------------------------------------------------------
+// Single-qubit gates
+// ---------------------------------------------------------------------------
+
+/// 2×2 identity.
+pub fn id2() -> Matrix2 {
+    Matrix2::identity()
+}
+
+/// Pauli X.
+pub fn x() -> Matrix2 {
+    Matrix2::new([[ZERO, ONE], [ONE, ZERO]])
+}
+
+/// Pauli Y.
+pub fn y() -> Matrix2 {
+    Matrix2::new([[ZERO, -I], [I, ZERO]])
+}
+
+/// Pauli Z.
+pub fn z() -> Matrix2 {
+    Matrix2::new([[ONE, ZERO], [ZERO, -ONE]])
+}
+
+/// Hadamard.
+pub fn h() -> Matrix2 {
+    let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+    Matrix2::new([[s, s], [s, -s]])
+}
+
+/// Phase gate S = diag(1, i).
+pub fn s() -> Matrix2 {
+    Matrix2::diag(ONE, I)
+}
+
+/// Inverse phase gate S† = diag(1, -i).
+pub fn sdg() -> Matrix2 {
+    Matrix2::diag(ONE, -I)
+}
+
+/// T gate = diag(1, e^{iπ/4}).
+pub fn t() -> Matrix2 {
+    Matrix2::diag(ONE, C64::cis(FRAC_PI_4))
+}
+
+/// T† gate.
+pub fn tdg() -> Matrix2 {
+    Matrix2::diag(ONE, C64::cis(-FRAC_PI_4))
+}
+
+/// √X gate.
+pub fn sx() -> Matrix2 {
+    let a = C64::new(0.5, 0.5);
+    let b = C64::new(0.5, -0.5);
+    Matrix2::new([[a, b], [b, a]])
+}
+
+/// Rotation about X: `exp(-i θ X / 2)`.
+pub fn rx(theta: f64) -> Matrix2 {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::imag(-(theta / 2.0).sin());
+    Matrix2::new([[c, s], [s, c]])
+}
+
+/// Rotation about Y: `exp(-i θ Y / 2)`.
+pub fn ry(theta: f64) -> Matrix2 {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::real((theta / 2.0).sin());
+    Matrix2::new([[c, -s], [s, c]])
+}
+
+/// Rotation about Z: `exp(-i θ Z / 2)`.
+pub fn rz(theta: f64) -> Matrix2 {
+    Matrix2::diag(C64::cis(-theta / 2.0), C64::cis(theta / 2.0))
+}
+
+/// Phase gate P(λ) = diag(1, e^{iλ}).
+pub fn p(lambda: f64) -> Matrix2 {
+    Matrix2::diag(ONE, C64::cis(lambda))
+}
+
+/// The general single-qubit gate
+/// `U3(θ, φ, λ) = [[cos(θ/2), -e^{iλ} sin(θ/2)], [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]]`.
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> Matrix2 {
+    let c = (theta / 2.0).cos();
+    let sn = (theta / 2.0).sin();
+    Matrix2::new([
+        [C64::real(c), -C64::cis(lambda) * sn],
+        [C64::cis(phi) * sn, C64::cis(phi + lambda) * c],
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Two-qubit gates
+// ---------------------------------------------------------------------------
+
+/// CNOT with qubit 0 as control (paper Eq. 1).
+pub fn cx() -> Matrix4 {
+    Matrix4::new([
+        [ONE, ZERO, ZERO, ZERO],
+        [ZERO, ONE, ZERO, ZERO],
+        [ZERO, ZERO, ZERO, ONE],
+        [ZERO, ZERO, ONE, ZERO],
+    ])
+}
+
+/// Controlled-Z.
+pub fn cz() -> Matrix4 {
+    Matrix4::diag([ONE, ONE, ONE, -ONE])
+}
+
+/// Controlled-phase gate `CP(λ) = diag(1, 1, 1, e^{iλ})`.
+pub fn cphase(lambda: f64) -> Matrix4 {
+    Matrix4::diag([ONE, ONE, ONE, C64::cis(lambda)])
+}
+
+/// SWAP gate.
+pub fn swap() -> Matrix4 {
+    Matrix4::new([
+        [ONE, ZERO, ZERO, ZERO],
+        [ZERO, ZERO, ONE, ZERO],
+        [ZERO, ONE, ZERO, ZERO],
+        [ZERO, ZERO, ZERO, ONE],
+    ])
+}
+
+/// Full iSWAP gate.
+pub fn iswap() -> Matrix4 {
+    iswap_pow(1.0)
+}
+
+/// √iSWAP — the SNAIL's preferred basis gate.
+pub fn sqrt_iswap() -> Matrix4 {
+    iswap_pow(0.5)
+}
+
+/// Fractional iSWAP: `iSWAP^t` (paper Eq. 2 with `t = 1/n`).
+///
+/// `iswap_pow(1.0)` is a full iSWAP, `iswap_pow(0.5)` is √iSWAP and
+/// `iswap_pow(1.0 / n)` is `ⁿ√iSWAP`.
+pub fn iswap_pow(t: f64) -> Matrix4 {
+    let a = t * FRAC_PI_2;
+    let c = C64::real(a.cos());
+    let s = I * a.sin();
+    Matrix4::new([
+        [ONE, ZERO, ZERO, ZERO],
+        [ZERO, c, s, ZERO],
+        [ZERO, s, c, ZERO],
+        [ZERO, ZERO, ZERO, ONE],
+    ])
+}
+
+/// The paper's `ⁿ√iSWAP` gate for integer `n ≥ 1`.
+pub fn nth_root_iswap(n: u32) -> Matrix4 {
+    iswap_pow(1.0 / f64::from(n.max(1)))
+}
+
+/// Google's FSIM gate family (paper Eq. 6).
+pub fn fsim(theta: f64, phi: f64) -> Matrix4 {
+    let c = C64::real(theta.cos());
+    let s = -I * theta.sin();
+    Matrix4::new([
+        [ONE, ZERO, ZERO, ZERO],
+        [ZERO, c, s, ZERO],
+        [ZERO, s, c, ZERO],
+        [ZERO, ZERO, ZERO, C64::cis(-phi)],
+    ])
+}
+
+/// The Sycamore gate `SYC = FSIM(π/2, π/6)`.
+pub fn syc() -> Matrix4 {
+    fsim(FRAC_PI_2, FRAC_PI_6)
+}
+
+/// IBM's cross-resonance interaction `ZX(θ)` (paper Eq. 4).
+pub fn zx(theta: f64) -> Matrix4 {
+    let c = C64::real((theta / 2.0).cos());
+    let s = C64::imag((theta / 2.0).sin());
+    Matrix4::new([
+        [c, -s, ZERO, ZERO],
+        [-s, c, ZERO, ZERO],
+        [ZERO, ZERO, c, s],
+        [ZERO, ZERO, s, c],
+    ])
+}
+
+/// Two-qubit ZZ rotation `exp(-i θ Z⊗Z / 2)`; the QAOA/TIM workhorse.
+pub fn rzz(theta: f64) -> Matrix4 {
+    let m = C64::cis(-theta / 2.0);
+    let p = C64::cis(theta / 2.0);
+    Matrix4::diag([m, p, p, m])
+}
+
+/// Two-qubit XX rotation `exp(-i θ X⊗X / 2)`.
+pub fn rxx(theta: f64) -> Matrix4 {
+    canonical(-theta / 2.0, 0.0, 0.0)
+}
+
+/// Two-qubit YY rotation `exp(-i θ Y⊗Y / 2)`.
+pub fn ryy(theta: f64) -> Matrix4 {
+    canonical(0.0, -theta / 2.0, 0.0)
+}
+
+/// The DCX ("double CNOT") gate, locally equivalent to iSWAP.
+pub fn dcx() -> Matrix4 {
+    Matrix4::new([
+        [ONE, ZERO, ZERO, ZERO],
+        [ZERO, ZERO, ZERO, ONE],
+        [ZERO, ONE, ZERO, ZERO],
+        [ZERO, ZERO, ONE, ZERO],
+    ])
+}
+
+/// The controlled-√X (CSX) gate, a genuine "half CNOT".
+pub fn csx() -> Matrix4 {
+    let a = C64::new(0.5, 0.5);
+    let b = C64::new(0.5, -0.5);
+    Matrix4::new([
+        [ONE, ZERO, ZERO, ZERO],
+        [ZERO, ONE, ZERO, ZERO],
+        [ZERO, ZERO, a, b],
+        [ZERO, ZERO, b, a],
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// The magic (Bell) basis and the canonical gate
+// ---------------------------------------------------------------------------
+
+/// The magic-basis change-of-basis matrix `B`.
+///
+/// Columns are the phased Bell states
+/// `Φ₁ = (|00⟩+|11⟩)/√2`, `Φ₂ = -i(|00⟩-|11⟩)/√2`,
+/// `Φ₃ = (|01⟩-|10⟩)/√2`, `Φ₄ = -i(|01⟩+|10⟩)/√2`.
+///
+/// In this basis every local gate `A⊗B` (with `A, B ∈ SU(2)`) becomes a real
+/// orthogonal matrix and every canonical gate becomes diagonal.
+pub fn magic_basis() -> Matrix4 {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let r = C64::real(s);
+    let mi = C64::imag(-s);
+    let pi_ = C64::imag(s);
+    Matrix4::new([
+        // |00⟩ row
+        [r, mi, ZERO, ZERO],
+        // |01⟩ row
+        [ZERO, ZERO, r, mi],
+        // |10⟩ row
+        [ZERO, ZERO, -r, mi],
+        // |11⟩ row
+        [r, pi_, ZERO, ZERO],
+    ])
+}
+
+/// Eigenphases of the canonical Hamiltonian in the magic basis.
+///
+/// `canonical(c)` is diagonal in the magic basis with phases `exp(i λⱼ)` where
+/// `λ = (c₁-c₂+c₃, -c₁+c₂+c₃, -c₁-c₂-c₃, c₁+c₂-c₃)`.
+pub fn canonical_phases(c1: f64, c2: f64, c3: f64) -> [f64; 4] {
+    [c1 - c2 + c3, -c1 + c2 + c3, -c1 - c2 - c3, c1 + c2 - c3]
+}
+
+/// The canonical (Weyl-chamber) gate
+/// `CAN(c₁, c₂, c₃) = exp(i (c₁ X⊗X + c₂ Y⊗Y + c₃ Z⊗Z))`.
+///
+/// Reference points: `CAN(π/4, 0, 0) ≅ CNOT`, `CAN(π/4, π/4, 0) ≅ iSWAP`,
+/// `CAN(π/8, π/8, 0) ≅ √iSWAP`, `CAN(π/4, π/4, π/4) ≅ SWAP`.
+pub fn canonical(c1: f64, c2: f64, c3: f64) -> Matrix4 {
+    let b = magic_basis();
+    let phases = canonical_phases(c1, c2, c3);
+    let d = Matrix4::diag([
+        C64::cis(phases[0]),
+        C64::cis(phases[1]),
+        C64::cis(phases[2]),
+        C64::cis(phases[3]),
+    ]);
+    b * d * b.adjoint()
+}
+
+/// Embeds a single-qubit gate on qubit 0 of a two-qubit register.
+pub fn on_qubit0(a: &Matrix2) -> Matrix4 {
+    a.kron(&Matrix2::identity())
+}
+
+/// Embeds a single-qubit gate on qubit 1 of a two-qubit register.
+pub fn on_qubit1(a: &Matrix2) -> Matrix4 {
+    Matrix2::identity().kron(a)
+}
+
+/// Applies local dressings: `(a0 ⊗ a1) · U · (b0 ⊗ b1)`.
+pub fn dress(u: &Matrix4, a0: &Matrix2, a1: &Matrix2, b0: &Matrix2, b1: &Matrix2) -> Matrix4 {
+    a0.kron(a1) * *u * b0.kron(b1)
+}
+
+/// Weyl-chamber coordinates of well-known gates, used for classification.
+pub mod known_coords {
+    use std::f64::consts::{FRAC_PI_4, FRAC_PI_8};
+
+    /// CNOT / CZ class.
+    pub const CNOT: [f64; 3] = [FRAC_PI_4, 0.0, 0.0];
+    /// iSWAP / DCX class.
+    pub const ISWAP: [f64; 3] = [FRAC_PI_4, FRAC_PI_4, 0.0];
+    /// √iSWAP class.
+    pub const SQRT_ISWAP: [f64; 3] = [FRAC_PI_8, FRAC_PI_8, 0.0];
+    /// SWAP class.
+    pub const SWAP: [f64; 3] = [FRAC_PI_4, FRAC_PI_4, FRAC_PI_4];
+    /// B-gate class (the "optimal" two-qubit gate).
+    pub const B_GATE: [f64; 3] = [FRAC_PI_4, FRAC_PI_8, 0.0];
+    /// Identity (local) class.
+    pub const IDENTITY: [f64; 3] = [0.0, 0.0, 0.0];
+}
+
+/// Returns the Weyl coordinate triple of `ⁿ√iSWAP`: `(π/4n, π/4n, 0)`.
+pub fn nth_root_iswap_coords(n: u32) -> [f64; 3] {
+    let a = PI / (4.0 * f64::from(n.max(1)));
+    [a, a, 0.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn single_qubit_gates_are_unitary() {
+        for (name, g) in [
+            ("x", x()),
+            ("y", y()),
+            ("z", z()),
+            ("h", h()),
+            ("s", s()),
+            ("sdg", sdg()),
+            ("t", t()),
+            ("tdg", tdg()),
+            ("sx", sx()),
+            ("rx", rx(0.3)),
+            ("ry", ry(1.2)),
+            ("rz", rz(-0.7)),
+            ("p", p(2.1)),
+            ("u3", u3(0.4, 1.1, -2.0)),
+        ] {
+            assert!(g.is_unitary(TOL), "{name} is not unitary");
+        }
+    }
+
+    #[test]
+    fn two_qubit_gates_are_unitary() {
+        for (name, g) in [
+            ("cx", cx()),
+            ("cz", cz()),
+            ("cphase", cphase(0.7)),
+            ("swap", swap()),
+            ("iswap", iswap()),
+            ("sqrt_iswap", sqrt_iswap()),
+            ("fsim", fsim(0.5, 0.3)),
+            ("syc", syc()),
+            ("zx", zx(1.0)),
+            ("rzz", rzz(0.9)),
+            ("rxx", rxx(0.9)),
+            ("ryy", ryy(0.9)),
+            ("dcx", dcx()),
+            ("csx", csx()),
+            ("canonical", canonical(0.3, 0.2, 0.1)),
+            ("magic", magic_basis()),
+        ] {
+            assert!(g.is_unitary(TOL), "{name} is not unitary");
+        }
+    }
+
+    #[test]
+    fn sqrt_iswap_squares_to_iswap() {
+        let s = sqrt_iswap();
+        assert!((s * s).approx_eq(&iswap(), TOL));
+    }
+
+    #[test]
+    fn nth_root_composes_to_iswap() {
+        for n in 2..=7u32 {
+            let g = nth_root_iswap(n);
+            let mut acc = Matrix4::identity();
+            for _ in 0..n {
+                acc = acc * g;
+            }
+            assert!(acc.approx_eq(&iswap(), TOL), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn sqrt_iswap_matches_fsim_convention() {
+        // Paper §2.4.2: √iSWAP is FSIM(-π/4, 0).
+        assert!(sqrt_iswap().approx_eq(&fsim(-FRAC_PI_4, 0.0), TOL));
+        // and iSWAP is FSIM(-π/2, 0).
+        assert!(iswap().approx_eq(&fsim(-FRAC_PI_2, 0.0), TOL));
+    }
+
+    #[test]
+    fn cnot_from_cross_resonance() {
+        // Paper Eq. 5: CNOT = (S† ⊗ √X†) · ZX(π/2) up to global phase
+        // (with appropriate qubit ordering / sign conventions).
+        let zx_half = zx(FRAC_PI_2);
+        let fixup = sdg().kron(&sx().adjoint());
+        let candidate = fixup * zx_half;
+        assert!(candidate.approx_eq_up_to_phase(&cx(), TOL));
+    }
+
+    #[test]
+    fn cphase_pi_is_cz() {
+        assert!(cphase(PI).approx_eq(&cz(), TOL));
+    }
+
+    #[test]
+    fn dcx_is_two_cnots() {
+        // DCX = CX(1,0) · CX(0,1) up to qubit ordering; check it is a valid
+        // permutation-like unitary built from two CNOTs.
+        let cx01 = cx();
+        let cx10 = cx().reverse_qubits();
+        let prod = cx10 * cx01;
+        assert!(prod.approx_eq(&dcx(), TOL) || prod.reverse_qubits().approx_eq(&dcx(), TOL));
+    }
+
+    #[test]
+    fn magic_basis_makes_locals_real() {
+        // B† (A ⊗ B) B must be a real matrix for A, B ∈ SU(2).
+        let b = magic_basis();
+        let a0 = u3(0.3, 0.9, -1.3);
+        let a1 = u3(1.1, -0.4, 0.2);
+        // Normalize to SU(2): divide by sqrt of determinant.
+        let norm = |m: Matrix2| {
+            let d = m.det().sqrt();
+            m.scale(d.inv())
+        };
+        let local = norm(a0).kron(&norm(a1));
+        let transformed = b.adjoint() * local * b;
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(
+                    transformed[(r, c)].im.abs() < 1e-9,
+                    "entry ({r},{c}) not real: {}",
+                    transformed[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_gate_is_diagonal_in_magic_basis() {
+        let b = magic_basis();
+        let g = canonical(0.4, 0.25, 0.1);
+        let d = b.adjoint() * g * b;
+        for r in 0..4 {
+            for c in 0..4 {
+                if r != c {
+                    assert!(d[(r, c)].abs() < 1e-9, "off-diagonal entry ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_reference_points() {
+        use known_coords::*;
+        // CAN at reference coordinates must be locally equivalent to the named
+        // gates; here we check the stronger property for iSWAP/SWAP where the
+        // canonical gate equals the named gate up to phase and local Paulis.
+        let can_iswap = canonical(ISWAP[0], ISWAP[1], ISWAP[2]);
+        assert!(can_iswap.approx_eq_up_to_phase(&iswap(), 1e-9));
+        let can_swap = canonical(SWAP[0], SWAP[1], SWAP[2]);
+        assert!(can_swap.approx_eq_up_to_phase(&swap(), 1e-9));
+        let can_sqiswap = canonical(SQRT_ISWAP[0], SQRT_ISWAP[1], SQRT_ISWAP[2]);
+        assert!(can_sqiswap.approx_eq_up_to_phase(&sqrt_iswap(), 1e-9));
+    }
+
+    #[test]
+    fn rzz_is_canonical_zz() {
+        let theta = 0.8;
+        assert!(rzz(theta).approx_eq_up_to_phase(&canonical(0.0, 0.0, -theta / 2.0), 1e-9));
+    }
+
+    #[test]
+    fn embedding_helpers() {
+        let g = on_qubit0(&x()) * on_qubit1(&x());
+        assert!(g.approx_eq(&x().kron(&x()), TOL));
+    }
+}

@@ -1,0 +1,412 @@
+//! Undirected coupling graphs and their structural metrics.
+//!
+//! A coupling graph records which physical qubit pairs can host a native
+//! two-qubit gate. The paper characterizes every topology by the metrics of
+//! Tables 1 and 2 — qubit count, diameter, average pairwise distance and
+//! average connectivity (degree) — all of which are provided here, along with
+//! the shortest-path machinery the router needs.
+
+use std::collections::{BTreeSet, VecDeque};
+
+/// An undirected graph over qubits `0..num_qubits`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CouplingGraph {
+    name: String,
+    adjacency: Vec<BTreeSet<usize>>,
+}
+
+/// The structural summary reported in the paper's Tables 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct TopologyMetrics {
+    /// Number of qubits.
+    pub qubits: usize,
+    /// Graph diameter (longest shortest path).
+    pub diameter: usize,
+    /// Average pairwise distance, averaged over *all ordered pairs including
+    /// self-pairs* (the convention that reproduces the paper's Table 1).
+    pub avg_distance: f64,
+    /// Average vertex degree ("average connectivity").
+    pub avg_connectivity: f64,
+}
+
+impl CouplingGraph {
+    /// Creates an edgeless graph on `num_qubits` qubits.
+    pub fn new(name: impl Into<String>, num_qubits: usize) -> Self {
+        Self { name: name.into(), adjacency: vec![BTreeSet::new(); num_qubits] }
+    }
+
+    /// Builds a graph from an explicit edge list.
+    pub fn from_edges(name: impl Into<String>, num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::new(name, num_qubits);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Human-readable topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the graph (used by truncation and catalog helpers).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Adds an undirected edge; self-loops and duplicates are ignored.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.num_qubits() && b < self.num_qubits(), "edge ({a},{b}) out of range");
+        if a == b {
+            return;
+        }
+        self.adjacency[a].insert(b);
+        self.adjacency[b].insert(a);
+    }
+
+    /// True when `(a, b)` is an edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adjacency.get(a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Neighbors of `q` in ascending order.
+    pub fn neighbors(&self, q: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adjacency[q].iter().copied()
+    }
+
+    /// Degree of `q`.
+    pub fn degree(&self, q: usize) -> usize {
+        self.adjacency[q].len()
+    }
+
+    /// All edges as `(min, max)` pairs in lexicographic order.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (a, nbrs) in self.adjacency.iter().enumerate() {
+            for &b in nbrs {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// Breadth-first distances from `source`; unreachable nodes get
+    /// `usize::MAX`.
+    pub fn bfs_distances(&self, source: usize) -> Vec<usize> {
+        let n = self.num_qubits();
+        let mut dist = vec![usize::MAX; n];
+        let mut queue = VecDeque::new();
+        dist[source] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs shortest-path distance matrix (BFS from every node).
+    pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
+        (0..self.num_qubits()).map(|s| self.bfs_distances(s)).collect()
+    }
+
+    /// A shortest path from `a` to `b` (inclusive of both endpoints), or
+    /// `None` when disconnected.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let n = self.num_qubits();
+        let mut prev = vec![usize::MAX; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[a] = true;
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            if u == b {
+                break;
+            }
+            for &v in &self.adjacency[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    prev[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !visited[b] {
+            return None;
+        }
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// True when every qubit can reach every other qubit.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits() == 0 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Graph diameter. Panics if the graph is disconnected or empty.
+    pub fn diameter(&self) -> usize {
+        let dm = self.distance_matrix();
+        dm.iter()
+            .flat_map(|row| row.iter())
+            .copied()
+            .max()
+            .expect("diameter of empty graph")
+    }
+
+    /// Average pairwise distance over all ordered pairs including self-pairs
+    /// (i.e. `Σ d(i,j) / n²`), matching the paper's Table 1/2 convention.
+    pub fn average_distance(&self) -> f64 {
+        let n = self.num_qubits();
+        if n == 0 {
+            return 0.0;
+        }
+        let dm = self.distance_matrix();
+        let total: usize = dm.iter().flat_map(|row| row.iter()).sum();
+        total as f64 / (n * n) as f64
+    }
+
+    /// Average vertex degree.
+    pub fn average_connectivity(&self) -> f64 {
+        if self.num_qubits() == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.num_qubits() as f64
+    }
+
+    /// The paper-style structural summary.
+    pub fn metrics(&self) -> TopologyMetrics {
+        TopologyMetrics {
+            qubits: self.num_qubits(),
+            diameter: self.diameter(),
+            avg_distance: self.average_distance(),
+            avg_connectivity: self.average_connectivity(),
+        }
+    }
+
+    /// Returns the subgraph induced on the first `n` qubits, relabelled
+    /// `0..n`. Panics if `n` exceeds the current size.
+    pub fn induced_prefix(&self, n: usize, name: impl Into<String>) -> CouplingGraph {
+        assert!(n <= self.num_qubits());
+        let mut g = CouplingGraph::new(name, n);
+        for (a, b) in self.edges() {
+            if a < n && b < n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    /// Removes up to `count` degree-≤2 boundary nodes (highest index first)
+    /// while keeping the graph connected, then relabels qubits contiguously.
+    /// Used to trim lattice fragments to an exact qubit budget.
+    pub fn truncate_boundary(&self, target_qubits: usize, name: impl Into<String>) -> CouplingGraph {
+        assert!(target_qubits <= self.num_qubits());
+        let mut removed = vec![false; self.num_qubits()];
+        let mut remaining = self.num_qubits();
+        while remaining > target_qubits {
+            // Pick the highest-index, lowest-degree node whose removal keeps
+            // the graph connected.
+            let mut candidates: Vec<usize> = (0..self.num_qubits()).filter(|&q| !removed[q]).collect();
+            candidates.sort_by_key(|&q| {
+                let live_degree = self.adjacency[q].iter().filter(|&&n| !removed[n]).count();
+                (live_degree, usize::MAX - q)
+            });
+            let mut removed_one = false;
+            for &q in &candidates {
+                removed[q] = true;
+                if self.connected_excluding(&removed) {
+                    removed_one = true;
+                    break;
+                }
+                removed[q] = false;
+            }
+            assert!(removed_one, "could not truncate while preserving connectivity");
+            remaining -= 1;
+        }
+        // Relabel.
+        let mut mapping = vec![usize::MAX; self.num_qubits()];
+        let mut next = 0;
+        for q in 0..self.num_qubits() {
+            if !removed[q] {
+                mapping[q] = next;
+                next += 1;
+            }
+        }
+        let mut g = CouplingGraph::new(name, target_qubits);
+        for (a, b) in self.edges() {
+            if !removed[a] && !removed[b] {
+                g.add_edge(mapping[a], mapping[b]);
+            }
+        }
+        g
+    }
+
+    fn connected_excluding(&self, removed: &[bool]) -> bool {
+        let n = self.num_qubits();
+        let live: Vec<usize> = (0..n).filter(|&q| !removed[q]).collect();
+        if live.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[live[0]] = true;
+        queue.push_back(live[0]);
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if !removed[v] && !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> CouplingGraph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        CouplingGraph::from_edges("path", n, &edges)
+    }
+
+    fn cycle(n: usize) -> CouplingGraph {
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n - 1, 0));
+        CouplingGraph::from_edges("cycle", n, &edges)
+    }
+
+    fn complete(n: usize) -> CouplingGraph {
+        let mut g = CouplingGraph::new("complete", n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                g.add_edge(a, b);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn edges_are_undirected_and_deduplicated() {
+        let mut g = CouplingGraph::new("g", 3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 1);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn path_metrics() {
+        let g = path(5);
+        assert_eq!(g.diameter(), 4);
+        assert!(g.is_connected());
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        // Sum of all ordered distances on P5 = 2 * 40 = 80? compute: pairwise
+        // sum (unordered) = Σ_{d} d*(5-d) = 1*4+2*3+3*2+4*1 = 20 → ordered 40.
+        assert!((g.average_distance() - 40.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_metrics() {
+        let g = cycle(6);
+        assert_eq!(g.diameter(), 3);
+        assert!((g.average_connectivity() - 2.0).abs() < 1e-12);
+        // Distances from any node: 0,1,1,2,2,3 → sum 9; total 54; /36 = 1.5.
+        assert!((g.average_distance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_metrics() {
+        let g = complete(5);
+        assert_eq!(g.diameter(), 1);
+        assert!((g.average_connectivity() - 4.0).abs() < 1e-12);
+        assert!((g.average_distance() - 20.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = cycle(8);
+        let p = g.shortest_path(0, 4).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], 0);
+        assert_eq!(*p.last().unwrap(), 4);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_to_self() {
+        let g = path(3);
+        assert_eq!(g.shortest_path(1, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = CouplingGraph::from_edges("two islands", 4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        assert!(g.shortest_path(0, 3).is_none());
+    }
+
+    #[test]
+    fn induced_prefix_keeps_inner_edges() {
+        let g = complete(5);
+        let sub = g.induced_prefix(3, "k3");
+        assert_eq!(sub.num_qubits(), 3);
+        assert_eq!(sub.num_edges(), 3);
+    }
+
+    #[test]
+    fn truncate_boundary_preserves_connectivity() {
+        let g = path(10);
+        let t = g.truncate_boundary(7, "path7");
+        assert_eq!(t.num_qubits(), 7);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn metrics_struct_matches_individual_queries() {
+        let g = cycle(6);
+        let m = g.metrics();
+        assert_eq!(m.qubits, 6);
+        assert_eq!(m.diameter, 3);
+        assert!((m.avg_distance - 1.5).abs() < 1e-12);
+        assert!((m.avg_connectivity - 2.0).abs() < 1e-12);
+    }
+}

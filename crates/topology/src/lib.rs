@@ -1,0 +1,28 @@
+//! # snailqc-topology
+//!
+//! Qubit coupling topologies for the `snailqc` workspace.
+//!
+//! The paper's central argument is that the SNAIL modulator unlocks coupling
+//! graphs — modular 4-ary Trees, Round-Robin Trees and hypercube-inspired
+//! Corrals — that are far better connected than the lattices shipped by IBM
+//! (heavy-hex) and Google (square lattice), and that this connectivity
+//! directly reduces SWAP overhead. This crate provides:
+//!
+//! * [`graph::CouplingGraph`] — an undirected coupling graph with BFS
+//!   shortest paths, diameter / average-distance / average-connectivity
+//!   metrics (the columns of Tables 1 and 2), and truncation helpers.
+//! * [`builders`] — parametric generators for every topology family: square
+//!   lattice, lattice with alternating diagonals, hex and heavy-hex lattices,
+//!   hypercubes, SNAIL trees and corrals.
+//! * [`catalog`] — the paper's named instances (`Tree-20`, `Corral1,2-16`,
+//!   `Heavy-Hex-84`, …) and [`catalog::TopologyKind`], the registry used by
+//!   the experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod catalog;
+pub mod graph;
+
+pub use catalog::TopologyKind;
+pub use graph::{CouplingGraph, TopologyMetrics};

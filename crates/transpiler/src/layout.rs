@@ -1,0 +1,298 @@
+//! Initial qubit placement (the "Placement" box of Fig. 10).
+//!
+//! The paper uses Qiskit's `DenseLayout`: program qubits are packed into the
+//! most densely connected region of the device so that, before any routing,
+//! as many program interactions as possible are already adjacent. A trivial
+//! identity layout is also provided for tests and ablations.
+
+use snailqc_circuit::Circuit;
+use snailqc_topology::CouplingGraph;
+
+/// A mapping between logical (program) qubits and physical (device) qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    logical_to_physical: Vec<usize>,
+    physical_to_logical: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// Builds a layout from an explicit logical→physical assignment.
+    ///
+    /// # Panics
+    /// Panics if the assignment is not injective or references a physical
+    /// qubit outside the device.
+    pub fn new(logical_to_physical: Vec<usize>, num_physical: usize) -> Self {
+        let mut physical_to_logical = vec![None; num_physical];
+        for (logical, &physical) in logical_to_physical.iter().enumerate() {
+            assert!(physical < num_physical, "physical qubit {physical} out of range");
+            assert!(
+                physical_to_logical[physical].is_none(),
+                "physical qubit {physical} assigned twice"
+            );
+            physical_to_logical[physical] = Some(logical);
+        }
+        Self { logical_to_physical, physical_to_logical }
+    }
+
+    /// The identity layout on `n` qubits of an `num_physical`-qubit device.
+    pub fn trivial(num_logical: usize, num_physical: usize) -> Self {
+        assert!(num_logical <= num_physical);
+        Self::new((0..num_logical).collect(), num_physical)
+    }
+
+    /// Number of logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.logical_to_physical.len()
+    }
+
+    /// Number of physical qubits.
+    pub fn num_physical(&self) -> usize {
+        self.physical_to_logical.len()
+    }
+
+    /// Physical qubit hosting `logical`.
+    pub fn physical(&self, logical: usize) -> usize {
+        self.logical_to_physical[logical]
+    }
+
+    /// Logical qubit hosted on `physical`, if any.
+    pub fn logical(&self, physical: usize) -> Option<usize> {
+        self.physical_to_logical[physical]
+    }
+
+    /// The full logical→physical vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.logical_to_physical
+    }
+
+    /// Swaps the logical occupants of two physical qubits (either or both may
+    /// be unoccupied).
+    pub fn swap_physical(&mut self, a: usize, b: usize) {
+        let la = self.physical_to_logical[a];
+        let lb = self.physical_to_logical[b];
+        self.physical_to_logical[a] = lb;
+        self.physical_to_logical[b] = la;
+        if let Some(l) = la {
+            self.logical_to_physical[l] = b;
+        }
+        if let Some(l) = lb {
+            self.logical_to_physical[l] = a;
+        }
+    }
+}
+
+/// Strategy for choosing the initial layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum LayoutStrategy {
+    /// Logical qubit `i` starts on physical qubit `i`.
+    Trivial,
+    /// Pack program qubits into the densest connected region of the device
+    /// (Qiskit `DenseLayout` analogue), then match busy program qubits to
+    /// well-connected physical qubits.
+    Dense,
+}
+
+impl LayoutStrategy {
+    /// Computes the initial layout for `circuit` on `graph`.
+    pub fn compute(&self, circuit: &Circuit, graph: &CouplingGraph) -> Layout {
+        match self {
+            LayoutStrategy::Trivial => Layout::trivial(circuit.num_qubits(), graph.num_qubits()),
+            LayoutStrategy::Dense => dense_layout(circuit, graph),
+        }
+    }
+}
+
+/// Greedy densest-subgraph placement.
+///
+/// For every possible seed qubit, grow a connected set of the required size
+/// by repeatedly adding the outside qubit with the most edges into the set;
+/// keep the set with the most internal edges. Program qubits are then
+/// assigned to the chosen region with the busiest program qubits on the
+/// best-connected physical qubits.
+pub fn dense_layout(circuit: &Circuit, graph: &CouplingGraph) -> Layout {
+    let k = circuit.num_qubits();
+    let n = graph.num_qubits();
+    assert!(k <= n, "circuit needs {k} qubits but device has only {n}");
+    if k == 0 {
+        return Layout::new(Vec::new(), n);
+    }
+
+    let mut best_set: Option<Vec<usize>> = None;
+    let mut best_edges = 0usize;
+    for seed in 0..n {
+        let mut in_set = vec![false; n];
+        let mut set = vec![seed];
+        in_set[seed] = true;
+        while set.len() < k {
+            // Candidate = neighbor of the set with the most edges into it.
+            let mut best_candidate = None;
+            let mut best_score = 0usize;
+            for &member in &set {
+                for cand in graph.neighbors(member) {
+                    if in_set[cand] {
+                        continue;
+                    }
+                    let score = graph.neighbors(cand).filter(|&x| in_set[x]).count();
+                    if score > best_score
+                        || (score == best_score
+                            && best_candidate.map_or(true, |b: usize| cand < b))
+                    {
+                        best_score = score;
+                        best_candidate = Some(cand);
+                    }
+                }
+            }
+            match best_candidate {
+                Some(c) => {
+                    in_set[c] = true;
+                    set.push(c);
+                }
+                None => break, // disconnected device; give up on this seed
+            }
+        }
+        if set.len() < k {
+            continue;
+        }
+        let internal_edges = graph
+            .edges()
+            .iter()
+            .filter(|&&(a, b)| in_set[a] && in_set[b])
+            .count();
+        if internal_edges > best_edges || best_set.is_none() {
+            best_edges = internal_edges;
+            best_set = Some(set);
+        }
+    }
+    let mut region = best_set.unwrap_or_else(|| (0..k).collect());
+
+    // Rank physical qubits in the region by connectivity inside the region.
+    let in_region: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &p in &region {
+            v[p] = true;
+        }
+        v
+    };
+    region.sort_by_key(|&p| {
+        let deg = graph.neighbors(p).filter(|&x| in_region[x]).count();
+        (std::cmp::Reverse(deg), p)
+    });
+
+    // Rank program qubits by how many two-qubit gates touch them.
+    let mut usage = vec![0usize; k];
+    for inst in circuit.instructions() {
+        if inst.is_two_qubit() {
+            for &q in &inst.qubits {
+                usage[q] += 1;
+            }
+        }
+    }
+    let mut logical_order: Vec<usize> = (0..k).collect();
+    logical_order.sort_by_key(|&q| (std::cmp::Reverse(usage[q]), q));
+
+    let mut logical_to_physical = vec![0usize; k];
+    for (rank, &logical) in logical_order.iter().enumerate() {
+        logical_to_physical[logical] = region[rank];
+    }
+    Layout::new(logical_to_physical, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snailqc_topology::builders;
+
+    fn interacting_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        c
+    }
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let l = Layout::trivial(3, 5);
+        assert_eq!(l.as_slice(), &[0, 1, 2]);
+        assert_eq!(l.logical(4), None);
+        assert_eq!(l.physical(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn layout_rejects_duplicates() {
+        Layout::new(vec![0, 0], 3);
+    }
+
+    #[test]
+    fn swap_physical_updates_both_directions() {
+        let mut l = Layout::trivial(2, 4);
+        l.swap_physical(1, 3);
+        assert_eq!(l.physical(1), 3);
+        assert_eq!(l.logical(3), Some(1));
+        assert_eq!(l.logical(1), None);
+        // Swapping two empty physical qubits is a no-op.
+        l.swap_physical(1, 2);
+        assert_eq!(l.logical(1), None);
+        assert_eq!(l.logical(2), None);
+    }
+
+    #[test]
+    fn dense_layout_is_a_valid_injection() {
+        let graph = builders::square_lattice(4, 4);
+        let circuit = interacting_circuit(6);
+        let layout = dense_layout(&circuit, &graph);
+        let mut seen = std::collections::HashSet::new();
+        for q in 0..6 {
+            assert!(seen.insert(layout.physical(q)));
+            assert!(layout.physical(q) < 16);
+        }
+    }
+
+    #[test]
+    fn dense_layout_picks_a_dense_region() {
+        // On a star graph, the densest 3-qubit region must include the hub.
+        let graph = builders::star(8);
+        let circuit = interacting_circuit(3);
+        let layout = dense_layout(&circuit, &graph);
+        let physical: Vec<usize> = (0..3).map(|q| layout.physical(q)).collect();
+        assert!(physical.contains(&0), "hub not selected: {physical:?}");
+    }
+
+    #[test]
+    fn dense_layout_on_tree_prefers_a_module() {
+        // A 5-qubit program on the 20-qubit SNAIL tree should fit in one
+        // module (a 5-clique), so every program pair is already adjacent.
+        let graph = snailqc_topology::catalog::tree_20();
+        let circuit = interacting_circuit(5);
+        let layout = dense_layout(&circuit, &graph);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                assert!(
+                    graph.has_edge(layout.physical(a), layout.physical(b)),
+                    "qubits {a},{b} not adjacent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_layout_handles_full_device() {
+        let graph = builders::square_lattice(3, 3);
+        let circuit = interacting_circuit(9);
+        let layout = dense_layout(&circuit, &graph);
+        let mut phys: Vec<usize> = (0..9).map(|q| layout.physical(q)).collect();
+        phys.sort_unstable();
+        assert_eq!(phys, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn strategy_dispatch() {
+        let graph = builders::square_lattice(3, 3);
+        let circuit = interacting_circuit(4);
+        let trivial = LayoutStrategy::Trivial.compute(&circuit, &graph);
+        assert_eq!(trivial.as_slice(), &[0, 1, 2, 3]);
+        let dense = LayoutStrategy::Dense.compute(&circuit, &graph);
+        assert_eq!(dense.num_logical(), 4);
+    }
+}

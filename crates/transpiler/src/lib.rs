@@ -1,0 +1,25 @@
+//! # snailqc-transpiler
+//!
+//! The transpilation passes of the paper's evaluation flow (Fig. 10):
+//!
+//! * [`layout`] — initial placement (`DenseLayout` analogue + trivial layout).
+//! * [`routing`] — SABRE-style stochastic SWAP routing with best-of-N trials
+//!   (the `StochasticSwap` analogue), returning the routed physical circuit
+//!   and the induced SWAP counts.
+//! * [`translate`] — structural basis translation into CNOT, SYC or √iSWAP
+//!   using the Weyl-chamber counting rules of `snailqc-decompose`.
+//! * [`pipeline`] — the end-to-end flow plus the [`pipeline::TranspileReport`]
+//!   carrying the four series every figure of the paper plots: total SWAPs,
+//!   critical-path SWAPs, total 2Q gates and critical-path 2Q gates.
+
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod pipeline;
+pub mod routing;
+pub mod translate;
+
+pub use layout::{dense_layout, Layout, LayoutStrategy};
+pub use pipeline::{transpile, TranspileOptions, TranspileReport, TranspileResult};
+pub use routing::{route, RoutedCircuit, RouterConfig};
+pub use translate::{count_basis_gates, critical_path_basis_gates, translate_to_basis};

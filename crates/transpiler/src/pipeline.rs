@@ -1,0 +1,195 @@
+//! The full transpilation-and-measurement flow of Fig. 10.
+//!
+//! `Quantum circuit → placement → routing → (count SWAPs) → basis translation
+//! → (count 2Q gates)`. The [`TranspileReport`] bundles the four data series
+//! the paper collects for every (workload, size, topology, basis) point:
+//! total SWAPs, critical-path SWAPs, total 2Q basis gates, and critical-path
+//! 2Q basis gates (the pulse-duration proxy).
+
+use crate::layout::LayoutStrategy;
+use crate::routing::{route, RoutedCircuit, RouterConfig};
+use crate::translate::translate_to_basis;
+use snailqc_circuit::Circuit;
+use snailqc_decompose::BasisGate;
+use snailqc_topology::CouplingGraph;
+
+/// Options controlling the transpilation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct TranspileOptions {
+    /// Initial-placement strategy (the paper uses dense placement).
+    pub layout: LayoutStrategy,
+    /// Router configuration.
+    pub router: RouterConfig,
+    /// Native basis gate for the final translation pass; `None` stops after
+    /// routing (used for the gate-agnostic SWAP studies of Figs. 4/11/12).
+    pub basis: Option<BasisGate>,
+}
+
+impl Default for TranspileOptions {
+    fn default() -> Self {
+        Self {
+            layout: LayoutStrategy::Dense,
+            router: RouterConfig::default(),
+            basis: None,
+        }
+    }
+}
+
+impl TranspileOptions {
+    /// Pipeline options with a basis-translation stage.
+    pub fn with_basis(basis: BasisGate) -> Self {
+        Self { basis: Some(basis), ..Self::default() }
+    }
+
+    /// Overrides the router seed (used to decorrelate sweep points).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.router.seed = seed;
+        self
+    }
+}
+
+/// The measurements collected by the Fig. 10 flow.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct TranspileReport {
+    /// Program qubits.
+    pub logical_qubits: usize,
+    /// Device qubits.
+    pub physical_qubits: usize,
+    /// Two-qubit gates in the input circuit (before routing).
+    pub input_two_qubit_gates: usize,
+    /// SWAP gates inserted by routing.
+    pub swap_count: usize,
+    /// Critical-path SWAP count after routing.
+    pub swap_depth: usize,
+    /// Two-qubit gates after routing (input gates + SWAPs).
+    pub routed_two_qubit_gates: usize,
+    /// Critical-path two-qubit count after routing.
+    pub routed_two_qubit_depth: usize,
+    /// Basis used for translation, if any.
+    pub basis: Option<BasisGate>,
+    /// Total basis-gate applications after translation (0 when no basis).
+    pub basis_gate_count: usize,
+    /// Critical-path basis-gate count — the paper's pulse-duration proxy.
+    pub basis_gate_depth: usize,
+}
+
+/// The full output of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct TranspileResult {
+    /// The routed physical circuit (before basis translation).
+    pub routed: RoutedCircuit,
+    /// The basis-translated circuit, when a basis was requested.
+    pub translated: Option<Circuit>,
+    /// The collected measurements.
+    pub report: TranspileReport,
+}
+
+/// Runs placement, routing and (optionally) basis translation of `circuit`
+/// onto `graph`, collecting the paper's metrics.
+pub fn transpile(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    options: &TranspileOptions,
+) -> TranspileResult {
+    let layout = options.layout.compute(circuit, graph);
+    let routed = route(circuit, graph, &layout, &options.router);
+
+    let mut report = TranspileReport {
+        logical_qubits: circuit.num_qubits(),
+        physical_qubits: graph.num_qubits(),
+        input_two_qubit_gates: circuit.two_qubit_count(),
+        swap_count: routed.swap_count,
+        swap_depth: routed.swap_depth(),
+        routed_two_qubit_gates: routed.circuit.two_qubit_count(),
+        routed_two_qubit_depth: routed.circuit.two_qubit_depth(),
+        basis: options.basis,
+        basis_gate_count: 0,
+        basis_gate_depth: 0,
+    };
+
+    let translated = options.basis.map(|basis| {
+        let (translated, _) = translate_to_basis(&routed.circuit, basis);
+        report.basis_gate_count = translated.two_qubit_count();
+        report.basis_gate_depth = translated.two_qubit_depth();
+        translated
+    });
+
+    TranspileResult { routed, translated, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snailqc_topology::{builders, catalog};
+    use snailqc_workloads::{ghz, qaoa_vanilla, qft};
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let c = qft(8, true);
+        let graph = builders::square_lattice(3, 3);
+        let result = transpile(&c, &graph, &TranspileOptions::with_basis(BasisGate::Cnot));
+        let r = result.report;
+        assert_eq!(r.logical_qubits, 8);
+        assert_eq!(r.physical_qubits, 9);
+        assert_eq!(r.input_two_qubit_gates, c.two_qubit_count());
+        assert_eq!(r.routed_two_qubit_gates, r.input_two_qubit_gates + r.swap_count);
+        assert!(r.basis_gate_count >= r.routed_two_qubit_gates);
+        assert!(r.basis_gate_depth <= r.basis_gate_count);
+        assert!(r.swap_depth <= r.swap_count);
+        let translated = result.translated.unwrap();
+        assert_eq!(translated.two_qubit_count(), r.basis_gate_count);
+    }
+
+    #[test]
+    fn no_basis_skips_translation() {
+        let c = ghz(6);
+        let graph = builders::line(6);
+        let result = transpile(&c, &graph, &TranspileOptions::default());
+        assert!(result.translated.is_none());
+        assert_eq!(result.report.basis_gate_count, 0);
+    }
+
+    #[test]
+    fn ghz_on_a_line_with_trivial_adjacency_needs_no_swaps() {
+        let c = ghz(6);
+        let graph = builders::line(6);
+        let result = transpile(&c, &graph, &TranspileOptions::default());
+        assert_eq!(result.report.swap_count, 0);
+    }
+
+    #[test]
+    fn corral_beats_heavy_hex_on_qaoa_swaps() {
+        // Observation 2 in miniature: the densely connected SNAIL Corral
+        // routes an all-to-all QAOA with far fewer SWAPs than heavy-hex.
+        let c = qaoa_vanilla(12, 1, 3);
+        let corral = catalog::corral11_16();
+        let heavy = catalog::heavy_hex_20();
+        let opts = TranspileOptions::default();
+        let on_corral = transpile(&c, &corral, &opts).report;
+        let on_heavy = transpile(&c, &heavy, &opts).report;
+        assert!(
+            on_corral.swap_count < on_heavy.swap_count,
+            "corral {} vs heavy-hex {}",
+            on_corral.swap_count,
+            on_heavy.swap_count
+        );
+    }
+
+    #[test]
+    fn sqrt_iswap_beats_syc_on_total_gate_count() {
+        // Observation 1: for the same routed circuit, the √iSWAP basis never
+        // needs more applications than SYC.
+        let c = qft(10, true);
+        let graph = builders::hypercube(4);
+        let siswap = transpile(&c, &graph, &TranspileOptions::with_basis(BasisGate::SqrtISwap));
+        let syc = transpile(&c, &graph, &TranspileOptions::with_basis(BasisGate::Syc));
+        assert!(siswap.report.basis_gate_count <= syc.report.basis_gate_count);
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = TranspileOptions::with_basis(BasisGate::SqrtISwap).with_seed(99);
+        assert_eq!(o.basis, Some(BasisGate::SqrtISwap));
+        assert_eq!(o.router.seed, 99);
+    }
+}

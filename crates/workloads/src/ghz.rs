@@ -1,0 +1,58 @@
+//! GHZ state preparation circuits.
+//!
+//! SupermarQ's GHZ benchmark: a Hadamard followed by a CNOT chain. The
+//! entangling pattern is a path, so the benchmark rewards topologies with
+//! good *local* connectivity (the paper notes the Tree excels here, §6.2).
+
+use snailqc_circuit::Circuit;
+
+/// Generates an `num_qubits`-qubit GHZ preparation circuit
+/// (`H` on qubit 0 followed by a CNOT chain).
+pub fn ghz(num_qubits: usize) -> Circuit {
+    assert!(num_qubits >= 2, "GHZ needs at least two qubits");
+    let mut c = Circuit::new(num_qubits);
+    c.h(0);
+    for q in 0..num_qubits - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snailqc_circuit::simulate;
+
+    #[test]
+    fn gate_counts() {
+        for n in [2, 5, 16, 80] {
+            let c = ghz(n);
+            assert_eq!(c.two_qubit_count(), n - 1, "n = {n}");
+            assert_eq!(c.gate_counts()["h"], 1);
+        }
+    }
+
+    #[test]
+    fn produces_ghz_state() {
+        for n in [2, 4, 7] {
+            let sv = simulate(&ghz(n));
+            assert!((sv.probability(0) - 0.5).abs() < 1e-9, "n = {n}");
+            assert!((sv.probability((1 << n) - 1) - 0.5).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn interactions_form_a_chain() {
+        let c = ghz(6);
+        assert_eq!(
+            c.interaction_pairs(),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+        );
+    }
+
+    #[test]
+    fn depth_is_linear() {
+        let c = ghz(10);
+        assert_eq!(c.two_qubit_depth(), 9);
+    }
+}

@@ -1,0 +1,121 @@
+//! # snailqc-workloads
+//!
+//! Parameterized benchmark circuit generators, matching the workload suite of
+//! the paper's evaluation (§5): Quantum Volume, QFT and the CDKM ripple-carry
+//! adder (Qiskit circuits), plus the QAOA vanilla proxy, TIM Hamiltonian
+//! simulation and GHZ state preparation (SupermarQ circuits). Every generator
+//! is a function of the problem size so the paper's size sweeps (4–16 and
+//! 8–80 qubits) can be regenerated automatically.
+
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod ghz;
+pub mod qaoa;
+pub mod qft;
+pub mod quantum_volume;
+pub mod tim;
+
+pub use adder::cdkm_adder;
+pub use ghz::ghz;
+pub use qaoa::qaoa_vanilla;
+pub use qft::qft;
+pub use quantum_volume::quantum_volume;
+pub use tim::tim_hamiltonian;
+
+use snailqc_circuit::Circuit;
+
+/// The benchmark workloads used throughout the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize)]
+pub enum Workload {
+    /// Quantum Volume model circuits (random SU(4) layers).
+    QuantumVolume,
+    /// Quantum Fourier Transform.
+    Qft,
+    /// QAOA "vanilla" proxy: depth-1 QAOA on the fully connected
+    /// Sherrington–Kirkpatrick model.
+    QaoaVanilla,
+    /// Trotterized transverse-field Ising model Hamiltonian simulation.
+    TimHamiltonian,
+    /// CDKM (Cuccaro) ripple-carry adder.
+    Adder,
+    /// GHZ state preparation.
+    Ghz,
+}
+
+impl Workload {
+    /// Display label matching the paper's figure column headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::QuantumVolume => "Quantum Volume",
+            Workload::Qft => "QFT",
+            Workload::QaoaVanilla => "QAOA Vanilla",
+            Workload::TimHamiltonian => "TIM Hamiltonian",
+            Workload::Adder => "Adder",
+            Workload::Ghz => "GHZ",
+        }
+    }
+
+    /// Every workload, in the order the paper's figures present them.
+    pub fn all() -> [Workload; 6] {
+        [
+            Workload::QuantumVolume,
+            Workload::Qft,
+            Workload::QaoaVanilla,
+            Workload::TimHamiltonian,
+            Workload::Adder,
+            Workload::Ghz,
+        ]
+    }
+
+    /// Generates the workload circuit on (at most) `num_qubits` qubits.
+    ///
+    /// The adder uses the largest `2a + 2 ≤ num_qubits` register it can fit;
+    /// all other workloads use exactly `num_qubits` qubits. `seed` controls
+    /// the randomized workloads (Quantum Volume unitaries, QAOA weights) so
+    /// sweeps are reproducible.
+    pub fn generate(&self, num_qubits: usize, seed: u64) -> Circuit {
+        match self {
+            Workload::QuantumVolume => quantum_volume(num_qubits, num_qubits, seed),
+            Workload::Qft => qft(num_qubits, true),
+            Workload::QaoaVanilla => qaoa_vanilla(num_qubits, 1, seed),
+            Workload::TimHamiltonian => tim_hamiltonian(num_qubits, 1),
+            Workload::Adder => {
+                let state_bits = ((num_qubits.max(4) - 2) / 2).max(1);
+                cdkm_adder(state_bits)
+            }
+            Workload::Ghz => ghz(num_qubits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_generate_nonempty_circuits() {
+        for w in Workload::all() {
+            let c = w.generate(8, 7);
+            assert!(!c.is_empty(), "{}", w.label());
+            assert!(c.num_qubits() <= 8, "{}", w.label());
+            assert!(c.two_qubit_count() > 0, "{}", w.label());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for w in Workload::all() {
+            let a = w.generate(8, 42);
+            let b = w.generate(8, 42);
+            assert_eq!(a.len(), b.len(), "{}", w.label());
+            assert_eq!(a.interaction_pairs(), b.interaction_pairs(), "{}", w.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_headers() {
+        assert_eq!(Workload::QaoaVanilla.label(), "QAOA Vanilla");
+        assert_eq!(Workload::TimHamiltonian.label(), "TIM Hamiltonian");
+    }
+}

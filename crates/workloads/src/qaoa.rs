@@ -1,0 +1,100 @@
+//! QAOA "vanilla" proxy circuits.
+//!
+//! Follows SupermarQ's `QAOAVanillaProxy`: depth-1 QAOA applied to a
+//! fully-connected Sherrington–Kirkpatrick model with random ±1 couplings.
+//! The cost layer therefore contains one `ZZ` interaction for every qubit
+//! pair, which — like QFT — makes the benchmark dominated by data movement on
+//! sparse topologies (paper §3.2, Fig. 4).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use snailqc_circuit::{Circuit, Gate};
+
+/// Generates a depth-`p` vanilla QAOA circuit on the SK model over
+/// `num_qubits` qubits, with couplings drawn from ±1 using `seed`.
+pub fn qaoa_vanilla(num_qubits: usize, p: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random ±1 SK couplings.
+    let mut weights = Vec::new();
+    for i in 0..num_qubits {
+        for j in (i + 1)..num_qubits {
+            let w: f64 = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            weights.push((i, j, w));
+        }
+    }
+    // Fixed representative variational angles (the structure, not the values,
+    // determines transpilation cost).
+    let gamma = 0.4;
+    let beta = 0.8;
+
+    let mut c = Circuit::new(num_qubits);
+    for q in 0..num_qubits {
+        c.h(q);
+    }
+    for layer in 0..p {
+        let scale = 1.0 / (layer as f64 + 1.0);
+        for &(i, j, w) in &weights {
+            c.push(Gate::RZZ(2.0 * gamma * w * scale), &[i, j]);
+        }
+        for q in 0..num_qubits {
+            c.rx(2.0 * beta * scale, q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_layer_covers_every_pair() {
+        for n in [3, 5, 8, 12] {
+            let c = qaoa_vanilla(n, 1, 1);
+            assert_eq!(c.two_qubit_count(), n * (n - 1) / 2, "n = {n}");
+            let mut pairs = c.interaction_pairs();
+            pairs.sort_unstable();
+            pairs.dedup();
+            assert_eq!(pairs.len(), n * (n - 1) / 2, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn single_qubit_layer_counts() {
+        let n = 6;
+        let c = qaoa_vanilla(n, 1, 2);
+        let counts = c.gate_counts();
+        assert_eq!(counts["h"], n);
+        assert_eq!(counts["rx"], n);
+        assert_eq!(counts["rzz"], n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn depth_p_scales_two_qubit_count() {
+        let n = 5;
+        let c1 = qaoa_vanilla(n, 1, 3);
+        let c3 = qaoa_vanilla(n, 3, 3);
+        assert_eq!(c3.two_qubit_count(), 3 * c1.two_qubit_count());
+    }
+
+    #[test]
+    fn weights_are_seeded() {
+        let a = qaoa_vanilla(6, 1, 5);
+        let b = qaoa_vanilla(6, 1, 5);
+        let c = qaoa_vanilla(6, 1, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn couplings_are_plus_minus_one() {
+        let c = qaoa_vanilla(5, 1, 9);
+        for inst in c.instructions() {
+            if let Gate::RZZ(theta) = inst.gate {
+                assert!((theta.abs() - 0.8).abs() < 1e-12, "theta = {theta}");
+            }
+        }
+    }
+}

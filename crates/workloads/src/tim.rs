@@ -1,0 +1,83 @@
+//! Transverse-field Ising model (TIM) Hamiltonian simulation circuits.
+//!
+//! Follows SupermarQ's `HamiltonianSimulation` benchmark: first-order Trotter
+//! evolution of the 1D transverse-field Ising chain
+//! `H = Σᵢ ZᵢZᵢ₊₁ + h Σᵢ Xᵢ`. Interactions are nearest-neighbor on a line, so
+//! the benchmark routes almost for free on every topology — the paper uses it
+//! as the "easy" counterpart to QFT/QAOA.
+
+use snailqc_circuit::Circuit;
+
+/// Generates a TIM Hamiltonian-simulation circuit on `num_qubits` qubits with
+/// the given number of first-order Trotter steps.
+pub fn tim_hamiltonian(num_qubits: usize, trotter_steps: usize) -> Circuit {
+    assert!(num_qubits >= 2);
+    let total_time = 1.0;
+    let field = 0.2;
+    let dt = total_time / trotter_steps.max(1) as f64;
+    let mut c = Circuit::new(num_qubits);
+    // Start in the +X ground state of the driver.
+    for q in 0..num_qubits {
+        c.h(q);
+    }
+    for _ in 0..trotter_steps.max(1) {
+        // ZZ couplings along the chain.
+        for q in 0..num_qubits - 1 {
+            c.rzz(2.0 * dt, q, q + 1);
+        }
+        // Transverse field.
+        for q in 0..num_qubits {
+            c.rx(2.0 * field * dt, q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snailqc_circuit::simulate;
+
+    #[test]
+    fn chain_interactions_only() {
+        let n = 8;
+        let c = tim_hamiltonian(n, 1);
+        for (a, b) in c.interaction_pairs() {
+            assert_eq!(b, a + 1, "non-neighbor interaction ({a}, {b})");
+        }
+        assert_eq!(c.two_qubit_count(), n - 1);
+    }
+
+    #[test]
+    fn trotter_steps_scale_counts() {
+        let n = 6;
+        let one = tim_hamiltonian(n, 1);
+        let four = tim_hamiltonian(n, 4);
+        assert_eq!(four.two_qubit_count(), 4 * one.two_qubit_count());
+        assert_eq!(four.gate_counts()["rx"], 4 * one.gate_counts()["rx"]);
+    }
+
+    #[test]
+    fn zero_steps_defaults_to_one() {
+        let c = tim_hamiltonian(4, 0);
+        assert_eq!(c.two_qubit_count(), 3);
+    }
+
+    #[test]
+    fn state_stays_normalized() {
+        let c = tim_hamiltonian(6, 3);
+        let sv = simulate(&c);
+        assert!((sv.total_probability() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_qubit_depth_is_small_for_chain() {
+        // ZZ gates on a chain can interleave: even and odd bonds form two
+        // layers per Trotter step at most... the serial emission order gives
+        // a depth of at most n-1 but the critical path is what routing cares
+        // about after scheduling; here we just pin the emitted structure.
+        let c = tim_hamiltonian(10, 1);
+        assert!(c.two_qubit_depth() <= 9);
+        assert!(c.two_qubit_depth() >= 2);
+    }
+}

@@ -1,0 +1,61 @@
+//! # snailqc
+//!
+//! A Rust reproduction of *"Co-Designed Architectures for Modular
+//! Superconducting Quantum Computers"* (McKinney et al., HPCA 2023,
+//! arXiv:2205.04387): SNAIL-enabled qubit topologies (modular 4-ary Trees,
+//! Round-Robin Trees, Corrals), the `ⁿ√iSWAP` basis-gate family, and a full
+//! transpilation / evaluation toolkit for comparing co-designed machines
+//! against IBM-style (heavy-hex + CNOT) and Google-style (square lattice +
+//! SYC) baselines.
+//!
+//! This crate is a façade that re-exports the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`math`] | `snailqc-math` | complex matrices, gate unitaries, Weyl-chamber/KAK analysis, Haar sampling |
+//! | [`circuit`] | `snailqc-circuit` | circuit IR, cost metrics, statevector simulator |
+//! | [`topology`] | `snailqc-topology` | coupling graphs and every topology of Tables 1–2 |
+//! | [`workloads`] | `snailqc-workloads` | QV, QFT, QAOA, TIM, CDKM adder, GHZ generators |
+//! | [`transpiler`] | `snailqc-transpiler` | dense layout, stochastic SWAP routing, basis translation |
+//! | [`decompose`] | `snailqc-decompose` | basis-gate counting, NuOp templates, decoherence model |
+//! | [`core`] | `snailqc-core` | machines, sweeps and headline ratios (the co-design harness) |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snailqc::prelude::*;
+//!
+//! // A 12-qubit QFT on the SNAIL Corral with the native sqrt-iSWAP basis…
+//! let circuit = Workload::Qft.generate(12, 7);
+//! let corral = snailqc::topology::catalog::corral12_16();
+//! let options = TranspileOptions::with_basis(BasisGate::SqrtISwap);
+//! let snail = transpile(&circuit, &corral, &options).report;
+//!
+//! // …versus the IBM-style baseline.
+//! let heavy_hex = snailqc::topology::catalog::heavy_hex_20();
+//! let ibm = transpile(&circuit, &heavy_hex, &TranspileOptions::with_basis(BasisGate::Cnot)).report;
+//!
+//! assert!(snail.swap_count <= ibm.swap_count);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use snailqc_circuit as circuit;
+pub use snailqc_core as core;
+pub use snailqc_decompose as decompose;
+pub use snailqc_math as math;
+pub use snailqc_topology as topology;
+pub use snailqc_transpiler as transpiler;
+pub use snailqc_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use snailqc_circuit::{Circuit, Gate};
+    pub use snailqc_core::machine::{Machine, SizeClass};
+    pub use snailqc_core::sweep::{run_codesign_sweep, run_swap_sweep, SweepConfig};
+    pub use snailqc_decompose::{BasisGate, NuOpDecomposer, StudyConfig};
+    pub use snailqc_math::{weyl_coordinates, Matrix2, Matrix4, WeylCoordinates};
+    pub use snailqc_topology::{CouplingGraph, TopologyKind};
+    pub use snailqc_transpiler::{transpile, LayoutStrategy, RouterConfig, TranspileOptions};
+    pub use snailqc_workloads::Workload;
+}

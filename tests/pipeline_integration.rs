@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: the full Fig.-10 pipeline from workload
+//! generation through placement, routing and basis translation, on every
+//! machine in the paper's small line-up.
+
+use snailqc::prelude::*;
+use snailqc::topology::catalog;
+
+#[test]
+fn every_workload_transpiles_onto_every_small_machine() {
+    let machines = Machine::figure13_lineup();
+    for workload in Workload::all() {
+        let circuit = workload.generate(10, 11);
+        for machine in &machines {
+            let graph = machine.graph();
+            let options = TranspileOptions::with_basis(machine.basis);
+            let result = transpile(&circuit, &graph, &options);
+            let r = result.report;
+            assert_eq!(
+                r.routed_two_qubit_gates,
+                r.input_two_qubit_gates + r.swap_count,
+                "{} on {}",
+                workload.label(),
+                machine.label()
+            );
+            assert!(
+                r.basis_gate_count >= r.routed_two_qubit_gates,
+                "{} on {}",
+                workload.label(),
+                machine.label()
+            );
+            assert!(r.basis_gate_depth <= r.basis_gate_count);
+            // Every two-qubit gate in the routed circuit respects the device.
+            for inst in result.routed.circuit.instructions() {
+                if inst.is_two_qubit() {
+                    assert!(graph.has_edge(inst.qubits[0], inst.qubits[1]));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn routed_ghz_still_prepares_a_ghz_state() {
+    // End-to-end semantic check across crates: generate GHZ, route it onto
+    // the 16-qubit hypercube, simulate the physical circuit and verify the
+    // state is still a GHZ state over the mapped qubits.
+    use snailqc::circuit::simulate;
+    let n = 16;
+    let circuit = Workload::Ghz.generate(n, 1);
+    let graph = catalog::hypercube_16();
+    let result = transpile(&circuit, &graph, &TranspileOptions::default());
+    let sv = simulate(&result.routed.circuit);
+    // Map physical back to logical and check the two GHZ amplitudes.
+    let perm: Vec<usize> = (0..n)
+        .map(|p| result.routed.final_layout.logical(p).unwrap_or(p))
+        .collect();
+    let logical = sv.permute_qubits(&perm);
+    assert!((logical.probability(0) - 0.5).abs() < 1e-9);
+    assert!((logical.probability((1 << n) - 1) - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn richer_snail_topologies_dominate_heavy_hex_on_qft() {
+    let circuit = Workload::Qft.generate(16, 5);
+    let heavy = transpile(
+        &circuit,
+        &catalog::heavy_hex_20(),
+        &TranspileOptions::with_basis(BasisGate::Cnot),
+    )
+    .report;
+    for graph in [catalog::tree_20(), catalog::corral12_16(), catalog::hypercube_16()] {
+        let snail =
+            transpile(&circuit, &graph, &TranspileOptions::with_basis(BasisGate::SqrtISwap)).report;
+        assert!(
+            snail.swap_count < heavy.swap_count,
+            "{}: {} vs heavy-hex {}",
+            graph.name(),
+            snail.swap_count,
+            heavy.swap_count
+        );
+        assert!(
+            snail.basis_gate_depth < heavy.basis_gate_depth,
+            "{}: duration {} vs heavy-hex {}",
+            graph.name(),
+            snail.basis_gate_depth,
+            heavy.basis_gate_depth
+        );
+    }
+}
+
+#[test]
+fn corral_needs_almost_no_swaps_for_small_circuits() {
+    // §6.1: "the transpiler manages to find an initial mapping that often
+    // requires zero SWAP gates for Corral1,1". A 4-qubit program fits inside
+    // one of the Corral's 4-cliques exactly; slightly larger programs should
+    // still need only a handful of SWAPs (far fewer than heavy-hex).
+    let corral = catalog::corral11_16();
+    let four = Workload::QuantumVolume.generate(4, 9);
+    let report = transpile(&four, &corral, &TranspileOptions::default()).report;
+    assert_eq!(report.swap_count, 0, "4-qubit QV should map SWAP-free");
+
+    for size in [6, 8] {
+        let circuit = Workload::QuantumVolume.generate(size, 9);
+        let on_corral = transpile(&circuit, &corral, &TranspileOptions::default()).report;
+        let on_heavy =
+            transpile(&circuit, &catalog::heavy_hex_20(), &TranspileOptions::default()).report;
+        assert!(
+            2 * on_corral.swap_count <= on_heavy.swap_count.max(1),
+            "size {size}: corral {} vs heavy-hex {}",
+            on_corral.swap_count,
+            on_heavy.swap_count
+        );
+    }
+}
+
+#[test]
+fn basis_choice_does_not_change_routing() {
+    // Basis translation happens after routing, so SWAP counts are identical
+    // across bases for the same seed (Fig. 10 ordering).
+    let circuit = Workload::Qft.generate(12, 3);
+    let graph = catalog::tree_20();
+    let mut counts = Vec::new();
+    for basis in BasisGate::all() {
+        let report = transpile(&circuit, &graph, &TranspileOptions::with_basis(basis)).report;
+        counts.push(report.swap_count);
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+}
