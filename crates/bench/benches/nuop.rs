@@ -38,11 +38,15 @@ fn bench_nuop(c: &mut Criterion) {
     let decomposer = NuOpDecomposer::new(Gate::SqrtISwap)
         .with_max_iterations(80)
         .with_restarts(1);
-    group.bench_function("sqrt_iswap_k3", |b| b.iter(|| decomposer.fit(&target, 3, 11)));
+    group.bench_function("sqrt_iswap_k3", |b| {
+        b.iter(|| decomposer.fit(&target, 3, 11))
+    });
     let quarter = NuOpDecomposer::new(Gate::ISwapPow(0.25))
         .with_max_iterations(80)
         .with_restarts(1);
-    group.bench_function("quarter_iswap_k4", |b| b.iter(|| quarter.fit(&target, 4, 11)));
+    group.bench_function("quarter_iswap_k4", |b| {
+        b.iter(|| quarter.fit(&target, 4, 11))
+    });
     group.finish();
 }
 

@@ -13,14 +13,25 @@ fn bench_routing_16q(c: &mut Criterion) {
     let circuit = Workload::Qft.generate(16, 7);
     let cases = vec![
         ("heavy_hex_20", catalog::heavy_hex_20(), BasisGate::Cnot),
-        ("square_lattice_16", catalog::square_lattice_16(), BasisGate::Syc),
+        (
+            "square_lattice_16",
+            catalog::square_lattice_16(),
+            BasisGate::Syc,
+        ),
         ("tree_20", catalog::tree_20(), BasisGate::SqrtISwap),
         ("corral12_16", catalog::corral12_16(), BasisGate::SqrtISwap),
-        ("hypercube_16", catalog::hypercube_16(), BasisGate::SqrtISwap),
+        (
+            "hypercube_16",
+            catalog::hypercube_16(),
+            BasisGate::SqrtISwap,
+        ),
     ];
     for (name, graph, basis) in cases {
         let options = TranspileOptions {
-            router: RouterConfig { trials: 2, ..RouterConfig::default() },
+            router: RouterConfig {
+                trials: 2,
+                ..RouterConfig::default()
+            },
             basis: Some(basis),
             ..TranspileOptions::default()
         };
@@ -42,7 +53,10 @@ fn bench_routing_large(c: &mut Criterion) {
     ];
     for (name, graph) in cases {
         let options = TranspileOptions {
-            router: RouterConfig { trials: 1, ..RouterConfig::default() },
+            router: RouterConfig {
+                trials: 1,
+                ..RouterConfig::default()
+            },
             basis: Some(BasisGate::SqrtISwap),
             ..TranspileOptions::default()
         };

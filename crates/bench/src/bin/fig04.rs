@@ -34,8 +34,12 @@ fn main() {
     );
     let points = run_swap_sweep(&graphs, &config);
 
-    print_sweep("Fig. 4 (top) — total SWAP count", &points, |p| p.report.swap_count as f64);
-    print_sweep("Fig. 4 (bottom) — critical-path SWAPs", &points, |p| p.report.swap_depth as f64);
+    print_sweep("Fig. 4 (top) — total SWAP count", &points, |p| {
+        p.report.swap_count as f64
+    });
+    print_sweep("Fig. 4 (bottom) — critical-path SWAPs", &points, |p| {
+        p.report.swap_depth as f64
+    });
 
     // §3.2 ratios: Heavy-Hex vs others on the largest QAOA size.
     let largest = *config.sizes.iter().max().unwrap();

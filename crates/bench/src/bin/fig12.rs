@@ -33,7 +33,9 @@ fn main() {
     );
     let points = run_swap_sweep(&graphs, &config);
 
-    print_sweep("Fig. 12 (top) — total SWAP count", &points, |p| p.report.swap_count as f64);
+    print_sweep("Fig. 12 (top) — total SWAP count", &points, |p| {
+        p.report.swap_count as f64
+    });
     print_sweep("Fig. 12 (bottom) — critical-path SWAPs", &points, |p| {
         p.report.swap_depth as f64
     });

@@ -30,9 +30,11 @@ fn main() {
     print_sweep("Fig. 14 (top) — total 2Q basis gates", &points, |p| {
         p.report.basis_gate_count as f64
     });
-    print_sweep("Fig. 14 (bottom) — critical-path 2Q gates (pulse duration)", &points, |p| {
-        p.report.basis_gate_depth as f64
-    });
+    print_sweep(
+        "Fig. 14 (bottom) — critical-path 2Q gates (pulse duration)",
+        &points,
+        |p| p.report.basis_gate_depth as f64,
+    );
 
     if let Some(path) = write_json("fig14", &points) {
         println!("\nwrote {}", path.display());

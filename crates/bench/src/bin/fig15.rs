@@ -32,14 +32,21 @@ fn main() {
     for &n in &config.roots {
         let mut row = vec![format!("{n}√iSWAP")];
         for &k in &config.template_sizes {
-            row.push(format!("{:.2e}", result.infidelity(n, k).unwrap_or(f64::NAN)));
+            row.push(format!(
+                "{:.2e}",
+                result.infidelity(n, k).unwrap_or(f64::NAN)
+            ));
         }
         rows.push(row);
     }
     let mut headers = vec!["basis".to_string()];
     headers.extend(config.template_sizes.iter().map(|k| format!("k={k}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("Fig. 15 (top left) — avg decomposition infidelity 1-Fd", &header_refs, &rows);
+    print_table(
+        "Fig. 15 (top left) — avg decomposition infidelity 1-Fd",
+        &header_refs,
+        &rows,
+    );
 
     // Bottom: average best total fidelity vs iSWAP pulse fidelity.
     let mut rows = Vec::new();
@@ -53,10 +60,16 @@ fn main() {
     let mut headers = vec!["basis".to_string()];
     headers.extend(config.iswap_fidelities.iter().map(|f| format!("Fb={f}")));
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print_table("Fig. 15 (bottom) — avg best total fidelity Ft", &header_refs, &rows);
+    print_table(
+        "Fig. 15 (bottom) — avg best total fidelity Ft",
+        &header_refs,
+        &rows,
+    );
 
     // Headline: infidelity reduction relative to √iSWAP at Fb = 0.99.
-    println!("\nInfidelity reduction vs sqrt-iSWAP at Fb(iSWAP) = 0.99 (paper: 3√ 14%, 4√ 25%, 5√ 11%):");
+    println!(
+        "\nInfidelity reduction vs sqrt-iSWAP at Fb(iSWAP) = 0.99 (paper: 3√ 14%, 4√ 25%, 5√ 11%):"
+    );
     for n in [3u32, 4, 5] {
         if let Some(reduction) = result.infidelity_reduction_vs_sqrt_iswap(n, 0.99) {
             println!("  {n}√iSWAP: {:.1}%", reduction * 100.0);

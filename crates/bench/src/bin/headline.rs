@@ -9,22 +9,37 @@ fn main() {
     let config = if is_full_run() {
         HeadlineConfig::default()
     } else {
-        HeadlineConfig { sizes: vec![16, 32, 48], routing_trials: 2, seed: 2022 }
+        HeadlineConfig {
+            sizes: vec![16, 32, 48],
+            routing_trials: 2,
+            seed: 2022,
+        }
     };
-    eprintln!("running headline Quantum Volume sweep over sizes {:?}…", config.sizes);
+    eprintln!(
+        "running headline Quantum Volume sweep over sizes {:?}…",
+        config.sizes
+    );
     let ratios = quantum_volume_headline(&config);
 
     print_table(
         "Headline — Hypercube+sqrt-iSWAP vs Heavy-Hex+CNOT (Quantum Volume)",
         &["metric", "measured ratio", "paper"],
         &[
-            vec!["total SWAPs".into(), format!("{:.2}×", ratios.total_swap_ratio), "2.57×".into()],
+            vec![
+                "total SWAPs".into(),
+                format!("{:.2}×", ratios.total_swap_ratio),
+                "2.57×".into(),
+            ],
             vec![
                 "critical-path SWAPs".into(),
                 format!("{:.2}×", ratios.critical_swap_ratio),
                 "5.63×".into(),
             ],
-            vec!["total 2Q gates".into(), format!("{:.2}×", ratios.total_2q_ratio), "3.16×".into()],
+            vec![
+                "total 2Q gates".into(),
+                format!("{:.2}×", ratios.total_2q_ratio),
+                "3.16×".into(),
+            ],
             vec![
                 "duration-weighted 2Q gates".into(),
                 format!("{:.2}×", ratios.critical_2q_ratio),

@@ -18,7 +18,13 @@ fn main() {
         .collect();
     print_table(
         "Table 1 — Topologies and Connectivities (16–20 qubits)",
-        &["topology", "qubits", "diameter", "avg distance", "avg connectivity"],
+        &[
+            "topology",
+            "qubits",
+            "diameter",
+            "avg distance",
+            "avg connectivity",
+        ],
         &rows,
     );
     if let Some(path) = write_json("table1", &catalog::table1()) {

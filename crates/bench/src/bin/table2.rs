@@ -18,7 +18,13 @@ fn main() {
         .collect();
     print_table(
         "Table 2 — Scaled Topologies and Connectivities (84 qubits)",
-        &["topology", "qubits", "diameter", "avg distance", "avg connectivity"],
+        &[
+            "topology",
+            "qubits",
+            "diameter",
+            "avg distance",
+            "avg connectivity",
+        ],
         &rows,
     );
     if let Some(path) = write_json("table2", &catalog::table2()) {

@@ -32,7 +32,9 @@ use std::path::PathBuf;
 /// True when the caller asked for the full, paper-scale sweep
 /// (`SNAILQC_FULL=1`).
 pub fn is_full_run() -> bool {
-    std::env::var("SNAILQC_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SNAILQC_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Directory where the binaries drop their JSON results.
@@ -87,16 +89,16 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// One pivoted table: the size axis plus `(topology, cells)` rows.
+pub type PivotTable = (Vec<usize>, Vec<(String, Vec<String>)>);
+
 /// Pivots sweep points into per-workload tables:
 /// rows = topology, columns = circuit size, cells = `metric`.
-pub fn pivot_by_workload<F>(
-    points: &[SweepPoint],
-    metric: F,
-) -> BTreeMap<String, (Vec<usize>, Vec<(String, Vec<String>)>)>
+pub fn pivot_by_workload<F>(points: &[SweepPoint], metric: F) -> BTreeMap<String, PivotTable>
 where
     F: Fn(&SweepPoint) -> f64,
 {
-    let mut out: BTreeMap<String, (Vec<usize>, Vec<(String, Vec<String>)>)> = BTreeMap::new();
+    let mut out: BTreeMap<String, PivotTable> = BTreeMap::new();
     // Collect the size axis per workload.
     let mut sizes: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for p in points {
@@ -113,11 +115,15 @@ where
     for p in points {
         let w = p.workload.label().to_string();
         let size_axis = sizes[&w].clone();
-        let entry = out.entry(w.clone()).or_insert_with(|| (size_axis.clone(), Vec::new()));
+        let entry = out
+            .entry(w.clone())
+            .or_insert_with(|| (size_axis.clone(), Vec::new()));
         let row = match entry.1.iter_mut().find(|(name, _)| *name == p.topology) {
             Some((_, row)) => row,
             None => {
-                entry.1.push((p.topology.clone(), vec![String::from("-"); size_axis.len()]));
+                entry
+                    .1
+                    .push((p.topology.clone(), vec![String::from("-"); size_axis.len()]));
                 &mut entry.1.last_mut().unwrap().1
             }
         };

@@ -42,7 +42,10 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit on `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
-        Self { num_qubits, instructions: Vec::new() }
+        Self {
+            num_qubits,
+            instructions: Vec::new(),
+        }
     }
 
     /// The register size.
@@ -80,12 +83,17 @@ impl Circuit {
             qubits.len()
         );
         for &q in qubits {
-            assert!(q < self.num_qubits, "qubit {q} out of range ({} qubits)", self.num_qubits);
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range ({} qubits)",
+                self.num_qubits
+            );
         }
         if qubits.len() == 2 {
             assert_ne!(qubits[0], qubits[1], "two-qubit gate operands must differ");
         }
-        self.instructions.push(Instruction::new(gate, qubits.to_vec()));
+        self.instructions
+            .push(Instruction::new(gate, qubits.to_vec()));
     }
 
     /// Appends an already-built instruction.
@@ -203,11 +211,7 @@ impl Circuit {
         let mut level = vec![0.0f64; self.num_qubits];
         for inst in &self.instructions {
             let w = weight(inst);
-            let start = inst
-                .qubits
-                .iter()
-                .map(|&q| level[q])
-                .fold(0.0f64, f64::max);
+            let start = inst.qubits.iter().map(|&q| level[q]).fold(0.0f64, f64::max);
             let end = start + w;
             for &q in &inst.qubits {
                 level[q] = end;

@@ -222,14 +222,9 @@ impl Gate {
             | Gate::Canonical(..)
             | Gate::Unitary2(_) => Gate::Unitary2(self.matrix4().expect("2q gate").adjoint()),
             // Self-inverse gates.
-            Gate::I
-            | Gate::X
-            | Gate::Y
-            | Gate::Z
-            | Gate::H
-            | Gate::CX
-            | Gate::CZ
-            | Gate::Swap => self.clone(),
+            Gate::I | Gate::X | Gate::Y | Gate::Z | Gate::H | Gate::CX | Gate::CZ | Gate::Swap => {
+                self.clone()
+            }
         }
     }
 
@@ -291,9 +286,19 @@ mod tests {
         for g in two_q {
             let u = g.matrix4().unwrap();
             let v = g.inverse().matrix4().unwrap();
-            assert!((u * v).approx_eq(&Matrix4::identity(), 1e-9), "{}", g.name());
+            assert!(
+                (u * v).approx_eq(&Matrix4::identity(), 1e-9),
+                "{}",
+                g.name()
+            );
         }
-        let one_q = [Gate::H, Gate::S, Gate::T, Gate::RX(0.7), Gate::U3(0.5, 0.2, 0.9)];
+        let one_q = [
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::RX(0.7),
+            Gate::U3(0.5, 0.2, 0.9),
+        ];
         for g in one_q {
             let u = g.matrix2().unwrap();
             let v = g.inverse().matrix2().unwrap();

@@ -22,10 +22,16 @@ pub struct StateVector {
 impl StateVector {
     /// The all-zeros computational basis state `|0…0⟩`.
     pub fn zero_state(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 26, "statevector simulator limited to 26 qubits");
+        assert!(
+            num_qubits <= 26,
+            "statevector simulator limited to 26 qubits"
+        );
         let mut amplitudes = vec![ZERO; 1 << num_qubits];
         amplitudes[0] = ONE;
-        Self { num_qubits, amplitudes }
+        Self {
+            num_qubits,
+            amplitudes,
+        }
     }
 
     /// Number of qubits.
@@ -139,10 +145,10 @@ impl StateVector {
         };
         for (idx, amp) in self.amplitudes.iter().enumerate() {
             let mut new_idx = 0usize;
-            for q in 0..self.num_qubits {
+            for (q, &target) in perm.iter().enumerate() {
                 let bit = (idx >> self.bit_position(q)) & 1;
                 if bit == 1 {
-                    new_idx |= 1 << (self.num_qubits - 1 - perm[q]);
+                    new_idx |= 1 << (self.num_qubits - 1 - target);
                 }
             }
             out.amplitudes[new_idx] = *amp;

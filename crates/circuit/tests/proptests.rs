@@ -6,7 +6,10 @@ use snailqc_circuit::{simulate, Circuit, Gate, StateVector};
 /// Strategy producing a random circuit on `n` qubits from a restricted but
 /// representative gate alphabet.
 fn arb_circuit(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    (2..=max_qubits, proptest::collection::vec((0..6u8, 0..1000u32, 0..1000u32, any::<f64>()), 1..max_gates))
+    (
+        2..=max_qubits,
+        proptest::collection::vec((0..6u8, 0..1000u32, 0..1000u32, any::<f64>()), 1..max_gates),
+    )
         .prop_map(|(n, ops)| {
             let mut c = Circuit::new(n);
             for (kind, a, b, angle) in ops {

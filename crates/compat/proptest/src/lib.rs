@@ -1,0 +1,388 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses as a
+//! deterministic seeded random-input harness: the [`strategy::Strategy`]
+//! trait with range / tuple / `prop_map` / [`collection::vec`] combinators,
+//! [`any`], `ProptestConfig::with_cases`, and the `proptest!` /
+//! `prop_assert*!` macros. Unlike the real crate there is no shrinking — a
+//! failing case panics with the seed-derived case index so it can be replayed
+//! by rerunning the test (generation is deterministic per test name).
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Scalars uniformly samplable from a range.
+    pub trait RangeSample: Copy {
+        /// Uniform draw from `[lo, hi)`; `inclusive` widens to `[lo, hi]`.
+        fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self;
+    }
+
+    macro_rules! impl_range_sample_int {
+        ($($t:ty),*) => {$(
+            impl RangeSample for $t {
+                fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+                    let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                    assert!(span > 0, "empty range");
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl RangeSample for f64 {
+        fn sample_range(rng: &mut TestRng, lo: Self, hi: Self, inclusive: bool) -> Self {
+            assert!(lo < hi, "empty range");
+            let v = lo + rng.unit_f64() * (hi - lo);
+            // Rounding can land exactly on the excluded upper bound.
+            if inclusive {
+                v
+            } else {
+                v.min(hi.next_down())
+            }
+        }
+    }
+
+    impl<T: RangeSample> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_range(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: RangeSample> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample_range(rng, *self.start(), *self.end(), true)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a default "any value" strategy (see [`crate::any`]).
+    pub trait Arbitrary: Sized {
+        /// Generates an arbitrary value. Float strategies generate finite
+        /// values only, matching proptest's default (no NaN / infinities).
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mix magnitudes: mostly moderate values, occasionally tiny/zero.
+            match rng.next_u64() % 8 {
+                0 => 0.0,
+                1 => (rng.unit_f64() - 0.5) * 1e-6,
+                _ => (rng.unit_f64() - 0.5) * 2e3,
+            }
+        }
+    }
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The [`crate::any`] strategy.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Self {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "collection::vec: empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration and the deterministic case RNG.
+pub mod test_runner {
+    /// Runner configuration; only `cases` is meaningful here.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 48 }
+        }
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Deterministic per-case generator (splitmix64 over a name hash).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for case `case` of the property named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self {
+                state: h ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// `ProptestConfig` alias matching the real crate's prelude name.
+pub type ProptestConfig = test_runner::Config;
+
+/// The default strategy for `T` (finite-only for floats).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.cases {
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                let mut __rng = $crate::test_runner::TestRng::for_case(__name, __case);
+                // One closure per case so `prop_assume!` can skip via return.
+                let mut __case_fn = |__rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                };
+                __case_fn(&mut __rng);
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u32> {
+        (0u32..50).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.0..2.0f64, z in 1u32..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..=4).contains(&z));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(v in crate::collection::vec((0u8..6, any::<f64>()), 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+            for (k, f) in &v {
+                prop_assert!(*k < 6);
+                prop_assert!(f.is_finite());
+            }
+        }
+
+        #[test]
+        fn prop_map_applies(e in small_even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name_and_case() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = 0u64..1_000_000;
+        let a = strat.generate(&mut TestRng::for_case("t", 5));
+        let b = strat.generate(&mut TestRng::for_case("t", 5));
+        let c = strat.generate(&mut TestRng::for_case("t", 6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Provides `#[derive(Serialize)]` for the vendored `serde` crate without
+//! depending on `syn`/`quote` (the build environment has no network access).
+//! The parser handles exactly the shapes this workspace uses:
+//!
+//! * structs with named fields — serialized as a JSON object in field order;
+//! * enums with unit variants — serialized as the variant name string;
+//! * enum tuple variants — serialized as `{"Variant": [fields...]}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (kind, name, body) = parse_item(&tokens);
+    let code = match kind.as_str() {
+        "struct" => derive_struct(&name, &body),
+        "enum" => derive_enum(&name, &body),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+    code.parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+/// Finds the `struct`/`enum` keyword, the item name and the brace body.
+fn parse_item(tokens: &[TokenTree]) -> (String, String, Vec<TokenTree>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let kind = id.to_string();
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("derive(Serialize): expected item name, got {other:?}"),
+                };
+                for t in &tokens[i + 2..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            return (kind, name, g.stream().into_iter().collect());
+                        }
+                    }
+                    if let TokenTree::Punct(p) = t {
+                        if p.as_char() == ';' {
+                            return (kind, name, Vec::new()); // unit struct
+                        }
+                    }
+                }
+                panic!("derive(Serialize): no body found for `{name}`");
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("derive(Serialize): no struct or enum found");
+}
+
+/// Extracts named-field identifiers from a struct body, skipping attributes,
+/// visibility and field types (tracking `<`/`>` depth so commas inside
+/// generics do not split fields).
+fn struct_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                // Skip `: Type` up to the next top-level comma.
+                let mut angle = 0i32;
+                i += 1;
+                while i < body.len() {
+                    if let TokenTree::Punct(p) = &body[i] {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("derive(Serialize): unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn derive_struct(name: &str, body: &[TokenTree]) -> String {
+    let fields = struct_fields(body);
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+         {pushes}\
+         ::serde::Value::Object(fields)\n\
+         }}\n}}\n"
+    )
+}
+
+/// One enum variant: name plus tuple-field count (0 for unit variants).
+fn enum_variants(body: &[TokenTree]) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        match &body[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let mut arity = 0;
+                if let Some(TokenTree::Group(g)) = body.get(i) {
+                    match g.delimiter() {
+                        Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            if !inner.is_empty() {
+                                arity = 1;
+                                let mut angle = 0i32;
+                                for t in &inner {
+                                    if let TokenTree::Punct(p) = t {
+                                        match p.as_char() {
+                                            '<' => angle += 1,
+                                            '>' => angle -= 1,
+                                            ',' if angle == 0 => arity += 1,
+                                            _ => {}
+                                        }
+                                    }
+                                }
+                            }
+                            i += 1;
+                        }
+                        Delimiter::Brace => {
+                            panic!("derive(Serialize): struct enum variants are not supported")
+                        }
+                        _ => {}
+                    }
+                }
+                variants.push((name, arity));
+            }
+            other => panic!("derive(Serialize): unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn derive_enum(name: &str, body: &[TokenTree]) -> String {
+    let variants = enum_variants(body);
+    let mut arms = String::new();
+    for (v, arity) in &variants {
+        if *arity == 0 {
+            arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+            ));
+        } else {
+            let binders: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+            let pat = binders.join(", ");
+            let values: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            arms.push_str(&format!(
+                "{name}::{v}({pat}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), \
+                 ::serde::Value::Array(vec![{}]))]),\n",
+                values.join(", ")
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{arms}}}\n\
+         }}\n}}\n"
+    )
+}

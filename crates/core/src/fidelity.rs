@@ -33,19 +33,28 @@ pub struct ErrorModel {
 impl Default for ErrorModel {
     fn default() -> Self {
         // The paper's running example: a 99%-fidelity full-length pulse.
-        Self { per_gate_infidelity: 1e-3, per_pulse_time_infidelity: 1e-2 }
+        Self {
+            per_gate_infidelity: 1e-3,
+            per_pulse_time_infidelity: 1e-2,
+        }
     }
 }
 
 impl ErrorModel {
     /// A model where only gate count matters (idle qubits retain coherence).
     pub fn control_limited(per_gate_infidelity: f64) -> Self {
-        Self { per_gate_infidelity, per_pulse_time_infidelity: 0.0 }
+        Self {
+            per_gate_infidelity,
+            per_pulse_time_infidelity: 0.0,
+        }
     }
 
     /// A model where only circuit duration matters.
     pub fn decoherence_limited(per_pulse_time_infidelity: f64) -> Self {
-        Self { per_gate_infidelity: 0.0, per_pulse_time_infidelity }
+        Self {
+            per_gate_infidelity: 0.0,
+            per_pulse_time_infidelity,
+        }
     }
 }
 
@@ -121,7 +130,11 @@ mod tests {
     fn fidelities_are_probabilities() {
         let report = report_for(BasisGate::SqrtISwap, &catalog::corral12_16());
         let est = estimate_fidelity(&report, &ErrorModel::default());
-        for f in [est.control_fidelity, est.decoherence_fidelity, est.total_fidelity] {
+        for f in [
+            est.control_fidelity,
+            est.decoherence_fidelity,
+            est.total_fidelity,
+        ] {
             assert!((0.0..=1.0).contains(&f), "{f}");
         }
         assert!(est.total_fidelity <= est.control_fidelity);

@@ -14,7 +14,9 @@ use crate::machine::{Machine, SizeClass};
 use serde::Serialize;
 use snailqc_decompose::BasisGate;
 use snailqc_topology::TopologyKind;
-use snailqc_transpiler::{transpile, LayoutStrategy, RouterConfig, TranspileOptions, TranspileReport};
+use snailqc_transpiler::{
+    transpile, LayoutStrategy, RouterConfig, TranspileOptions, TranspileReport,
+};
 use snailqc_workloads::Workload;
 
 /// Ratios between a baseline machine and a proposed machine, averaged over a
@@ -50,14 +52,22 @@ pub struct HeadlineConfig {
 
 impl Default for HeadlineConfig {
     fn default() -> Self {
-        Self { sizes: vec![16, 32, 48, 64, 80], routing_trials: 4, seed: 2022 }
+        Self {
+            sizes: vec![16, 32, 48, 64, 80],
+            routing_trials: 4,
+            seed: 2022,
+        }
     }
 }
 
 impl HeadlineConfig {
     /// A tiny configuration for tests.
     pub fn smoke() -> Self {
-        Self { sizes: vec![12, 16], routing_trials: 1, seed: 5 }
+        Self {
+            sizes: vec![12, 16],
+            routing_trials: 1,
+            seed: 5,
+        }
     }
 }
 
@@ -131,7 +141,11 @@ pub fn headline_ratios(
 pub fn quantum_volume_headline(config: &HeadlineConfig) -> HeadlineRatios {
     headline_ratios(
         Machine::ibm_baseline(SizeClass::Large),
-        Machine::new(TopologyKind::Hypercube, BasisGate::SqrtISwap, SizeClass::Large),
+        Machine::new(
+            TopologyKind::Hypercube,
+            BasisGate::SqrtISwap,
+            SizeClass::Large,
+        ),
         Workload::QuantumVolume,
         config,
     )
@@ -143,7 +157,10 @@ pub fn quantum_volume_headline(config: &HeadlineConfig) -> HeadlineRatios {
 /// `(total swaps, critical-path swaps)`.
 pub fn tree_progression(config: &HeadlineConfig) -> ((f64, f64), (f64, f64)) {
     let size = *config.sizes.iter().max().expect("non-empty sizes");
-    let single = HeadlineConfig { sizes: vec![size], ..config.clone() };
+    let single = HeadlineConfig {
+        sizes: vec![size],
+        ..config.clone()
+    };
     let heavy = run_point(
         &Machine::ibm_baseline(SizeClass::Large),
         Workload::QuantumVolume,
@@ -157,7 +174,11 @@ pub fn tree_progression(config: &HeadlineConfig) -> ((f64, f64), (f64, f64)) {
         &single,
     );
     let hyper = run_point(
-        &Machine::new(TopologyKind::Hypercube, BasisGate::SqrtISwap, SizeClass::Large),
+        &Machine::new(
+            TopologyKind::Hypercube,
+            BasisGate::SqrtISwap,
+            SizeClass::Large,
+        ),
         Workload::QuantumVolume,
         size,
         &single,
@@ -184,10 +205,26 @@ mod tests {
         // Even on a reduced sweep the co-designed machine must beat the
         // baseline on every headline metric (ratios > 1).
         let r = quantum_volume_headline(&HeadlineConfig::smoke());
-        assert!(r.total_swap_ratio > 1.0, "total swap ratio {}", r.total_swap_ratio);
-        assert!(r.critical_swap_ratio > 1.0, "critical swap ratio {}", r.critical_swap_ratio);
-        assert!(r.total_2q_ratio > 1.0, "total 2q ratio {}", r.total_2q_ratio);
-        assert!(r.critical_2q_ratio > 1.0, "critical 2q ratio {}", r.critical_2q_ratio);
+        assert!(
+            r.total_swap_ratio > 1.0,
+            "total swap ratio {}",
+            r.total_swap_ratio
+        );
+        assert!(
+            r.critical_swap_ratio > 1.0,
+            "critical swap ratio {}",
+            r.critical_swap_ratio
+        );
+        assert!(
+            r.total_2q_ratio > 1.0,
+            "total 2q ratio {}",
+            r.total_2q_ratio
+        );
+        assert!(
+            r.critical_2q_ratio > 1.0,
+            "critical 2q ratio {}",
+            r.critical_2q_ratio
+        );
     }
 
     #[test]
@@ -201,8 +238,14 @@ mod tests {
     fn tree_progression_reductions_are_positive() {
         let ((hh_tree_total, hh_tree_crit), (tree_hyper_total, _)) =
             tree_progression(&HeadlineConfig::smoke());
-        assert!(hh_tree_total > 0.0, "heavy-hex → tree total reduction {hh_tree_total}");
-        assert!(hh_tree_crit > 0.0, "heavy-hex → tree critical reduction {hh_tree_crit}");
+        assert!(
+            hh_tree_total > 0.0,
+            "heavy-hex → tree total reduction {hh_tree_total}"
+        );
+        assert!(
+            hh_tree_crit > 0.0,
+            "heavy-hex → tree critical reduction {hh_tree_crit}"
+        );
         // Tree → hypercube may be small at tiny sizes but must not regress
         // catastrophically.
         assert!(tree_hyper_total > -0.5);

@@ -33,7 +33,11 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine description.
     pub fn new(topology: TopologyKind, basis: BasisGate, size: SizeClass) -> Self {
-        Self { topology, basis, size }
+        Self {
+            topology,
+            basis,
+            size,
+        }
     }
 
     /// Builds the machine's coupling graph.
@@ -68,8 +72,16 @@ impl Machine {
             Self::new(TopologyKind::Hypercube, BasisGate::SqrtISwap, size),
         ];
         if size == SizeClass::Small {
-            machines.push(Self::new(TopologyKind::Corral11, BasisGate::SqrtISwap, size));
-            machines.push(Self::new(TopologyKind::Corral12, BasisGate::SqrtISwap, size));
+            machines.push(Self::new(
+                TopologyKind::Corral11,
+                BasisGate::SqrtISwap,
+                size,
+            ));
+            machines.push(Self::new(
+                TopologyKind::Corral12,
+                BasisGate::SqrtISwap,
+                size,
+            ));
         }
         machines
     }
@@ -133,7 +145,11 @@ mod tests {
     fn graphs_build_for_every_lineup_entry() {
         for m in Machine::figure13_lineup() {
             let g = m.graph();
-            assert!(g.num_qubits() >= 16 && g.num_qubits() <= 20, "{}", m.label());
+            assert!(
+                g.num_qubits() >= 16 && g.num_qubits() <= 20,
+                "{}",
+                m.label()
+            );
         }
         for m in Machine::figure14_lineup() {
             assert_eq!(m.graph().num_qubits(), 84, "{}", m.label());

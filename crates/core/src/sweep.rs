@@ -7,10 +7,14 @@
 //! binaries can emit machine-readable tables alongside the printed ones.
 
 use crate::machine::Machine;
+use rayon::prelude::*;
 use serde::Serialize;
+use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
 use snailqc_topology::CouplingGraph;
-use snailqc_transpiler::{transpile, LayoutStrategy, RouterConfig, TranspileOptions, TranspileReport};
+use snailqc_transpiler::{
+    transpile, LayoutStrategy, RouterConfig, TranspileOptions, TranspileReport,
+};
 use snailqc_workloads::Workload;
 
 /// One transpiled data point of a sweep.
@@ -43,7 +47,12 @@ pub struct SweepConfig {
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        Self { workloads: Workload::all().to_vec(), sizes: vec![8, 12, 16], routing_trials: 4, seed: 2022 }
+        Self {
+            workloads: Workload::all().to_vec(),
+            sizes: vec![8, 12, 16],
+            routing_trials: 4,
+            seed: 2022,
+        }
     }
 }
 
@@ -69,102 +78,133 @@ impl SweepConfig {
     }
 }
 
+/// One independent transpilation cell of a sweep: a generated circuit paired
+/// with a target device and the basis/label it should be reported under.
+struct SweepCell<'a> {
+    workload: Workload,
+    /// Requested problem size (keys the per-point router seed; the generated
+    /// circuit may be smaller, e.g. the adder).
+    size: usize,
+    circuit: &'a Circuit,
+    graph: &'a CouplingGraph,
+    topology: String,
+    basis: Option<BasisGate>,
+}
+
+/// Generates every workload circuit once per (workload, size) pair.
+fn generate_circuits(config: &SweepConfig) -> Vec<(Workload, usize, Circuit)> {
+    config
+        .workloads
+        .iter()
+        .flat_map(|workload| {
+            config.sizes.iter().map(move |&size| {
+                (
+                    *workload,
+                    size,
+                    workload.generate(size, config.seed ^ size as u64),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Transpiles every cell in parallel. Each cell derives its router seed from
+/// the sweep seed and the requested size alone, and results are collected in
+/// cell order, so the output is bitwise-identical to the sequential sweep
+/// regardless of worker-thread count.
+fn run_cells(cells: &[SweepCell<'_>], config: &SweepConfig) -> Vec<SweepPoint> {
+    cells
+        .par_iter()
+        .map(|cell| {
+            let options = TranspileOptions {
+                layout: LayoutStrategy::Dense,
+                router: RouterConfig {
+                    trials: config.routing_trials,
+                    seed: config.seed ^ (cell.size as u64) << 16,
+                    ..RouterConfig::default()
+                },
+                basis: cell.basis,
+            };
+            let result = transpile(cell.circuit, cell.graph, &options);
+            SweepPoint {
+                workload: cell.workload,
+                circuit_qubits: cell.circuit.num_qubits(),
+                topology: cell.topology.clone(),
+                basis: cell.basis,
+                report: result.report,
+            }
+        })
+        .collect()
+}
+
 /// Runs a gate-agnostic sweep (routing only, no basis translation) over a set
-/// of named coupling graphs — the engine of Figs. 4, 11 and 12.
-pub fn run_swap_sweep(
-    graphs: &[CouplingGraph],
-    config: &SweepConfig,
-) -> Vec<SweepPoint> {
-    let mut points = Vec::new();
-    for workload in &config.workloads {
-        for &size in &config.sizes {
-            let circuit = workload.generate(size, config.seed ^ size as u64);
-            for graph in graphs {
-                if graph.num_qubits() < circuit.num_qubits() {
-                    continue;
-                }
-                let options = TranspileOptions {
-                    layout: LayoutStrategy::Dense,
-                    router: RouterConfig {
-                        trials: config.routing_trials,
-                        seed: config.seed ^ (size as u64) << 16,
-                        ..RouterConfig::default()
-                    },
-                    basis: None,
-                };
-                let result = transpile(&circuit, graph, &options);
-                points.push(SweepPoint {
+/// of named coupling graphs — the engine of Figs. 4, 11 and 12. Cells are
+/// transpiled in parallel with deterministic per-point seeds.
+pub fn run_swap_sweep(graphs: &[CouplingGraph], config: &SweepConfig) -> Vec<SweepPoint> {
+    let circuits = generate_circuits(config);
+    let cells: Vec<SweepCell<'_>> = circuits
+        .iter()
+        .flat_map(|(workload, size, circuit)| {
+            graphs
+                .iter()
+                .filter(|graph| graph.num_qubits() >= circuit.num_qubits())
+                .map(move |graph| SweepCell {
                     workload: *workload,
-                    circuit_qubits: circuit.num_qubits(),
+                    size: *size,
+                    circuit,
+                    graph,
                     topology: graph.name().to_string(),
                     basis: None,
-                    report: result.report,
-                });
-            }
-        }
-    }
-    points
+                })
+        })
+        .collect();
+    run_cells(&cells, config)
 }
 
 /// Runs a co-designed sweep (routing plus basis translation) over a set of
-/// machines — the engine of Figs. 13 and 14.
+/// machines — the engine of Figs. 13 and 14. Cells are transpiled in parallel
+/// with deterministic per-point seeds.
 pub fn run_codesign_sweep(machines: &[Machine], config: &SweepConfig) -> Vec<SweepPoint> {
-    let mut points = Vec::new();
-    let graphs: Vec<(Machine, CouplingGraph)> =
-        machines.iter().map(|m| (*m, m.graph())).collect();
-    for workload in &config.workloads {
-        for &size in &config.sizes {
-            let circuit = workload.generate(size, config.seed ^ size as u64);
-            for (machine, graph) in &graphs {
-                if graph.num_qubits() < circuit.num_qubits() {
-                    continue;
-                }
-                let options = TranspileOptions {
-                    layout: LayoutStrategy::Dense,
-                    router: RouterConfig {
-                        trials: config.routing_trials,
-                        seed: config.seed ^ (size as u64) << 16,
-                        ..RouterConfig::default()
-                    },
-                    basis: Some(machine.basis),
-                };
-                let result = transpile(&circuit, graph, &options);
-                points.push(SweepPoint {
+    let graphs: Vec<(Machine, CouplingGraph)> = machines.iter().map(|m| (*m, m.graph())).collect();
+    let circuits = generate_circuits(config);
+    let cells: Vec<SweepCell<'_>> = circuits
+        .iter()
+        .flat_map(|(workload, size, circuit)| {
+            graphs
+                .iter()
+                .filter(|(_, graph)| graph.num_qubits() >= circuit.num_qubits())
+                .map(move |(machine, graph)| SweepCell {
                     workload: *workload,
-                    circuit_qubits: circuit.num_qubits(),
+                    size: *size,
+                    circuit,
+                    graph,
                     topology: machine.label(),
                     basis: Some(machine.basis),
-                    report: result.report,
-                });
-            }
-        }
-    }
-    points
+                })
+        })
+        .collect();
+    run_cells(&cells, config)
 }
 
 /// Aggregates sweep points: average of `metric` over all points matching a
-/// topology label, grouped by workload. Returns `(workload, topology, mean)`.
+/// topology label, grouped by workload. Returns `(workload, topology, mean)`
+/// sorted by workload then topology.
 pub fn aggregate_by_topology<F>(points: &[SweepPoint], metric: F) -> Vec<(Workload, String, f64)>
 where
     F: Fn(&TranspileReport) -> f64,
 {
     use std::collections::BTreeMap;
-    let mut groups: BTreeMap<(String, String), (f64, usize)> = BTreeMap::new();
+    let mut groups: BTreeMap<(Workload, String), (f64, usize)> = BTreeMap::new();
     for p in points {
-        let key = (format!("{:?}", p.workload), p.topology.clone());
-        let entry = groups.entry(key).or_insert((0.0, 0));
+        let entry = groups
+            .entry((p.workload, p.topology.clone()))
+            .or_insert((0.0, 0));
         entry.0 += metric(&p.report);
         entry.1 += 1;
     }
-    points
-        .iter()
-        .map(|p| (p.workload, p.topology.clone()))
-        .collect::<std::collections::BTreeSet<_>>()
+    groups
         .into_iter()
-        .map(|(w, t)| {
-            let (sum, n) = groups[&(format!("{w:?}"), t.clone())];
-            (w, t, sum / n as f64)
-        })
+        .map(|((workload, topology), (sum, n))| (workload, topology, sum / n as f64))
         .collect()
 }
 
@@ -216,6 +256,50 @@ mod tests {
         };
         let points = run_swap_sweep(&graphs, &config);
         assert!(points.is_empty());
+    }
+
+    fn points_equal(a: &[SweepPoint], b: &[SweepPoint]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.workload == y.workload
+                    && x.circuit_qubits == y.circuit_qubits
+                    && x.topology == y.topology
+                    && x.basis == y.basis
+                    && x.report == y.report
+            })
+    }
+
+    #[test]
+    fn parallel_sweeps_are_deterministic() {
+        let graphs = vec![
+            catalog::hypercube_16(),
+            catalog::tree_20(),
+            catalog::heavy_hex_20(),
+        ];
+        let config = SweepConfig {
+            workloads: vec![Workload::Qft, Workload::QaoaVanilla],
+            sizes: vec![6, 10],
+            routing_trials: 2,
+            seed: 99,
+        };
+        let a = run_swap_sweep(&graphs, &config);
+        let b = run_swap_sweep(&graphs, &config);
+        assert!(
+            points_equal(&a, &b),
+            "repeated sweeps must be bitwise-stable"
+        );
+        // Cell order is workload-major, then size, then graph.
+        let mut expected: Vec<(Workload, String)> = Vec::new();
+        for w in &config.workloads {
+            for _size in &config.sizes {
+                for g in &graphs {
+                    expected.push((*w, g.name().to_string()));
+                }
+            }
+        }
+        let got: Vec<(Workload, String)> =
+            a.iter().map(|p| (p.workload, p.topology.clone())).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

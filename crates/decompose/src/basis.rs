@@ -191,7 +191,10 @@ mod tests {
 
     #[test]
     fn sqrt_iswap_is_free_in_its_own_basis() {
-        assert_eq!(BasisGate::SqrtISwap.count_for_unitary(&gates::sqrt_iswap()), 1);
+        assert_eq!(
+            BasisGate::SqrtISwap.count_for_unitary(&gates::sqrt_iswap()),
+            1
+        );
         assert_eq!(BasisGate::Syc.count_for_unitary(&gates::syc()), 1);
         assert_eq!(BasisGate::Cnot.count_for_unitary(&gates::cz()), 1);
     }
@@ -222,8 +225,8 @@ mod tests {
             let u = haar_unitary4(&mut rng);
             let c = BasisGate::Cnot.count_for_unitary(&u);
             let s = BasisGate::SqrtISwap.count_for_unitary(&u);
-            assert!(c >= 2 && c <= 3);
-            assert!(s >= 2 && s <= 3);
+            assert!((2..=3).contains(&c));
+            assert!((2..=3).contains(&s));
             if c == 2 {
                 cnot2 += 1;
             }

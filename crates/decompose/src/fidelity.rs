@@ -12,7 +12,10 @@ use crate::nuop::TemplateFit;
 /// Decoherence-limited fidelity of one `ⁿ√iSWAP` pulse given the fidelity of
 /// a full iSWAP pulse (paper Eq. 12): `F_b(ⁿ√iSWAP) = 1 − (1 − F_b(iSWAP))/n`.
 pub fn nth_root_basis_fidelity(fb_iswap: f64, n: u32) -> f64 {
-    assert!((0.0..=1.0).contains(&fb_iswap), "fidelity must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fb_iswap),
+        "fidelity must be in [0, 1]"
+    );
     1.0 - (1.0 - fb_iswap) / f64::from(n.max(1))
 }
 
@@ -86,9 +89,7 @@ mod tests {
         assert!((nth_root_basis_fidelity(0.99, 4) - 0.9975).abs() < 1e-12);
         // Larger n always improves the per-pulse fidelity.
         for n in 2..8 {
-            assert!(
-                nth_root_basis_fidelity(0.97, n + 1) > nth_root_basis_fidelity(0.97, n)
-            );
+            assert!(nth_root_basis_fidelity(0.97, n + 1) > nth_root_basis_fidelity(0.97, n));
         }
     }
 
@@ -111,8 +112,16 @@ mod tests {
     fn evaluate_fits_picks_best_tradeoff() {
         // Synthetic fits: k=2 approximate, k=3 exact.
         let fits = vec![
-            TemplateFit { k: 2, fidelity: 0.97, params: vec![] },
-            TemplateFit { k: 3, fidelity: 0.999999, params: vec![] },
+            TemplateFit {
+                k: 2,
+                fidelity: 0.97,
+                params: vec![],
+            },
+            TemplateFit {
+                k: 3,
+                fidelity: 0.999999,
+                params: vec![],
+            },
         ];
         // With a very good basis gate the exact k=3 decomposition wins.
         let (_, best) = evaluate_fits(&fits, 2, 0.999);

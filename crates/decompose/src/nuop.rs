@@ -53,7 +53,13 @@ impl NuOpDecomposer {
     /// settings (3 restarts, 250 Adam iterations, stop at infidelity 1e-10).
     pub fn new(basis_gate: Gate) -> Self {
         let basis = basis_gate.matrix4().expect("basis gate must be two-qubit");
-        Self { basis, basis_gate, max_iterations: 250, restarts: 3, tolerance: 1e-10 }
+        Self {
+            basis,
+            basis_gate,
+            max_iterations: 250,
+            restarts: 3,
+            tolerance: 1e-10,
+        }
     }
 
     /// Overrides the optimizer iteration budget.
@@ -107,10 +113,15 @@ impl NuOpDecomposer {
     pub fn fit(&self, target: &Matrix4, k: usize, seed: u64) -> TemplateFit {
         let mut rng = StdRng::seed_from_u64(seed);
         let dim = 6 * (k + 1);
-        let mut best = TemplateFit { k, fidelity: -1.0, params: vec![0.0; dim] };
+        let mut best = TemplateFit {
+            k,
+            fidelity: -1.0,
+            params: vec![0.0; dim],
+        };
         for _ in 0..self.restarts {
-            let mut params: Vec<f64> =
-                (0..dim).map(|_| rng.gen::<f64>() * std::f64::consts::TAU).collect();
+            let mut params: Vec<f64> = (0..dim)
+                .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+                .collect();
             let fid = self.optimize(target, k, &mut params);
             if fid > best.fidelity {
                 best.fidelity = fid;
@@ -185,7 +196,7 @@ impl NuOpDecomposer {
                 stall = 0;
             } else {
                 stall += 1;
-                if stall % 20 == 0 {
+                if stall.is_multiple_of(20) {
                     lr *= 0.5;
                 }
                 if stall > 60 {
@@ -222,7 +233,7 @@ mod tests {
         assert!((hilbert_schmidt_fidelity(&id, &id) - 1.0).abs() < 1e-12);
         let cx = gates::cx();
         let f = hilbert_schmidt_fidelity(&id, &cx);
-        assert!(f >= 0.0 && f < 1.0);
+        assert!((0.0..1.0).contains(&f));
         // Global phase does not matter.
         let phased = cx.scale(snailqc_math::C64::cis(0.7));
         assert!((hilbert_schmidt_fidelity(&cx, &phased) - 1.0).abs() < 1e-12);
@@ -265,15 +276,25 @@ mod tests {
         let d = NuOpDecomposer::new(Gate::SqrtISwap).with_max_iterations(300);
         let one = d.fit(&gates::cx(), 1, 5);
         let two = d.fit(&gates::cx(), 2, 5);
-        assert!(one.fidelity < 0.99, "k=1 should be insufficient: {}", one.fidelity);
-        assert!(two.fidelity > 1.0 - 1e-5, "k=2 should be exact: {}", two.fidelity);
+        assert!(
+            one.fidelity < 0.99,
+            "k=1 should be insufficient: {}",
+            one.fidelity
+        );
+        assert!(
+            two.fidelity > 1.0 - 1e-5,
+            "k=2 should be exact: {}",
+            two.fidelity
+        );
     }
 
     #[test]
     fn haar_target_reaches_high_fidelity_with_three_sqrt_iswaps() {
         let mut rng = StdRng::seed_from_u64(11);
         let target = haar_unitary4(&mut rng);
-        let d = NuOpDecomposer::new(Gate::SqrtISwap).with_max_iterations(400).with_restarts(4);
+        let d = NuOpDecomposer::new(Gate::SqrtISwap)
+            .with_max_iterations(400)
+            .with_restarts(4);
         let fit = d.fit(&target, 3, 7);
         assert!(fit.fidelity > 1.0 - 1e-3, "fidelity {}", fit.fidelity);
     }

@@ -130,7 +130,9 @@ impl StudyResult {
 /// Runs the full study.
 pub fn run_study(config: &StudyConfig) -> StudyResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let targets: Vec<Matrix4> = (0..config.samples).map(|_| haar_unitary4(&mut rng)).collect();
+    let targets: Vec<Matrix4> = (0..config.samples)
+        .map(|_| haar_unitary4(&mut rng))
+        .collect();
 
     let mut infidelity_grid = Vec::new();
     let mut total_fidelity_grid = Vec::new();
@@ -146,9 +148,7 @@ pub fn run_study(config: &StudyConfig) -> StudyResult {
             let fits: Vec<TemplateFit> = config
                 .template_sizes
                 .iter()
-                .map(|&k| {
-                    decomposer.fit(target, k, config.seed ^ (t_idx as u64) << 8 ^ (k as u64))
-                })
+                .map(|&k| decomposer.fit(target, k, config.seed ^ (t_idx as u64) << 8 ^ (k as u64)))
                 .collect();
             fits_per_target.push(fits);
         }
@@ -173,11 +173,19 @@ pub fn run_study(config: &StudyConfig) -> StudyResult {
                 .map(|fits| evaluate_fits(fits, n, fb).1.total_fidelity)
                 .sum::<f64>()
                 / targets.len() as f64;
-            total_fidelity_grid.push(TotalFidelityCell { n, fb_iswap: fb, avg_total_fidelity: avg_total });
+            total_fidelity_grid.push(TotalFidelityCell {
+                n,
+                fb_iswap: fb,
+                avg_total_fidelity: avg_total,
+            });
         }
     }
 
-    StudyResult { config: config.clone(), infidelity_grid, total_fidelity_grid }
+    StudyResult {
+        config: config.clone(),
+        infidelity_grid,
+        total_fidelity_grid,
+    }
 }
 
 /// Analytic shortcut used by tests and the quick example: the best total

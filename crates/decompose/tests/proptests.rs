@@ -47,7 +47,7 @@ proptest! {
     }
 
     #[test]
-    fn cphase_family_needs_at_most_two(theta in 0.01..6.28f64) {
+    fn cphase_family_needs_at_most_two(theta in 0.01..std::f64::consts::TAU) {
         let u = gates::cphase(theta);
         prop_assert!(BasisGate::Cnot.count_for_unitary(&u) <= 2);
         prop_assert!(BasisGate::SqrtISwap.count_for_unitary(&u) <= 2);
@@ -64,7 +64,7 @@ proptest! {
     }
 
     #[test]
-    fn hilbert_schmidt_fidelity_is_phase_invariant_and_bounded(seed in 0u64..400, phase in 0.0..6.28f64) {
+    fn hilbert_schmidt_fidelity_is_phase_invariant_and_bounded(seed in 0u64..400, phase in 0.0..std::f64::consts::TAU) {
         let u = haar_unitary4(&mut rng_from(seed));
         let v = haar_unitary4(&mut rng_from(seed ^ 0xA5A5));
         let f = hilbert_schmidt_fidelity(&u, &v);

@@ -6,6 +6,10 @@
 //! be simultaneously diagonalized by a real orthogonal matrix. We therefore
 //! only need a real-symmetric Jacobi solver plus a clustering step.
 
+// The Jacobi rotations update two indexed slots of several arrays per step;
+// index loops express that more clearly than zipped iterators.
+#![allow(clippy::needless_range_loop)]
+
 /// Result of a real symmetric eigendecomposition: `a = v · diag(λ) · vᵀ`.
 #[derive(Debug, Clone)]
 pub struct SymEigen {

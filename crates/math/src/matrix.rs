@@ -27,7 +27,9 @@ impl Matrix2 {
 
     /// The zero matrix.
     pub const fn zeros() -> Self {
-        Self { data: [[ZERO; 2]; 2] }
+        Self {
+            data: [[ZERO; 2]; 2],
+        }
     }
 
     /// The identity matrix.
@@ -94,7 +96,7 @@ impl Matrix2 {
         let mut out = *self;
         for r in 0..2 {
             for c in 0..2 {
-                out.data[r][c] = out.data[r][c] * k;
+                out.data[r][c] *= k;
             }
         }
         out
@@ -121,7 +123,12 @@ impl Matrix2 {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().flatten().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .flatten()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Returns `true` when `self · self† = I` within `tol`.
@@ -155,7 +162,9 @@ impl Matrix4 {
 
     /// The zero matrix.
     pub const fn zeros() -> Self {
-        Self { data: [[ZERO; 4]; 4] }
+        Self {
+            data: [[ZERO; 4]; 4],
+        }
     }
 
     /// The identity matrix.
@@ -216,6 +225,7 @@ impl Matrix4 {
     }
 
     /// Determinant, computed by cofactor expansion over the first row.
+    #[allow(clippy::needless_range_loop)] // cofactor loops skip the minor's column by index
     pub fn det(&self) -> C64 {
         let m = &self.data;
         let det3 = |a: [[C64; 3]; 3]| -> C64 {
@@ -251,7 +261,7 @@ impl Matrix4 {
         let mut out = *self;
         for r in 0..4 {
             for c in 0..4 {
-                out.data[r][c] = out.data[r][c] * k;
+                out.data[r][c] *= k;
             }
         }
         out
@@ -259,7 +269,12 @@ impl Matrix4 {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().flatten().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .flatten()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Hilbert–Schmidt inner product `⟨A, B⟩ = Tr(A† B)`.
@@ -325,7 +340,11 @@ fn phase_aligned_distance_2(a: &Matrix2, b: &Matrix2) -> f64 {
         return a.frobenius_norm();
     }
     let phase = a[best] / b[best];
-    let phase = if phase.abs() < 1e-14 { crate::complex::ONE } else { phase / phase.abs() };
+    let phase = if phase.abs() < 1e-14 {
+        crate::complex::ONE
+    } else {
+        phase / phase.abs()
+    };
     let mut dist: f64 = 0.0;
     for r in 0..2 {
         for c in 0..2 {
@@ -351,7 +370,11 @@ fn phase_aligned_distance_4(a: &Matrix4, b: &Matrix4) -> f64 {
         return a.frobenius_norm();
     }
     let phase = a[best] / b[best];
-    let phase = if phase.abs() < 1e-14 { crate::complex::ONE } else { phase / phase.abs() };
+    let phase = if phase.abs() < 1e-14 {
+        crate::complex::ONE
+    } else {
+        phase / phase.abs()
+    };
     let mut dist: f64 = 0.0;
     for r in 0..4 {
         for c in 0..4 {

@@ -6,6 +6,9 @@
 //! it with a phase-fixed Gram–Schmidt QR, which is the textbook Haar
 //! construction.
 
+// Gram-Schmidt updates columns in place by index; keep the index loops.
+#![allow(clippy::needless_range_loop)]
+
 use crate::complex::C64;
 use crate::matrix::{Matrix2, Matrix4};
 use rand::Rng;

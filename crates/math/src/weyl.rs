@@ -202,7 +202,11 @@ pub fn canonicalize(raw: [f64; 3]) -> WeylCoordinates {
         }
     }
 
-    WeylCoordinates { c1: c[0], c2: c[1], c3: c[2] }
+    WeylCoordinates {
+        c1: c[0],
+        c2: c[1],
+        c3: c[2],
+    }
 }
 
 /// Makhlin local invariants `(g1, g2, g3)` computed directly from the matrix.
@@ -249,7 +253,11 @@ mod tests {
 
     fn assert_coords(u: &Matrix4, expected: [f64; 3], label: &str) {
         let w = weyl_coordinates(u);
-        let e = WeylCoordinates { c1: expected[0], c2: expected[1], c3: expected[2] };
+        let e = WeylCoordinates {
+            c1: expected[0],
+            c2: expected[1],
+            c3: expected[2],
+        };
         assert!(
             w.approx_eq(&e, 1e-6),
             "{label}: got ({:.6}, {:.6}, {:.6}), expected ({:.6}, {:.6}, {:.6})",
@@ -274,7 +282,11 @@ mod tests {
         assert_coords(&gates::iswap(), [FRAC_PI_4, FRAC_PI_4, 0.0], "iswap");
         assert_coords(&gates::dcx(), [FRAC_PI_4, FRAC_PI_4, 0.0], "dcx");
         assert_coords(&gates::swap(), [FRAC_PI_4, FRAC_PI_4, FRAC_PI_4], "swap");
-        assert_coords(&gates::sqrt_iswap(), [FRAC_PI_8, FRAC_PI_8, 0.0], "sqrt_iswap");
+        assert_coords(
+            &gates::sqrt_iswap(),
+            [FRAC_PI_8, FRAC_PI_8, 0.0],
+            "sqrt_iswap",
+        );
         assert_coords(&gates::csx(), [FRAC_PI_8, 0.0, 0.0], "csx");
     }
 
@@ -282,7 +294,11 @@ mod tests {
     fn nth_root_iswap_coordinates() {
         for n in 1..=7u32 {
             let expect = gates::nth_root_iswap_coords(n);
-            assert_coords(&gates::nth_root_iswap(n), expect, &format!("{n}-th root iswap"));
+            assert_coords(
+                &gates::nth_root_iswap(n),
+                expect,
+                &format!("{n}-th root iswap"),
+            );
         }
     }
 
@@ -293,7 +309,11 @@ mod tests {
         let w = weyl_coordinates(&gates::syc());
         assert!((w.c1 - FRAC_PI_4).abs() < 1e-6, "c1 = {}", w.c1);
         assert!((w.c2 - FRAC_PI_4).abs() < 1e-6, "c2 = {}", w.c2);
-        assert!((w.c3 - std::f64::consts::PI / 24.0).abs() < 1e-6, "c3 = {}", w.c3);
+        assert!(
+            (w.c3 - std::f64::consts::PI / 24.0).abs() < 1e-6,
+            "c3 = {}",
+            w.c3
+        );
     }
 
     #[test]
@@ -313,7 +333,12 @@ mod tests {
     #[test]
     fn coordinates_invariant_under_local_dressing() {
         let mut rng = StdRng::seed_from_u64(21);
-        for core in [gates::cx(), gates::sqrt_iswap(), gates::syc(), gates::swap()] {
+        for core in [
+            gates::cx(),
+            gates::sqrt_iswap(),
+            gates::syc(),
+            gates::swap(),
+        ] {
             let base = weyl_coordinates(&core);
             for _ in 0..8 {
                 let dressed = random_local_dressing(&core, &mut rng);
@@ -338,7 +363,14 @@ mod tests {
         for k in 0..8 {
             let phase = C64::cis(k as f64 * std::f64::consts::PI / 4.0);
             let w = weyl_coordinates(&u.scale(phase));
-            assert!(w.approx_eq(&WeylCoordinates { c1: FRAC_PI_4, c2: 0.0, c3: 0.0 }, 1e-6));
+            assert!(w.approx_eq(
+                &WeylCoordinates {
+                    c1: FRAC_PI_4,
+                    c2: 0.0,
+                    c3: 0.0
+                },
+                1e-6
+            ));
         }
     }
 

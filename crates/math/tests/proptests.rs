@@ -1,5 +1,8 @@
 //! Property-based tests for the linear-algebra and Weyl-chamber layers.
 
+// Matrix-reconstruction checks compare indexed entries; index loops are clearest.
+#![allow(clippy::needless_range_loop)]
+
 use proptest::prelude::*;
 use snailqc_math::complex::C64;
 use snailqc_math::gates;

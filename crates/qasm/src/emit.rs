@@ -1,0 +1,312 @@
+//! Serializes a [`Circuit`] back to OpenQASM 2.0 text.
+//!
+//! The emitter targets the conservative `qelib1.inc` core where it can and
+//! declares everything else in the header so the output is self-describing:
+//!
+//! * gates with exact `U`/`CX` decompositions (`sx`, `iswap`, `rzz`, `rxx`,
+//!   `ryy`) get compatibility `gate` definitions any QASM 2.0 consumer can
+//!   execute — our own parser still lowers them natively by name;
+//! * SNAIL-dialect gates without clean `U`/`CX` bodies (`siswap`, `syc`,
+//!   `fsim`, `iswap_pow`, `zx`, `can`) are declared `opaque`;
+//! * [`Gate::Unitary1`] is converted to an exact `u3` via ZYZ decomposition
+//!   (equal up to global phase);
+//! * [`Gate::Unitary2`] is encoded losslessly as an `opaque
+//!   unitary2(...)` application carrying all 32 row-major `(re, im)` matrix
+//!   entries, so `parse(emit(c))` reproduces the exact matrix.
+//!
+//! Angles are printed with Rust's shortest round-trip float formatting, so a
+//! parse of the emitted text reconstructs bit-identical `f64` parameters.
+
+use snailqc_circuit::{Circuit, Gate};
+use snailqc_math::Matrix2;
+
+/// Options controlling QASM emission.
+#[derive(Debug, Clone)]
+pub struct EmitOptions {
+    /// Name of the flat quantum register (default `q`).
+    pub register: String,
+    /// Emit a `creg` plus a full-register `measure` at the end.
+    pub measure_all: bool,
+}
+
+impl Default for EmitOptions {
+    fn default() -> Self {
+        Self {
+            register: "q".to_string(),
+            measure_all: false,
+        }
+    }
+}
+
+/// Emits `circuit` as OpenQASM 2.0 with default options.
+pub fn emit(circuit: &Circuit) -> String {
+    emit_with(circuit, &EmitOptions::default())
+}
+
+/// Emits `circuit` as OpenQASM 2.0.
+pub fn emit_with(circuit: &Circuit, options: &EmitOptions) -> String {
+    let reg = &options.register;
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    emit_dialect_header(circuit, &mut out);
+    out.push_str(&format!("qreg {reg}[{}];\n", circuit.num_qubits()));
+    if options.measure_all {
+        out.push_str(&format!("creg c[{}];\n", circuit.num_qubits()));
+    }
+    for inst in circuit.instructions() {
+        let (name, params) = gate_text(&inst.gate);
+        out.push_str(&name);
+        if !params.is_empty() {
+            out.push('(');
+            out.push_str(
+                &params
+                    .iter()
+                    .map(|x| fmt_f64(*x))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push(')');
+        }
+        out.push(' ');
+        out.push_str(
+            &inst
+                .qubits
+                .iter()
+                .map(|q| format!("{reg}[{q}]"))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push_str(";\n");
+    }
+    if options.measure_all {
+        out.push_str(&format!("measure {reg} -> c;\n"));
+    }
+    out
+}
+
+/// Shortest representation that round-trips through `str::parse::<f64>()`.
+fn fmt_f64(x: f64) -> String {
+    debug_assert!(x.is_finite(), "cannot emit non-finite gate parameter");
+    format!("{x:?}")
+}
+
+/// Compatibility definitions / opaque declarations for every non-qelib1 gate
+/// kind used by the circuit, in a stable order.
+fn emit_dialect_header(circuit: &Circuit, out: &mut String) {
+    let used: std::collections::BTreeSet<&'static str> = circuit
+        .instructions()
+        .iter()
+        .map(|i| i.gate.name())
+        .collect();
+    // (gate kind name, header line)
+    let decls: [(&str, &str); 12] = [
+        ("sx", "gate sx a { sdg a; h a; sdg a; }"),
+        ("iswap", "gate iswap a,b { s a; s b; h a; cx a,b; cx b,a; h b; }"),
+        ("rzz", "gate rzz(theta) a,b { cx a,b; u1(theta) b; cx a,b; }"),
+        (
+            "rxx",
+            "gate rxx(theta) a,b { h a; h b; cx a,b; u1(theta) b; cx a,b; h a; h b; }",
+        ),
+        (
+            "ryy",
+            "gate ryy(theta) a,b { rx(pi/2) a; rx(pi/2) b; cx a,b; u1(theta) b; cx a,b; rx(-pi/2) a; rx(-pi/2) b; }",
+        ),
+        ("zx", "opaque zx(theta) a,b;"),
+        ("siswap", "opaque siswap a,b;"),
+        ("syc", "opaque syc a,b;"),
+        ("iswap_pow", "opaque iswap_pow(t) a,b;"),
+        ("fsim", "opaque fsim(theta,phi) a,b;"),
+        ("can", "opaque can(c1,c2,c3) a,b;"),
+        ("unitary2", "opaque unitary2(m00r,m00i,m01r,m01i,m02r,m02i,m03r,m03i,m10r,m10i,m11r,m11i,m12r,m12i,m13r,m13i,m20r,m20i,m21r,m21i,m22r,m22i,m23r,m23i,m30r,m30i,m31r,m31i,m32r,m32i,m33r,m33i) a,b;"),
+    ];
+    for (kind, line) in decls {
+        if used.contains(kind) {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+}
+
+/// QASM name and parameter list for one IR gate.
+fn gate_text(gate: &Gate) -> (String, Vec<f64>) {
+    match gate {
+        Gate::I => ("id".into(), vec![]),
+        Gate::X => ("x".into(), vec![]),
+        Gate::Y => ("y".into(), vec![]),
+        Gate::Z => ("z".into(), vec![]),
+        Gate::H => ("h".into(), vec![]),
+        Gate::S => ("s".into(), vec![]),
+        Gate::Sdg => ("sdg".into(), vec![]),
+        Gate::T => ("t".into(), vec![]),
+        Gate::Tdg => ("tdg".into(), vec![]),
+        Gate::SX => ("sx".into(), vec![]),
+        Gate::RX(t) => ("rx".into(), vec![*t]),
+        Gate::RY(t) => ("ry".into(), vec![*t]),
+        Gate::RZ(t) => ("rz".into(), vec![*t]),
+        Gate::P(l) => ("u1".into(), vec![*l]),
+        Gate::U3(t, p, l) => ("u3".into(), vec![*t, *p, *l]),
+        Gate::Unitary1(m) => {
+            let (theta, phi, lambda) = zyz_angles(m);
+            ("u3".into(), vec![theta, phi, lambda])
+        }
+        Gate::CX => ("cx".into(), vec![]),
+        Gate::CZ => ("cz".into(), vec![]),
+        Gate::CPhase(l) => ("cu1".into(), vec![*l]),
+        Gate::Swap => ("swap".into(), vec![]),
+        Gate::ISwap => ("iswap".into(), vec![]),
+        Gate::SqrtISwap => ("siswap".into(), vec![]),
+        Gate::ISwapPow(t) => ("iswap_pow".into(), vec![*t]),
+        Gate::Fsim(t, p) => ("fsim".into(), vec![*t, *p]),
+        Gate::Syc => ("syc".into(), vec![]),
+        Gate::ZXInteraction(t) => ("zx".into(), vec![*t]),
+        Gate::RZZ(t) => ("rzz".into(), vec![*t]),
+        Gate::RXX(t) => ("rxx".into(), vec![*t]),
+        Gate::RYY(t) => ("ryy".into(), vec![*t]),
+        Gate::Canonical(a, b, c) => ("can".into(), vec![*a, *b, *c]),
+        Gate::Unitary2(m) => {
+            let mut params = Vec::with_capacity(32);
+            for r in 0..4 {
+                for c in 0..4 {
+                    params.push(m[(r, c)].re);
+                    params.push(m[(r, c)].im);
+                }
+            }
+            ("unitary2".into(), params)
+        }
+    }
+}
+
+/// ZYZ Euler angles `(θ, φ, λ)` with `u3(θ, φ, λ) ≃ u` up to global phase.
+pub fn zyz_angles(u: &Matrix2) -> (f64, f64, f64) {
+    // Normalize to SU(2): v = u / sqrt(det u). For a unitary, |det| = 1.
+    let det = u.det();
+    let phase = snailqc_math::C64::cis(-det.arg() / 2.0);
+    let v00 = u[(0, 0)] * phase;
+    let v10 = u[(1, 0)] * phase;
+    let v11 = u[(1, 1)] * phase;
+    // v00 = cos(θ/2)·e^{-i(φ+λ)/2},  v10 = sin(θ/2)·e^{i(φ-λ)/2},
+    // v11 = cos(θ/2)·e^{+i(φ+λ)/2}.
+    let theta = 2.0 * v10.abs().atan2(v00.abs());
+    const EPS: f64 = 1e-12;
+    if v00.abs() > EPS && v10.abs() > EPS {
+        let sum = 2.0 * v11.arg(); // φ + λ
+        let diff = 2.0 * v10.arg(); // φ − λ
+        ((theta), (sum + diff) / 2.0, (sum - diff) / 2.0)
+    } else if v10.abs() <= EPS {
+        // θ ≈ 0: a pure phase; fold it all into λ.
+        (theta, 0.0, 2.0 * v11.arg())
+    } else {
+        // θ ≈ π: v00 vanishes; fold the remaining phase into φ.
+        (theta, 2.0 * v10.arg(), 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_circuit;
+    use snailqc_circuit::simulate;
+    use snailqc_math::gates;
+
+    #[test]
+    fn emits_and_reparses_a_bell_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let text = emit(&c);
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[2];"));
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("cx q[0],q[1];"));
+        let back = parse_circuit(&text).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn declares_only_used_dialect_gates() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::SqrtISwap, &[0, 1]);
+        let text = emit(&c);
+        assert!(text.contains("opaque siswap a,b;"));
+        assert!(!text.contains("opaque syc"));
+        assert!(!text.contains("gate rzz"));
+    }
+
+    #[test]
+    fn zx_is_declared_and_round_trips() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::ZXInteraction(0.3), &[0, 1]);
+        let text = emit(&c);
+        assert!(text.contains("opaque zx(theta) a,b;"));
+        assert_eq!(parse_circuit(&text).unwrap(), c);
+    }
+
+    #[test]
+    fn angles_round_trip_bit_exactly() {
+        let theta = 0.1 + 0.2; // deliberately non-representable-looking
+        let mut c = Circuit::new(2);
+        c.rz(theta, 0);
+        c.push(Gate::Fsim(std::f64::consts::PI / 3.0, 1e-17), &[0, 1]);
+        let back = parse_circuit(&emit(&c)).unwrap();
+        assert_eq!(back, c, "f64 parameters must round-trip exactly");
+    }
+
+    #[test]
+    fn unitary2_round_trips_exactly() {
+        let m = gates::fsim(0.7, 0.3) * gates::rzz(0.2);
+        let mut c = Circuit::new(2);
+        c.push(Gate::Unitary2(m), &[0, 1]);
+        let back = parse_circuit(&emit(&c)).unwrap();
+        assert_eq!(back, c, "matrix entries must round-trip exactly");
+    }
+
+    #[test]
+    fn unitary1_becomes_equivalent_u3() {
+        let candidates = [
+            gates::h(),
+            gates::t(),
+            gates::sx(),
+            gates::h() * gates::t() * gates::sx(),
+            gates::rx(0.3) * gates::rz(1.2),
+            gates::x(),
+            gates::z(),
+            Matrix2::identity(),
+        ];
+        for (i, m) in candidates.into_iter().enumerate() {
+            let (theta, phi, lambda) = zyz_angles(&m);
+            let rebuilt = gates::u3(theta, phi, lambda);
+            assert!(
+                rebuilt.approx_eq_up_to_phase(&m, 1e-9),
+                "candidate {i} did not round-trip through ZYZ"
+            );
+        }
+    }
+
+    #[test]
+    fn unitary1_emission_is_simulation_equivalent() {
+        let mut c = Circuit::new(1);
+        c.push(
+            Gate::Unitary1(gates::h() * gates::t() * gates::rx(0.4)),
+            &[0],
+        );
+        let back = parse_circuit(&emit(&c)).unwrap();
+        let fidelity = simulate(&c).fidelity(&simulate(&back));
+        assert!((fidelity - 1.0).abs() < 1e-9, "fidelity = {fidelity}");
+    }
+
+    #[test]
+    fn measure_all_option_appends_measurement() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        let opts = EmitOptions {
+            register: "qr".into(),
+            measure_all: true,
+        };
+        let text = emit_with(&c, &opts);
+        assert!(text.contains("qreg qr[3];"));
+        assert!(text.contains("creg c[3];"));
+        assert!(text.contains("measure qr -> c;"));
+        assert!(crate::parser::parse(&text).unwrap().measurements == 3);
+    }
+}

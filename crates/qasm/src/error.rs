@@ -1,0 +1,35 @@
+//! Parse-time error reporting with source positions.
+
+/// An error raised while lexing or parsing an OpenQASM 2.0 program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QasmError {
+    /// 1-based source line of the offending token.
+    pub line: usize,
+    /// 1-based source column of the offending token.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl QasmError {
+    /// Creates an error at the given position.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "qasm parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for QasmError {}

@@ -1,0 +1,313 @@
+//! A hand-rolled lexer for OpenQASM 2.0.
+//!
+//! Produces a flat token stream with 1-based source positions. Comments
+//! (`// …`) and whitespace are skipped. Numbers are classified as integers
+//! (register sizes, version digits) or reals (gate parameters, which may use
+//! scientific notation so that emitted `f64` values round-trip exactly).
+
+use crate::error::QasmError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`qreg`, `gate`, gate names, `pi`, …).
+    Ident(String),
+    /// Real literal (has a decimal point and/or exponent).
+    Real(f64),
+    /// Non-negative integer literal.
+    Int(u64),
+    /// String literal (only used by `include`).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `==`
+    EqEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Lexes `source` into a token stream.
+pub fn lex(source: &str) -> Result<Vec<Token>, QasmError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let bump = |c: char, line: &mut usize, col: &mut usize| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tl, tc) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump(c, &mut line, &mut col);
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            '"' => {
+                bump(c, &mut line, &mut col);
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some('"') => {
+                            bump('"', &mut line, &mut col);
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            bump(ch, &mut line, &mut col);
+                            i += 1;
+                        }
+                        None => return Err(QasmError::new(tl, tc, "unterminated string")),
+                    }
+                }
+                tokens.push(Token {
+                    tok: Tok::Str(s),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(s),
+                    line: tl,
+                    col: tc,
+                });
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit())) =>
+            {
+                let mut s = String::new();
+                let mut is_real = false;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    s.push(chars[i]);
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+                if i < chars.len() && chars[i] == '.' {
+                    is_real = true;
+                    s.push('.');
+                    bump('.', &mut line, &mut col);
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        s.push(chars[i]);
+                        bump(chars[i], &mut line, &mut col);
+                        i += 1;
+                    }
+                }
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    // Only an exponent when followed by a (signed) digit; an
+                    // identifier like `e0q` should not be swallowed.
+                    let mut j = i + 1;
+                    if matches!(chars.get(j), Some('+') | Some('-')) {
+                        j += 1;
+                    }
+                    if matches!(chars.get(j), Some(d) if d.is_ascii_digit()) {
+                        is_real = true;
+                        while i < j {
+                            s.push(chars[i]);
+                            bump(chars[i], &mut line, &mut col);
+                            i += 1;
+                        }
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            s.push(chars[i]);
+                            bump(chars[i], &mut line, &mut col);
+                            i += 1;
+                        }
+                    }
+                }
+                let tok = if is_real {
+                    Tok::Real(
+                        s.parse::<f64>()
+                            .map_err(|_| QasmError::new(tl, tc, format!("bad real `{s}`")))?,
+                    )
+                } else {
+                    Tok::Int(
+                        s.parse::<u64>()
+                            .map_err(|_| QasmError::new(tl, tc, format!("bad integer `{s}`")))?,
+                    )
+                };
+                tokens.push(Token {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
+            }
+            _ => {
+                let tok = match c {
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '+' => Tok::Plus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    '^' => Tok::Caret,
+                    '-' => {
+                        if chars.get(i + 1) == Some(&'>') {
+                            bump('-', &mut line, &mut col);
+                            i += 1;
+                            Tok::Arrow
+                        } else {
+                            Tok::Minus
+                        }
+                    }
+                    '=' => {
+                        if chars.get(i + 1) == Some(&'=') {
+                            bump('=', &mut line, &mut col);
+                            i += 1;
+                            Tok::EqEq
+                        } else {
+                            return Err(QasmError::new(tl, tc, "single `=` is not valid"));
+                        }
+                    }
+                    other => {
+                        return Err(QasmError::new(
+                            tl,
+                            tc,
+                            format!("unexpected character `{other}`"),
+                        ))
+                    }
+                };
+                bump(chars[i], &mut line, &mut col);
+                i += 1;
+                tokens.push(Token {
+                    tok,
+                    line: tl,
+                    col: tc,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_header() {
+        assert_eq!(
+            toks("OPENQASM 2.0;\ninclude \"qelib1.inc\";"),
+            vec![
+                Tok::Ident("OPENQASM".into()),
+                Tok::Real(2.0),
+                Tok::Semi,
+                Tok::Ident("include".into()),
+                Tok::Str("qelib1.inc".into()),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_and_exponents() {
+        assert_eq!(
+            toks("3 1.5 .25 2e-3 7E+2"),
+            vec![
+                Tok::Int(3),
+                Tok::Real(1.5),
+                Tok::Real(0.25),
+                Tok::Real(2e-3),
+                Tok::Real(7e2),
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_positions() {
+        let tokens = lex("// header\nqreg q[4];").unwrap();
+        assert_eq!(tokens[0].tok, Tok::Ident("qreg".into()));
+        assert_eq!((tokens[0].line, tokens[0].col), (2, 1));
+        assert_eq!(tokens[2].tok, Tok::LBracket);
+    }
+
+    #[test]
+    fn lexes_arrow_and_operators() {
+        assert_eq!(
+            toks("measure q -> c; -pi/2"),
+            vec![
+                Tok::Ident("measure".into()),
+                Tok::Ident("q".into()),
+                Tok::Arrow,
+                Tok::Ident("c".into()),
+                Tok::Semi,
+                Tok::Minus,
+                Tok::Ident("pi".into()),
+                Tok::Slash,
+                Tok::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("qreg q[2]; @").is_err());
+        assert!(lex("\"open").is_err());
+    }
+}

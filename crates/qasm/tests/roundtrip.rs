@@ -1,0 +1,73 @@
+//! Property tests for the QASM lexer/parser/emitter in isolation (the
+//! workload- and transpiler-level round trips live in the workspace-root
+//! integration tests).
+
+use proptest::prelude::*;
+use snailqc_circuit::{Circuit, Gate};
+use snailqc_qasm::{emit, parse, parse_circuit};
+
+fn arb_circuit(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (
+        1..=max_qubits,
+        proptest::collection::vec(
+            (
+                0..10u8,
+                0..1000u32,
+                0..1000u32,
+                -std::f64::consts::TAU..std::f64::consts::TAU,
+            ),
+            1..max_gates,
+        ),
+    )
+        .prop_map(|(n, ops)| {
+            let mut c = Circuit::new(n.max(2));
+            let n = c.num_qubits();
+            for (kind, a, b, angle) in ops {
+                let q0 = a as usize % n;
+                let mut q1 = b as usize % n;
+                if q1 == q0 {
+                    q1 = (q0 + 1) % n;
+                }
+                match kind {
+                    0 => c.h(q0),
+                    1 => c.push(Gate::Tdg, &[q0]),
+                    2 => c.rx(angle, q0),
+                    3 => c.push(Gate::P(angle), &[q0]),
+                    4 => c.push(Gate::U3(angle, -angle, angle / 2.0), &[q0]),
+                    5 => c.cx(q0, q1),
+                    6 => c.swap(q0, q1),
+                    7 => c.push(Gate::SqrtISwap, &[q0, q1]),
+                    8 => c.push(Gate::ISwapPow(angle / 7.0), &[q0, q1]),
+                    _ => c.push(Gate::Canonical(angle, angle / 2.0, angle / 4.0), &[q0, q1]),
+                }
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parse_emit_round_trips_exactly(c in arb_circuit(7, 50)) {
+        let text = emit(&c);
+        let back = parse_circuit(&text).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    #[test]
+    fn emission_is_idempotent(c in arb_circuit(6, 30)) {
+        // emit ∘ parse is the identity on emitted text.
+        let text = emit(&c);
+        let again = emit(&parse_circuit(&text).unwrap());
+        prop_assert_eq!(again, text);
+    }
+
+    #[test]
+    fn emitted_programs_declare_their_registers(c in arb_circuit(6, 20)) {
+        let program = parse(&emit(&c)).unwrap();
+        prop_assert_eq!(program.qregs.len(), 1);
+        prop_assert_eq!(program.qregs[0].1, c.num_qubits());
+        prop_assert_eq!(program.measurements, 0);
+    }
+}

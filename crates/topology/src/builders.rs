@@ -253,7 +253,9 @@ pub fn tree4(levels: usize) -> CouplingGraph {
         for &parent in &frontier {
             let children: Vec<usize> = (0..4).map(|i| next_id + i).collect();
             next_id += 4;
-            let members: Vec<usize> = std::iter::once(parent).chain(children.iter().copied()).collect();
+            let members: Vec<usize> = std::iter::once(parent)
+                .chain(children.iter().copied())
+                .collect();
             for i in 0..members.len() {
                 for j in (i + 1)..members.len() {
                     g.add_edge(members[i], members[j]);
@@ -341,7 +343,11 @@ pub fn corral(posts: usize, stride_a: usize, stride_b: usize) -> CouplingGraph {
     // Qubit 2i+1 = fence B of post i, spanning posts i and i+stride_b.
     let spans = |q: usize| -> (usize, usize) {
         let post = q / 2;
-        let stride = if q % 2 == 0 { stride_a } else { stride_b };
+        let stride = if q.is_multiple_of(2) {
+            stride_a
+        } else {
+            stride_b
+        };
         (post, (post + stride) % posts)
     };
     // For every post, all attached qubits are pairwise coupled.
@@ -402,7 +408,11 @@ mod tests {
         for (r, c) in [(1, 1), (1, 2), (2, 2), (2, 3), (3, 4)] {
             let g = hex_lattice(r, c);
             assert_eq!(g.num_qubits(), 2 * (r + 1) * (c + 1) - 2, "V for {r}x{c}");
-            assert_eq!(g.num_edges(), 3 * r * c + 2 * r + 2 * c - 1, "E for {r}x{c}");
+            assert_eq!(
+                g.num_edges(),
+                3 * r * c + 2 * r + 2 * c - 1,
+                "E for {r}x{c}"
+            );
             assert!(g.is_connected());
         }
     }

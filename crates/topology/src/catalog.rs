@@ -60,11 +60,7 @@ impl TopologyKind {
             TopologyKind::HeavyHex => heavy_hex_20(),
             TopologyKind::HexLattice => hex_lattice_20(),
             TopologyKind::SquareLattice => square_lattice_16(),
-            TopologyKind::LatticeAltDiagonals => {
-                let mut g = builders::lattice_alt_diagonals(4, 4);
-                g.set_name("Lattice+AltDiagonals-16");
-                g
-            }
+            TopologyKind::LatticeAltDiagonals => lattice_alt_diagonals_16(),
             TopologyKind::Hypercube => hypercube_16(),
             TopologyKind::Tree => tree_20(),
             TopologyKind::TreeRoundRobin => tree_rr_20(),
@@ -252,6 +248,60 @@ pub fn hex_lattice_84() -> CouplingGraph {
     g
 }
 
+// ---------------------------------------------------------------------------
+// Name-based registry (CLI / external tooling entry point)
+// ---------------------------------------------------------------------------
+
+/// A nullary constructor for one catalog instance.
+type TopologyBuilder = fn() -> CouplingGraph;
+
+/// Every named catalog instance as `(canonical-name, builder)`.
+const REGISTRY: [(&str, TopologyBuilder); 16] = [
+    ("heavy-hex-20", heavy_hex_20),
+    ("hex-lattice-20", hex_lattice_20),
+    ("square-lattice-16", square_lattice_16),
+    ("lattice-alt-diagonals-16", lattice_alt_diagonals_16),
+    ("hypercube-16", hypercube_16),
+    ("tree-20", tree_20),
+    ("tree-rr-20", tree_rr_20),
+    ("corral11-16", corral11_16),
+    ("corral12-16", corral12_16),
+    ("heavy-hex-84", heavy_hex_84),
+    ("hex-lattice-84", hex_lattice_84),
+    ("square-lattice-84", square_lattice_84),
+    ("lattice-alt-diagonals-84", lattice_alt_diagonals_84),
+    ("hypercube-84", hypercube_84),
+    ("tree-84", tree_84),
+    ("tree-rr-84", tree_rr_84),
+];
+
+use snailqc_util::normalize_name as normalize;
+
+/// The canonical kebab-case names of every catalog instance.
+pub fn names() -> Vec<&'static str> {
+    REGISTRY.iter().map(|(name, _)| *name).collect()
+}
+
+/// Builds a catalog instance by name.
+///
+/// Matching is forgiving: case, punctuation and separators are ignored, so
+/// `corral11-16`, `Corral1,1-16` and `CORRAL_1_1_16` all resolve to the same
+/// instance. Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<CouplingGraph> {
+    let wanted = normalize(name);
+    REGISTRY
+        .iter()
+        .find(|(canonical, _)| normalize(canonical) == wanted)
+        .map(|(_, build)| build())
+}
+
+/// 16-qubit lattice with alternating diagonals (4×4), Table 1.
+pub fn lattice_alt_diagonals_16() -> CouplingGraph {
+    let mut g = builders::lattice_alt_diagonals(4, 4);
+    g.set_name("Lattice+AltDiagonals-16");
+    g
+}
+
 /// Reproduces the rows of the paper's Table 1 (small machines).
 pub fn table1() -> Vec<(String, TopologyMetrics)> {
     [
@@ -346,8 +396,7 @@ mod tests {
     fn table1_orderings_match_paper() {
         // The qualitative Table-1 story: SNAIL topologies have much lower
         // average distance and diameter than the lattice baselines.
-        let t1: std::collections::HashMap<String, TopologyMetrics> =
-            table1().into_iter().collect();
+        let t1: std::collections::HashMap<String, TopologyMetrics> = table1().into_iter().collect();
         let hh = t1["Heavy-Hex-20"];
         let tree = t1["Tree-20"];
         let corral12 = t1["Corral1,2-16"];
@@ -359,8 +408,7 @@ mod tests {
 
     #[test]
     fn table2_orderings_match_paper() {
-        let t2: std::collections::HashMap<String, TopologyMetrics> =
-            table2().into_iter().collect();
+        let t2: std::collections::HashMap<String, TopologyMetrics> = table2().into_iter().collect();
         let hh = t2["Heavy-Hex-84"];
         let sq = t2["Square-Lattice-84"];
         let tree = t2["Tree-84"];
@@ -371,6 +419,27 @@ mod tests {
         assert!(rr.avg_distance < tree.avg_distance);
         assert!(hyper.avg_distance < tree.avg_distance);
         assert!(hyper.diameter < sq.diameter);
+    }
+
+    #[test]
+    fn registry_resolves_every_canonical_name() {
+        for name in names() {
+            let g = by_name(name).unwrap_or_else(|| panic!("`{name}` did not resolve"));
+            assert!(g.is_connected(), "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_matching_is_forgiving() {
+        assert_eq!(by_name("corral11-16").unwrap().name(), "Corral1,1-16");
+        assert_eq!(by_name("Corral1,1-16").unwrap().name(), "Corral1,1-16");
+        assert_eq!(by_name("CORRAL_1_1_16").unwrap().name(), "Corral1,1-16");
+        assert_eq!(by_name("Tree-RR-84").unwrap().name(), "Tree-RR-84");
+        assert_eq!(
+            by_name("Lattice+AltDiagonals-84").unwrap().name(),
+            "Lattice+AltDiagonals-84"
+        );
+        assert!(by_name("no-such-device").is_none());
     }
 
     #[test]

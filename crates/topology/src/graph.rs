@@ -32,11 +32,18 @@ pub struct TopologyMetrics {
 impl CouplingGraph {
     /// Creates an edgeless graph on `num_qubits` qubits.
     pub fn new(name: impl Into<String>, num_qubits: usize) -> Self {
-        Self { name: name.into(), adjacency: vec![BTreeSet::new(); num_qubits] }
+        Self {
+            name: name.into(),
+            adjacency: vec![BTreeSet::new(); num_qubits],
+        }
     }
 
     /// Builds a graph from an explicit edge list.
-    pub fn from_edges(name: impl Into<String>, num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+    pub fn from_edges(
+        name: impl Into<String>,
+        num_qubits: usize,
+        edges: &[(usize, usize)],
+    ) -> Self {
         let mut g = Self::new(name, num_qubits);
         for &(a, b) in edges {
             g.add_edge(a, b);
@@ -61,7 +68,10 @@ impl CouplingGraph {
 
     /// Adds an undirected edge; self-loops and duplicates are ignored.
     pub fn add_edge(&mut self, a: usize, b: usize) {
-        assert!(a < self.num_qubits() && b < self.num_qubits(), "edge ({a},{b}) out of range");
+        assert!(
+            a < self.num_qubits() && b < self.num_qubits(),
+            "edge ({a},{b}) out of range"
+        );
         if a == b {
             return;
         }
@@ -123,7 +133,9 @@ impl CouplingGraph {
 
     /// All-pairs shortest-path distance matrix (BFS from every node).
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
-        (0..self.num_qubits()).map(|s| self.bfs_distances(s)).collect()
+        (0..self.num_qubits())
+            .map(|s| self.bfs_distances(s))
+            .collect()
     }
 
     /// A shortest path from `a` to `b` (inclusive of both endpoints), or
@@ -227,14 +239,19 @@ impl CouplingGraph {
     /// Removes up to `count` degree-≤2 boundary nodes (highest index first)
     /// while keeping the graph connected, then relabels qubits contiguously.
     /// Used to trim lattice fragments to an exact qubit budget.
-    pub fn truncate_boundary(&self, target_qubits: usize, name: impl Into<String>) -> CouplingGraph {
+    pub fn truncate_boundary(
+        &self,
+        target_qubits: usize,
+        name: impl Into<String>,
+    ) -> CouplingGraph {
         assert!(target_qubits <= self.num_qubits());
         let mut removed = vec![false; self.num_qubits()];
         let mut remaining = self.num_qubits();
         while remaining > target_qubits {
             // Pick the highest-index, lowest-degree node whose removal keeps
             // the graph connected.
-            let mut candidates: Vec<usize> = (0..self.num_qubits()).filter(|&q| !removed[q]).collect();
+            let mut candidates: Vec<usize> =
+                (0..self.num_qubits()).filter(|&q| !removed[q]).collect();
             candidates.sort_by_key(|&q| {
                 let live_degree = self.adjacency[q].iter().filter(|&&n| !removed[n]).count();
                 (live_degree, usize::MAX - q)
@@ -248,7 +265,10 @@ impl CouplingGraph {
                 }
                 removed[q] = false;
             }
-            assert!(removed_one, "could not truncate while preserving connectivity");
+            assert!(
+                removed_one,
+                "could not truncate while preserving connectivity"
+            );
             remaining -= 1;
         }
         // Relabel.

@@ -24,14 +24,20 @@ impl Layout {
     pub fn new(logical_to_physical: Vec<usize>, num_physical: usize) -> Self {
         let mut physical_to_logical = vec![None; num_physical];
         for (logical, &physical) in logical_to_physical.iter().enumerate() {
-            assert!(physical < num_physical, "physical qubit {physical} out of range");
+            assert!(
+                physical < num_physical,
+                "physical qubit {physical} out of range"
+            );
             assert!(
                 physical_to_logical[physical].is_none(),
                 "physical qubit {physical} assigned twice"
             );
             physical_to_logical[physical] = Some(logical);
         }
-        Self { logical_to_physical, physical_to_logical }
+        Self {
+            logical_to_physical,
+            physical_to_logical,
+        }
     }
 
     /// The identity layout on `n` qubits of an `num_physical`-qubit device.
@@ -134,8 +140,7 @@ pub fn dense_layout(circuit: &Circuit, graph: &CouplingGraph) -> Layout {
                     }
                     let score = graph.neighbors(cand).filter(|&x| in_set[x]).count();
                     if score > best_score
-                        || (score == best_score
-                            && best_candidate.map_or(true, |b: usize| cand < b))
+                        || (score == best_score && best_candidate.is_none_or(|b: usize| cand < b))
                     {
                         best_score = score;
                         best_candidate = Some(cand);

@@ -38,7 +38,10 @@ impl Default for TranspileOptions {
 impl TranspileOptions {
     /// Pipeline options with a basis-translation stage.
     pub fn with_basis(basis: BasisGate) -> Self {
-        Self { basis: Some(basis), ..Self::default() }
+        Self {
+            basis: Some(basis),
+            ..Self::default()
+        }
     }
 
     /// Overrides the router seed (used to decorrelate sweep points).
@@ -114,7 +117,11 @@ pub fn transpile(
         translated
     });
 
-    TranspileResult { routed, translated, report }
+    TranspileResult {
+        routed,
+        translated,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -132,7 +139,10 @@ mod tests {
         assert_eq!(r.logical_qubits, 8);
         assert_eq!(r.physical_qubits, 9);
         assert_eq!(r.input_two_qubit_gates, c.two_qubit_count());
-        assert_eq!(r.routed_two_qubit_gates, r.input_two_qubit_gates + r.swap_count);
+        assert_eq!(
+            r.routed_two_qubit_gates,
+            r.input_two_qubit_gates + r.swap_count
+        );
         assert!(r.basis_gate_count >= r.routed_two_qubit_gates);
         assert!(r.basis_gate_depth <= r.basis_gate_count);
         assert!(r.swap_depth <= r.swap_count);
@@ -181,7 +191,11 @@ mod tests {
         // needs more applications than SYC.
         let c = qft(10, true);
         let graph = builders::hypercube(4);
-        let siswap = transpile(&c, &graph, &TranspileOptions::with_basis(BasisGate::SqrtISwap));
+        let siswap = transpile(
+            &c,
+            &graph,
+            &TranspileOptions::with_basis(BasisGate::SqrtISwap),
+        );
         let syc = transpile(&c, &graph, &TranspileOptions::with_basis(BasisGate::Syc));
         assert!(siswap.report.basis_gate_count <= syc.report.basis_gate_count);
     }

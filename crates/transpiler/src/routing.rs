@@ -56,14 +56,24 @@ pub struct RouterConfig {
 
 impl Default for RouterConfig {
     fn default() -> Self {
-        Self { trials: 4, lookahead: 20, lookahead_weight: 0.5, seed: 11 }
+        Self {
+            trials: 4,
+            lookahead: 20,
+            lookahead_weight: 0.5,
+            seed: 11,
+        }
     }
 }
 
 impl RouterConfig {
     /// A deterministic single-trial configuration (useful in tests).
     pub fn deterministic(seed: u64) -> Self {
-        Self { trials: 1, lookahead: 20, lookahead_weight: 0.5, seed }
+        Self {
+            trials: 1,
+            lookahead: 20,
+            lookahead_weight: 0.5,
+            seed,
+        }
     }
 }
 
@@ -79,13 +89,19 @@ pub fn route(
     initial_layout: &Layout,
     config: &RouterConfig,
 ) -> RoutedCircuit {
-    assert!(circuit.num_qubits() <= graph.num_qubits(), "device too small");
+    assert!(
+        circuit.num_qubits() <= graph.num_qubits(),
+        "device too small"
+    );
     assert!(graph.is_connected(), "coupling graph must be connected");
     let dist = graph.distance_matrix();
 
     let mut best: Option<RoutedCircuit> = None;
     for trial in 0..config.trials.max(1) {
-        let seed = config.seed.wrapping_add(trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = config
+            .seed
+            .wrapping_add(trial as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let candidate = route_once(circuit, graph, initial_layout, &dist, config, seed);
         let better = match &best {
             None => true,
@@ -187,7 +203,10 @@ fn route_once(
                 )
             })
             .collect();
-        debug_assert!(!blocked.is_empty(), "router stalled with no blocked 2Q gate");
+        debug_assert!(
+            !blocked.is_empty(),
+            "router stalled with no blocked 2Q gate"
+        );
 
         // Lookahead set: the next pending two-qubit gates in program order.
         let lookahead: Vec<(usize, usize)> = instructions
@@ -290,13 +309,25 @@ mod tests {
         seed: u64,
     ) -> RoutedCircuit {
         let layout = strategy.compute(circuit, graph);
-        route(circuit, graph, &layout, &RouterConfig { seed, ..RouterConfig::default() })
+        route(
+            circuit,
+            graph,
+            &layout,
+            &RouterConfig {
+                seed,
+                ..RouterConfig::default()
+            },
+        )
     }
 
     /// Checks that the routed circuit implements the original circuit up to
     /// the tracked qubit permutation (statevector comparison).
     fn assert_semantics_preserved(original: &Circuit, routed: &RoutedCircuit) {
-        assert_eq!(original.num_qubits(), routed.circuit.num_qubits(), "use equal-size device");
+        assert_eq!(
+            original.num_qubits(),
+            routed.circuit.num_qubits(),
+            "use equal-size device"
+        );
         let sv_original = simulate(original);
         let sv_routed = simulate(&routed.circuit);
         // Physical qubit p holds logical qubit final_layout.logical(p); map it
@@ -308,7 +339,10 @@ mod tests {
             .collect();
         let sv_logical = sv_routed.permute_qubits(&perm);
         let fidelity = sv_original.fidelity(&sv_logical);
-        assert!(fidelity > 1.0 - 1e-7, "routing broke semantics: fidelity {fidelity}");
+        assert!(
+            fidelity > 1.0 - 1e-7,
+            "routing broke semantics: fidelity {fidelity}"
+        );
     }
 
     #[test]
@@ -374,7 +408,10 @@ mod tests {
         let c = qft(6, false);
         let routed = route_with(&c, &graph, LayoutStrategy::Dense, 6);
         let original_2q = c.two_qubit_count();
-        assert_eq!(routed.circuit.two_qubit_count() - routed.swap_count, original_2q);
+        assert_eq!(
+            routed.circuit.two_qubit_count() - routed.swap_count,
+            original_2q
+        );
         assert_eq!(routed.circuit.swap_count(), routed.swap_count);
     }
 
@@ -408,8 +445,26 @@ mod tests {
         let graph = builders::square_lattice(4, 4);
         let c = quantum_volume(16, 8, 9);
         let layout = LayoutStrategy::Dense.compute(&c, &graph);
-        let one = route(&c, &graph, &layout, &RouterConfig { trials: 1, seed: 3, ..RouterConfig::default() });
-        let many = route(&c, &graph, &layout, &RouterConfig { trials: 6, seed: 3, ..RouterConfig::default() });
+        let one = route(
+            &c,
+            &graph,
+            &layout,
+            &RouterConfig {
+                trials: 1,
+                seed: 3,
+                ..RouterConfig::default()
+            },
+        );
+        let many = route(
+            &c,
+            &graph,
+            &layout,
+            &RouterConfig {
+                trials: 6,
+                seed: 3,
+                ..RouterConfig::default()
+            },
+        );
         assert!(many.swap_count <= one.swap_count);
     }
 

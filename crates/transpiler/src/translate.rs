@@ -125,9 +125,18 @@ mod tests {
         let c = qft(n, true);
         let cp_gates = n * (n - 1) / 2;
         let swaps = n / 2;
-        assert_eq!(count_basis_gates(&c, BasisGate::Cnot), 2 * cp_gates + 3 * swaps);
-        assert_eq!(count_basis_gates(&c, BasisGate::SqrtISwap), 2 * cp_gates + 3 * swaps);
-        assert_eq!(count_basis_gates(&c, BasisGate::Syc), 3 * cp_gates + 4 * swaps);
+        assert_eq!(
+            count_basis_gates(&c, BasisGate::Cnot),
+            2 * cp_gates + 3 * swaps
+        );
+        assert_eq!(
+            count_basis_gates(&c, BasisGate::SqrtISwap),
+            2 * cp_gates + 3 * swaps
+        );
+        assert_eq!(
+            count_basis_gates(&c, BasisGate::Syc),
+            3 * cp_gates + 4 * swaps
+        );
     }
 
     #[test]

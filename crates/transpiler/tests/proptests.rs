@@ -8,32 +8,34 @@ use snailqc_decompose::BasisGate;
 use snailqc_topology::builders;
 use snailqc_topology::CouplingGraph;
 use snailqc_transpiler::{
-    count_basis_gates, route, transpile, translate_to_basis, LayoutStrategy, RouterConfig,
+    count_basis_gates, route, translate_to_basis, transpile, LayoutStrategy, RouterConfig,
     TranspileOptions,
 };
 
 /// Random logical circuit over `n` qubits with 1Q and 2Q gates.
 fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0..5u8, 0..1000u32, 0..1000u32, 0.0..6.28f64), 1..max_gates).prop_map(
-        move |ops| {
-            let mut c = Circuit::new(n);
-            for (kind, a, b, angle) in ops {
-                let q0 = a as usize % n;
-                let mut q1 = b as usize % n;
-                if q1 == q0 {
-                    q1 = (q0 + 1) % n;
-                }
-                match kind {
-                    0 => c.h(q0),
-                    1 => c.rz(angle, q0),
-                    2 => c.cx(q0, q1),
-                    3 => c.push(Gate::CPhase(angle), &[q0, q1]),
-                    _ => c.rzz(angle, q0, q1),
-                }
-            }
-            c
-        },
+    proptest::collection::vec(
+        (0..5u8, 0..1000u32, 0..1000u32, 0.0..std::f64::consts::TAU),
+        1..max_gates,
     )
+    .prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (kind, a, b, angle) in ops {
+            let q0 = a as usize % n;
+            let mut q1 = b as usize % n;
+            if q1 == q0 {
+                q1 = (q0 + 1) % n;
+            }
+            match kind {
+                0 => c.h(q0),
+                1 => c.rz(angle, q0),
+                2 => c.cx(q0, q1),
+                3 => c.push(Gate::CPhase(angle), &[q0, q1]),
+                _ => c.rzz(angle, q0, q1),
+            }
+        }
+        c
+    })
 }
 
 /// A small pool of devices with at least 8 qubits each.

@@ -1,0 +1,29 @@
+//! # snailqc-util
+//!
+//! Tiny helpers shared across the workspace.
+
+#![warn(missing_docs)]
+
+/// Normalizes a user-facing name for forgiving matching: lowercases and
+/// strips every non-alphanumeric character, so `corral11-16`, `Corral1,1-16`
+/// and `CORRAL_1_1_16` all compare equal. Used by the topology catalog, the
+/// workload registry and the CLI's `--basis` matcher.
+pub fn normalize_name(name: &str) -> String {
+    name.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::normalize_name;
+
+    #[test]
+    fn strips_case_and_punctuation() {
+        assert_eq!(normalize_name("Corral1,1-16"), "corral1116");
+        assert_eq!(normalize_name("CORRAL_1_1_16"), "corral1116");
+        assert_eq!(normalize_name("sqrt-iswap"), "sqrtiswap");
+        assert_eq!(normalize_name(""), "");
+    }
+}

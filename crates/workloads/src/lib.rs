@@ -68,6 +68,39 @@ impl Workload {
         ]
     }
 
+    /// The workload identified by a CLI-style name (forgiving about case and
+    /// separators): `qv`/`quantum-volume`, `qft`, `qaoa`/`qaoa-vanilla`,
+    /// `tim`/`tim-hamiltonian`, `adder`, `ghz`.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Some(match snailqc_util::normalize_name(name).as_str() {
+            "qv" | "quantumvolume" => Workload::QuantumVolume,
+            "qft" => Workload::Qft,
+            "qaoa" | "qaoavanilla" => Workload::QaoaVanilla,
+            "tim" | "timhamiltonian" => Workload::TimHamiltonian,
+            "adder" | "cdkmadder" => Workload::Adder,
+            "ghz" => Workload::Ghz,
+            _ => return None,
+        })
+    }
+
+    /// Canonical CLI names of every workload, in figure order.
+    pub fn names() -> [&'static str; 6] {
+        [
+            "quantum-volume",
+            "qft",
+            "qaoa-vanilla",
+            "tim-hamiltonian",
+            "adder",
+            "ghz",
+        ]
+    }
+
+    /// Generates the workload circuit and serializes it as OpenQASM 2.0, so
+    /// every built-in generator can export its circuits to other toolchains.
+    pub fn emit_qasm(&self, num_qubits: usize, seed: u64) -> String {
+        snailqc_qasm::emit(&self.generate(num_qubits, seed))
+    }
+
     /// Generates the workload circuit on (at most) `num_qubits` qubits.
     ///
     /// The adder uses the largest `2a + 2 ≤ num_qubits` register it can fit;
@@ -109,7 +142,12 @@ mod tests {
             let a = w.generate(8, 42);
             let b = w.generate(8, 42);
             assert_eq!(a.len(), b.len(), "{}", w.label());
-            assert_eq!(a.interaction_pairs(), b.interaction_pairs(), "{}", w.label());
+            assert_eq!(
+                a.interaction_pairs(),
+                b.interaction_pairs(),
+                "{}",
+                w.label()
+            );
         }
     }
 
@@ -117,5 +155,38 @@ mod tests {
     fn labels_match_paper_headers() {
         assert_eq!(Workload::QaoaVanilla.label(), "QAOA Vanilla");
         assert_eq!(Workload::TimHamiltonian.label(), "TIM Hamiltonian");
+    }
+
+    #[test]
+    fn names_resolve_back_to_workloads() {
+        for (name, expected) in Workload::names().iter().zip(Workload::all()) {
+            assert_eq!(Workload::by_name(name), Some(expected), "{name}");
+        }
+        assert_eq!(Workload::by_name("QV"), Some(Workload::QuantumVolume));
+        assert_eq!(Workload::by_name("qaoa"), Some(Workload::QaoaVanilla));
+        assert_eq!(Workload::by_name("unknown"), None);
+    }
+
+    #[test]
+    fn every_workload_exports_parseable_qasm() {
+        for w in Workload::all() {
+            let text = w.emit_qasm(8, 7);
+            let parsed = snailqc_qasm::parse(&text)
+                .unwrap_or_else(|e| panic!("{}: emitted QASM failed to parse: {e}", w.label()));
+            let direct = w.generate(8, 7);
+            assert_eq!(
+                parsed.circuit.num_qubits(),
+                direct.num_qubits(),
+                "{}",
+                w.label()
+            );
+            assert_eq!(parsed.circuit.len(), direct.len(), "{}", w.label());
+            assert_eq!(
+                parsed.circuit.interaction_pairs(),
+                direct.interaction_pairs(),
+                "{}",
+                w.label()
+            );
+        }
     }
 }

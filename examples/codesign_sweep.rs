@@ -30,9 +30,10 @@ fn main() {
             .iter()
             .map(|m| {
                 let (mut total, mut depth, mut count) = (0usize, 0usize, 0usize);
-                for p in points.iter().filter(|p| {
-                    p.workload == workload && p.topology == m.label()
-                }) {
+                for p in points
+                    .iter()
+                    .filter(|p| p.workload == workload && p.topology == m.label())
+                {
                     total += p.report.basis_gate_count;
                     depth += p.report.basis_gate_depth;
                     count += 1;

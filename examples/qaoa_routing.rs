@@ -26,7 +26,10 @@ fn main() {
         catalog::corral12_16(),
     ];
 
-    println!("{:<24}{:>12}{:>20}{:>14}", "topology", "SWAPs", "critical-path SWAPs", "2Q depth");
+    println!(
+        "{:<24}{:>12}{:>20}{:>14}",
+        "topology", "SWAPs", "critical-path SWAPs", "2Q depth"
+    );
     let mut results: Vec<(String, usize, usize, usize)> = Vec::new();
     for graph in &graphs {
         let result = transpile(&circuit, graph, &TranspileOptions::default());

@@ -22,16 +22,39 @@ fn main() {
     let heavy_hex = snailqc::topology::catalog::heavy_hex_20();
 
     // 3. Run the paper's Fig.-10 pipeline on both.
-    let snail = transpile(&circuit, &corral, &TranspileOptions::with_basis(BasisGate::SqrtISwap));
-    let ibm = transpile(&circuit, &heavy_hex, &TranspileOptions::with_basis(BasisGate::Cnot));
+    let snail = transpile(
+        &circuit,
+        &corral,
+        &TranspileOptions::with_basis(BasisGate::SqrtISwap),
+    );
+    let ibm = transpile(
+        &circuit,
+        &heavy_hex,
+        &TranspileOptions::with_basis(BasisGate::Cnot),
+    );
 
-    println!("\n{:<28}{:>16}{:>16}", "metric", "Corral1,2+siswap", "HeavyHex+CX");
+    println!(
+        "\n{:<28}{:>16}{:>16}",
+        "metric", "Corral1,2+siswap", "HeavyHex+CX"
+    );
     let row = |name: &str, a: usize, b: usize| {
         println!("{name:<28}{a:>16}{b:>16}");
     };
-    row("SWAPs inserted", snail.report.swap_count, ibm.report.swap_count);
-    row("critical-path SWAPs", snail.report.swap_depth, ibm.report.swap_depth);
-    row("total 2Q basis gates", snail.report.basis_gate_count, ibm.report.basis_gate_count);
+    row(
+        "SWAPs inserted",
+        snail.report.swap_count,
+        ibm.report.swap_count,
+    );
+    row(
+        "critical-path SWAPs",
+        snail.report.swap_depth,
+        ibm.report.swap_depth,
+    );
+    row(
+        "total 2Q basis gates",
+        snail.report.basis_gate_count,
+        ibm.report.basis_gate_count,
+    );
     row(
         "critical-path 2Q gates",
         snail.report.basis_gate_depth,

@@ -1,0 +1,448 @@
+//! The `snailqc` command-line driver.
+//!
+//! Exposes the topology catalog, the workload generators and the full Fig. 10
+//! transpilation pipeline (placement → routing → basis translation) over
+//! OpenQASM 2.0 files, with optional machine-readable JSON output:
+//!
+//! ```text
+//! snailqc transpile circuit.qasm --topology corral11-16 --basis sqrt-iswap --json
+//! snailqc emit qaoa-vanilla --qubits 12 --seed 7 -o qaoa12.qasm
+//! snailqc parse circuit.qasm
+//! snailqc topologies --json
+//! snailqc workloads
+//! ```
+
+use snailqc::decompose::BasisGate;
+use snailqc::prelude::*;
+use snailqc::topology::catalog;
+use snailqc::transpiler::TranspileReport;
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str = "snailqc — SNAIL co-design transpilation toolkit (HPCA 2023 reproduction)
+
+USAGE:
+    snailqc <COMMAND> [OPTIONS]
+
+COMMANDS:
+    transpile <file.qasm>   Run the Fig. 10 pipeline on an OpenQASM 2.0 file
+        --topology <name>   Target device from the catalog (required)
+        --basis <gate>      cnot | syc | sqrt-iswap | none   [default: none]
+        --layout <strategy> dense | trivial                  [default: dense]
+        --trials <N>        Stochastic routing trials        [default: 4]
+        --seed <N>          Router RNG seed                  [default: 11]
+        -o, --out <file>    Write the transpiled circuit as QASM
+        --json              Print the TranspileReport as JSON
+
+    emit <workload>         Export a built-in workload as OpenQASM 2.0
+        --qubits <N>        Problem size in qubits (required)
+        --seed <N>          Generator seed                   [default: 7]
+        --measure-all       Append a full-register measurement
+        -o, --out <file>    Write to a file instead of stdout
+
+    parse <file.qasm>       Parse a file and print circuit statistics
+        --json              Print the statistics as JSON
+
+    topologies              List the topology catalog with Table 1/2 metrics
+        --json              Print the catalog as JSON
+
+    workloads               List the built-in workload generators
+
+    help                    Show this message
+
+Use `-` as <file.qasm> to read from stdin.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "transpile" => cmd_transpile(rest),
+        "emit" => cmd_emit(rest),
+        "parse" => cmd_parse(rest),
+        "topologies" => cmd_topologies(rest),
+        "workloads" => cmd_workloads(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `snailqc help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Argument plumbing
+// ---------------------------------------------------------------------------
+
+/// Splits `args` into flags (with values) and positional arguments.
+struct Options {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Options {
+    /// `value_flags` name the options that consume a following value;
+    /// `bool_flags` the valueless switches. Anything else errors out instead
+    /// of being silently ignored.
+    fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if a.starts_with('-') && a != "-" {
+                let name = a.trim_start_matches('-').to_string();
+                let canonical = if name == "o" { "out".to_string() } else { name };
+                if value_flags.contains(&canonical.as_str()) {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{canonical} needs a value"))?
+                        .clone();
+                    flags.push((canonical, Some(value)));
+                    i += 2;
+                } else if bool_flags.contains(&canonical.as_str()) {
+                    flags.push((canonical, None));
+                    i += 1;
+                } else {
+                    return Err(format!("unknown option `{a}` (try `snailqc help`)"));
+                }
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Self { positional, flags })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn numeric<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: invalid value `{v}`")),
+        }
+    }
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buffer)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading `{path}`: {e}"))
+    }
+}
+
+fn parse_basis(name: &str) -> Result<Option<BasisGate>, String> {
+    Ok(Some(match snailqc_util::normalize_name(name).as_str() {
+        "none" => return Ok(None),
+        "cnot" | "cx" => BasisGate::Cnot,
+        "syc" | "sycamore" => BasisGate::Syc,
+        "sqrtiswap" | "siswap" => BasisGate::SqrtISwap,
+        _ => {
+            return Err(format!(
+                "unknown basis `{name}` (cnot | syc | sqrt-iswap | none)"
+            ))
+        }
+    }))
+}
+
+fn emit_output(text: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("writing `{path}`: {e}"))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// transpile
+// ---------------------------------------------------------------------------
+
+#[derive(serde::Serialize)]
+struct TranspileOutput {
+    file: String,
+    topology: String,
+    layout: String,
+    basis: Option<&'static str>,
+    trials: usize,
+    seed: u64,
+    report: TranspileReport,
+}
+
+fn cmd_transpile(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(
+        args,
+        &["topology", "basis", "layout", "trials", "seed", "out"],
+        &["json"],
+    )?;
+    let [file] = opts.positional.as_slice() else {
+        return Err("transpile needs exactly one <file.qasm> argument".into());
+    };
+    let topology_name = opts
+        .value("topology")
+        .ok_or("transpile needs --topology <name> (see `snailqc topologies`)")?;
+    let graph = catalog::by_name(topology_name).ok_or_else(|| {
+        format!(
+            "unknown topology `{topology_name}`; available: {}",
+            catalog::names().join(", ")
+        )
+    })?;
+    let basis = parse_basis(opts.value("basis").unwrap_or("none"))?;
+    let layout = match opts.value("layout").unwrap_or("dense") {
+        "dense" => LayoutStrategy::Dense,
+        "trivial" => LayoutStrategy::Trivial,
+        other => return Err(format!("unknown layout `{other}` (dense | trivial)")),
+    };
+    let trials: usize = opts.numeric("trials", 4)?;
+    let seed: u64 = opts.numeric("seed", 11)?;
+
+    let source = read_source(file)?;
+    let program = snailqc::qasm::parse(&source).map_err(|e| e.to_string())?;
+    if program.circuit.num_qubits() > graph.num_qubits() {
+        return Err(format!(
+            "circuit has {} qubits but `{}` only has {}",
+            program.circuit.num_qubits(),
+            graph.name(),
+            graph.num_qubits()
+        ));
+    }
+
+    let options = TranspileOptions {
+        layout,
+        router: RouterConfig {
+            trials,
+            seed,
+            ..RouterConfig::default()
+        },
+        basis,
+    };
+    let result = transpile(&program.circuit, &graph, &options);
+
+    if let Some(out) = opts.value("out") {
+        let circuit = result.translated.as_ref().unwrap_or(&result.routed.circuit);
+        emit_output(&snailqc::qasm::emit(circuit), Some(out))?;
+    }
+
+    if opts.has("json") {
+        let output = TranspileOutput {
+            file: file.clone(),
+            topology: graph.name().to_string(),
+            layout: format!("{layout:?}"),
+            basis: basis.map(|b| b.label()),
+            trials,
+            seed,
+            report: result.report,
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).map_err(|e| e.to_string())?
+        );
+    } else {
+        let r = &result.report;
+        println!("== transpile {file} onto {} ==", graph.name());
+        println!("  logical qubits        {}", r.logical_qubits);
+        println!("  physical qubits       {}", r.physical_qubits);
+        println!("  input 2Q gates        {}", r.input_two_qubit_gates);
+        println!("  SWAPs inserted        {}", r.swap_count);
+        println!("  critical-path SWAPs   {}", r.swap_depth);
+        println!("  routed 2Q gates       {}", r.routed_two_qubit_gates);
+        println!("  routed 2Q depth       {}", r.routed_two_qubit_depth);
+        match basis {
+            Some(b) => {
+                println!("  basis                 {}", b.label());
+                println!("  basis gate count      {}", r.basis_gate_count);
+                println!("  basis gate depth      {}", r.basis_gate_depth);
+            }
+            None => println!("  basis                 (routing only)"),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// emit
+// ---------------------------------------------------------------------------
+
+fn cmd_emit(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["qubits", "seed", "out"], &["measure-all"])?;
+    let [workload_name] = opts.positional.as_slice() else {
+        return Err("emit needs exactly one <workload> argument (see `snailqc workloads`)".into());
+    };
+    let workload = Workload::by_name(workload_name).ok_or_else(|| {
+        format!(
+            "unknown workload `{workload_name}`; available: {}",
+            Workload::names().join(", ")
+        )
+    })?;
+    let qubits: usize = opts
+        .value("qubits")
+        .ok_or("emit needs --qubits <N>")?
+        .parse()
+        .map_err(|_| "--qubits: invalid value".to_string())?;
+    if qubits == 0 {
+        return Err("--qubits must be at least 1".into());
+    }
+    let seed: u64 = opts.numeric("seed", 7)?;
+    let circuit = workload.generate(qubits, seed);
+    let emit_opts = snailqc::qasm::EmitOptions {
+        measure_all: opts.has("measure-all"),
+        ..Default::default()
+    };
+    emit_output(
+        &snailqc::qasm::emit_with(&circuit, &emit_opts),
+        opts.value("out"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// parse
+// ---------------------------------------------------------------------------
+
+#[derive(serde::Serialize)]
+struct ParseOutput {
+    file: String,
+    qubits: usize,
+    gates: usize,
+    two_qubit_gates: usize,
+    depth: usize,
+    two_qubit_depth: usize,
+    swap_count: usize,
+    measurements: usize,
+    barriers: usize,
+    gate_counts: std::collections::BTreeMap<&'static str, usize>,
+}
+
+fn cmd_parse(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[], &["json"])?;
+    let [file] = opts.positional.as_slice() else {
+        return Err("parse needs exactly one <file.qasm> argument".into());
+    };
+    let source = read_source(file)?;
+    let program = snailqc::qasm::parse(&source).map_err(|e| e.to_string())?;
+    let c = &program.circuit;
+    let output = ParseOutput {
+        file: file.clone(),
+        qubits: c.num_qubits(),
+        gates: c.len(),
+        two_qubit_gates: c.two_qubit_count(),
+        depth: c.depth(),
+        two_qubit_depth: c.two_qubit_depth(),
+        swap_count: c.swap_count(),
+        measurements: program.measurements,
+        barriers: program.barriers,
+        gate_counts: c.gate_counts(),
+    };
+    if opts.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("== {file} ==");
+        println!("  qubits          {}", output.qubits);
+        println!("  gates           {}", output.gates);
+        println!("  2Q gates        {}", output.two_qubit_gates);
+        println!("  depth           {}", output.depth);
+        println!("  2Q depth        {}", output.two_qubit_depth);
+        println!("  SWAPs           {}", output.swap_count);
+        println!("  measurements    {}", output.measurements);
+        println!("  barriers        {}", output.barriers);
+        let histogram: Vec<String> = output
+            .gate_counts
+            .iter()
+            .map(|(name, count)| format!("{name}:{count}"))
+            .collect();
+        println!("  histogram       {}", histogram.join(" "));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// topologies / workloads
+// ---------------------------------------------------------------------------
+
+#[derive(serde::Serialize)]
+struct TopologyRow {
+    name: &'static str,
+    display: String,
+    qubits: usize,
+    diameter: usize,
+    avg_distance: f64,
+    avg_connectivity: f64,
+}
+
+fn cmd_topologies(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[], &["json"])?;
+    let rows: Vec<TopologyRow> = catalog::names()
+        .into_iter()
+        .map(|name| {
+            let graph = catalog::by_name(name).expect("registry names resolve");
+            let metrics = graph.metrics();
+            TopologyRow {
+                name,
+                display: graph.name().to_string(),
+                qubits: metrics.qubits,
+                diameter: metrics.diameter,
+                avg_distance: metrics.avg_distance,
+                avg_connectivity: metrics.avg_connectivity,
+            }
+        })
+        .collect();
+    if opts.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{:<26} {:>6} {:>9} {:>8} {:>8}",
+            "name", "qubits", "diameter", "avgD", "avgC"
+        );
+        for row in rows {
+            println!(
+                "{:<26} {:>6} {:>9} {:>8.2} {:>8.2}",
+                row.name, row.qubits, row.diameter, row.avg_distance, row.avg_connectivity
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_workloads(_args: &[String]) -> Result<(), String> {
+    println!("{:<16} description", "name");
+    for (name, workload) in Workload::names().iter().zip(Workload::all()) {
+        println!("{:<16} {}", name, workload.label());
+    }
+    Ok(())
+}

@@ -18,6 +18,7 @@
 //! | [`workloads`] | `snailqc-workloads` | QV, QFT, QAOA, TIM, CDKM adder, GHZ generators |
 //! | [`transpiler`] | `snailqc-transpiler` | dense layout, stochastic SWAP routing, basis translation |
 //! | [`decompose`] | `snailqc-decompose` | basis-gate counting, NuOp templates, decoherence model |
+//! | [`qasm`] | `snailqc-qasm` | OpenQASM 2.0 parser / emitter for external circuit interchange |
 //! | [`core`] | `snailqc-core` | machines, sweeps and headline ratios (the co-design harness) |
 //!
 //! ## Quick start
@@ -44,6 +45,7 @@ pub use snailqc_circuit as circuit;
 pub use snailqc_core as core;
 pub use snailqc_decompose as decompose;
 pub use snailqc_math as math;
+pub use snailqc_qasm as qasm;
 pub use snailqc_topology as topology;
 pub use snailqc_transpiler as transpiler;
 pub use snailqc_workloads as workloads;
@@ -55,6 +57,7 @@ pub mod prelude {
     pub use snailqc_core::sweep::{run_codesign_sweep, run_swap_sweep, SweepConfig};
     pub use snailqc_decompose::{BasisGate, NuOpDecomposer, StudyConfig};
     pub use snailqc_math::{weyl_coordinates, Matrix2, Matrix4, WeylCoordinates};
+    pub use snailqc_qasm::{emit as emit_qasm, parse as parse_qasm, QasmProgram};
     pub use snailqc_topology::{CouplingGraph, TopologyKind};
     pub use snailqc_transpiler::{transpile, LayoutStrategy, RouterConfig, TranspileOptions};
     pub use snailqc_workloads::Workload;

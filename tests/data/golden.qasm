@@ -1,0 +1,30 @@
+// Golden test program: a hand-written OpenQASM 2.0 file exercising
+// user-defined gates, gate-definition expansion, register broadcasting,
+// parameter expressions, barriers and measurement.
+OPENQASM 2.0;
+include "qelib1.inc";
+
+gate majority a,b,c {
+  cx c,b;
+  cx c,a;
+  ccx a,b,c;
+}
+
+gate phase_kick(theta) a,b {
+  h b;
+  cu1(theta/2) a,b;
+  h b;
+}
+
+qreg q[4];
+creg c[4];
+
+x q[0];
+x q[2];
+h q;
+barrier q;
+phase_kick(pi/4) q[0],q[1];
+majority q[1],q[2],q[3];
+rz(-pi/2) q[3];
+cx q[2],q[3];
+measure q -> c;

@@ -47,10 +47,26 @@ fn headline_ratios_point_the_right_way() {
         routing_trials: 2,
         seed: 21,
     });
-    assert!(ratios.total_swap_ratio > 1.5, "total swaps {}", ratios.total_swap_ratio);
-    assert!(ratios.critical_swap_ratio > 1.5, "critical swaps {}", ratios.critical_swap_ratio);
-    assert!(ratios.total_2q_ratio > 1.5, "total 2Q {}", ratios.total_2q_ratio);
-    assert!(ratios.critical_2q_ratio > 1.5, "critical 2Q {}", ratios.critical_2q_ratio);
+    assert!(
+        ratios.total_swap_ratio > 1.5,
+        "total swaps {}",
+        ratios.total_swap_ratio
+    );
+    assert!(
+        ratios.critical_swap_ratio > 1.5,
+        "critical swaps {}",
+        ratios.critical_swap_ratio
+    );
+    assert!(
+        ratios.total_2q_ratio > 1.5,
+        "total 2Q {}",
+        ratios.total_2q_ratio
+    );
+    assert!(
+        ratios.critical_2q_ratio > 1.5,
+        "critical 2Q {}",
+        ratios.critical_2q_ratio
+    );
 }
 
 #[test]
@@ -76,7 +92,9 @@ fn nsqrt_iswap_study_reproduces_the_fidelity_headline_direction() {
         seed: 13,
         optimizer_iterations: 160,
     });
-    let reduction = result.infidelity_reduction_vs_sqrt_iswap(4, 0.99).expect("cells present");
+    let reduction = result
+        .infidelity_reduction_vs_sqrt_iswap(4, 0.99)
+        .expect("cells present");
     assert!(
         reduction > 0.05,
         "4th-root basis should reduce infidelity vs sqrt-iSWAP, got {:.1}%",

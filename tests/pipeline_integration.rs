@@ -68,9 +68,17 @@ fn richer_snail_topologies_dominate_heavy_hex_on_qft() {
         &TranspileOptions::with_basis(BasisGate::Cnot),
     )
     .report;
-    for graph in [catalog::tree_20(), catalog::corral12_16(), catalog::hypercube_16()] {
-        let snail =
-            transpile(&circuit, &graph, &TranspileOptions::with_basis(BasisGate::SqrtISwap)).report;
+    for graph in [
+        catalog::tree_20(),
+        catalog::corral12_16(),
+        catalog::hypercube_16(),
+    ] {
+        let snail = transpile(
+            &circuit,
+            &graph,
+            &TranspileOptions::with_basis(BasisGate::SqrtISwap),
+        )
+        .report;
         assert!(
             snail.swap_count < heavy.swap_count,
             "{}: {} vs heavy-hex {}",
@@ -102,8 +110,12 @@ fn corral_needs_almost_no_swaps_for_small_circuits() {
     for size in [6, 8] {
         let circuit = Workload::QuantumVolume.generate(size, 9);
         let on_corral = transpile(&circuit, &corral, &TranspileOptions::default()).report;
-        let on_heavy =
-            transpile(&circuit, &catalog::heavy_hex_20(), &TranspileOptions::default()).report;
+        let on_heavy = transpile(
+            &circuit,
+            &catalog::heavy_hex_20(),
+            &TranspileOptions::default(),
+        )
+        .report;
         assert!(
             2 * on_corral.swap_count <= on_heavy.swap_count.max(1),
             "size {size}: corral {} vs heavy-hex {}",
