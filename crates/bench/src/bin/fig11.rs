@@ -24,6 +24,7 @@ fn main() {
         workloads: Workload::all().to_vec(),
         sizes,
         routing_trials: 4,
+        error_weight: 0.0,
         seed: 2022,
     };
     let points = run_swap_sweep(&graphs, &config);

@@ -23,6 +23,7 @@ fn main() {
         workloads: Workload::all().to_vec(),
         sizes,
         routing_trials: if is_full_run() { 4 } else { 2 },
+        error_weight: 0.0,
         seed: 2022,
     };
     eprintln!(

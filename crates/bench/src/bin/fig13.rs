@@ -17,6 +17,7 @@ fn main() {
         workloads: Workload::all().to_vec(),
         sizes,
         routing_trials: 4,
+        error_weight: 0.0,
         seed: 2022,
     };
     let points = run_codesign_sweep(&machines, &config);

@@ -14,6 +14,7 @@
 //! | `fig14`     | Fig. 14 — 2Q gate counts, 84-qubit co-designed machines     |
 //! | `fig15`     | Fig. 15 — `ⁿ√iSWAP` decomposition / total fidelity study    |
 //! | `headline`  | Abstract / §6 headline ratios and the §6.1 Tree progression |
+//! | `fig_noise` | Noise-aware routing vs per-edge error heterogeneity (new)   |
 //!
 //! All binaries print human-readable tables and write machine-readable JSON
 //! under `target/paper-results/`. By default they run a reduced sweep sized

@@ -1,9 +1,9 @@
-//! Offline stand-in for `serde_json`: JSON text rendering for the vendored
-//! `serde` crate's [`Value`] tree.
+//! Offline stand-in for `serde_json`: JSON text rendering and parsing for
+//! the vendored `serde` crate's [`Value`] tree.
 
 pub use serde::Value;
 
-/// Serialization error (kept for API compatibility; rendering never fails).
+/// Serialization / parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -13,6 +13,209 @@ impl std::fmt::Display for Error {
     }
 }
 impl std::error::Error for Error {}
+
+/// Maximum container nesting depth accepted by [`from_str`]; keeps malicious
+/// or accidental deeply-nested input from overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+/// Parses JSON text into a [`Value`] tree (recursive descent; rejects
+/// trailing garbage and nesting deeper than [`MAX_DEPTH`]).
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error(format!("nesting deeper than {MAX_DEPTH} levels")));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos, depth + 1)? {
+                    Value::String(s) => s,
+                    _ => {
+                        return Err(Error(format!(
+                            "object key at byte {} must be a string",
+                            *pos
+                        )))
+                    }
+                };
+                expect(bytes, pos, b':')?;
+                entries.push((key, parse_value(bytes, pos, depth + 1)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Value::String),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let scalar = if (0xD800..0xDC00).contains(&code) {
+                            // UTF-16 high surrogate: a `\uXXXX` low surrogate
+                            // must follow; combine them into one scalar.
+                            if bytes.get(*pos + 1..*pos + 3) != Some(br"\u") {
+                                return Err(Error("unpaired \\u surrogate".into()));
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(Error("invalid low \\u surrogate".into()));
+                            }
+                            *pos += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            code
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| Error("invalid \\u codepoint".into()))?,
+                        );
+                    }
+                    _ => return Err(Error(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass through).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, Error> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| Error("truncated \\u escape".into()))?;
+    u32::from_str_radix(
+        std::str::from_utf8(hex).map_err(|_| Error("invalid \\u escape".into()))?,
+        16,
+    )
+    .map_err(|_| Error("invalid \\u escape".into()))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+}
 
 /// Lowers any serializable value into a [`Value`] tree.
 pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
@@ -148,5 +351,75 @@ mod tests {
     #[test]
     fn escapes_strings() {
         assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("1.5e-3").unwrap(), Value::Float(1.5e-3));
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("\"hi\\n\"").unwrap(), Value::String("hi\n".into()));
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let v = from_str(r#"{"a": [1, 2.5, {"b": "c"}], "d": {}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2]
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("c")
+        );
+        assert_eq!(v.get("d").unwrap(), &Value::Object(vec![]));
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let original = from_str(r#"{"edges": [[0, 1, 0.01]], "seed": 7, "x": -1.25}"#).unwrap();
+        let text = to_string(&original).unwrap();
+        assert_eq!(from_str(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "12 34", "\"open", "{1: 2}"] {
+            assert!(from_str(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn parses_utf16_surrogate_pairs() {
+        // The standard JSON encoding of non-BMP characters (e.g. emoji),
+        // both as a raw UTF-8 scalar and as a \uXXXX surrogate pair.
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::String("😀".into()));
+        assert_eq!(
+            from_str(r#""\uD83D\uDE00""#).unwrap(),
+            Value::String("😀".into())
+        );
+        assert!(from_str(r#""\uD83D""#).is_err(), "unpaired high surrogate");
+        assert!(from_str(r#""\uD83DA""#).is_err(), "bad low surrogate");
+        assert!(from_str(r#""\uDE00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn rejects_pathological_nesting_gracefully() {
+        let deep = "[".repeat(100_000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // A reasonable depth still parses.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn numeric_accessors_widen() {
+        assert_eq!(from_str("3").unwrap().as_f64(), Some(3.0));
+        assert_eq!(from_str("3").unwrap().as_u64(), Some(3));
+        assert_eq!(from_str("-3").unwrap().as_u64(), None);
+        assert_eq!(from_str("2.5").unwrap().as_f64(), Some(2.5));
     }
 }

@@ -61,8 +61,9 @@ impl ErrorModel {
 /// The fidelity estimate for one transpiled circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FidelityEstimate {
-    /// Basis gate the report was translated into.
-    pub basis: BasisGate,
+    /// Basis gate the report was translated into (`None` for routing-only
+    /// estimates at SWAP granularity).
+    pub basis: Option<BasisGate>,
     /// Number of basis-gate pulses applied.
     pub gate_count: usize,
     /// Critical-path pulse duration in iSWAP units
@@ -74,6 +75,9 @@ pub struct FidelityEstimate {
     pub decoherence_fidelity: f64,
     /// Product of the two channels.
     pub total_fidelity: f64,
+    /// True when the control channel used the device's per-edge error rates
+    /// (the routed circuit's actual links) instead of the uniform model rate.
+    pub edge_aware: bool,
 }
 
 /// Estimates the end-to-end fidelity of a transpiled circuit.
@@ -90,12 +94,68 @@ pub fn estimate_fidelity(report: &TranspileReport, model: &ErrorModel) -> Fideli
     let control_fidelity = (1.0 - model.per_gate_infidelity).powi(gate_count as i32);
     let decoherence_fidelity = (1.0 - model.per_pulse_time_infidelity).powf(pulse_duration);
     FidelityEstimate {
-        basis,
+        basis: Some(basis),
         gate_count,
         pulse_duration,
         control_fidelity,
         decoherence_fidelity,
         total_fidelity: control_fidelity * decoherence_fidelity,
+        edge_aware: false,
+    }
+}
+
+/// Estimates fidelity at routing granularity (each routed two-qubit gate is
+/// one unit-length pulse), so circuits transpiled without basis translation
+/// still get an estimate.
+pub fn estimate_fidelity_routed(report: &TranspileReport, model: &ErrorModel) -> FidelityEstimate {
+    let gate_count = report.routed_two_qubit_gates;
+    let pulse_duration = report.routed_two_qubit_depth as f64;
+    let control_fidelity = (1.0 - model.per_gate_infidelity).powi(gate_count as i32);
+    let decoherence_fidelity = (1.0 - model.per_pulse_time_infidelity).powf(pulse_duration);
+    FidelityEstimate {
+        basis: None,
+        gate_count,
+        pulse_duration,
+        control_fidelity,
+        decoherence_fidelity,
+        total_fidelity: control_fidelity * decoherence_fidelity,
+        edge_aware: false,
+    }
+}
+
+/// Estimates fidelity from the routed circuit's *actual per-edge
+/// infidelities*: the control channel is `exp(Σ ln(1 − err_e))` over the
+/// exact edges the routed (or basis-translated, when available) circuit
+/// touches, as recorded by the transpiler in the report's edge log-fidelity
+/// sums. The decoherence channel still comes from `model`, since circuit
+/// duration is edge-independent.
+///
+/// On a uniform device whose edge rate equals `model.per_gate_infidelity`,
+/// this agrees with [`estimate_fidelity`] to floating-point accuracy; on a
+/// calibrated device it rewards routes that avoid noisy links.
+pub fn estimate_fidelity_edges(report: &TranspileReport, model: &ErrorModel) -> FidelityEstimate {
+    let (gate_count, pulse_duration, log_fidelity) = match report.basis {
+        Some(basis) => (
+            report.basis_gate_count,
+            report.basis_gate_depth as f64 * basis.pulse_fraction(),
+            report.basis_edge_log_fidelity,
+        ),
+        None => (
+            report.routed_two_qubit_gates,
+            report.routed_two_qubit_depth as f64,
+            report.routed_edge_log_fidelity,
+        ),
+    };
+    let control_fidelity = log_fidelity.exp();
+    let decoherence_fidelity = (1.0 - model.per_pulse_time_infidelity).powf(pulse_duration);
+    FidelityEstimate {
+        basis: report.basis,
+        gate_count,
+        pulse_duration,
+        control_fidelity,
+        decoherence_fidelity,
+        total_fidelity: control_fidelity * decoherence_fidelity,
+        edge_aware: true,
     }
 }
 
@@ -181,5 +241,58 @@ mod tests {
         let circuit = Workload::Ghz.generate(6, 1);
         let report = transpile(&circuit, &catalog::tree_20(), &TranspileOptions::default()).report;
         estimate_fidelity(&report, &ErrorModel::default());
+    }
+
+    #[test]
+    fn routed_estimate_works_without_basis() {
+        let circuit = Workload::Qft.generate(8, 2);
+        let report = transpile(&circuit, &catalog::tree_20(), &TranspileOptions::default()).report;
+        let est = estimate_fidelity_routed(&report, &ErrorModel::default());
+        assert!(est.basis.is_none());
+        assert_eq!(est.gate_count, report.routed_two_qubit_gates);
+        assert!((0.0..1.0).contains(&est.total_fidelity));
+    }
+
+    #[test]
+    fn edge_aware_estimate_matches_uniform_on_an_uncalibrated_device() {
+        // Every catalog graph defaults to DEFAULT_EDGE_ERROR = 1e-3, the same
+        // rate as ErrorModel::default().per_gate_infidelity, so both control
+        // channels must agree to floating-point accuracy.
+        let report = report_for(BasisGate::SqrtISwap, &catalog::corral12_16());
+        let model = ErrorModel::default();
+        let uniform = estimate_fidelity(&report, &model);
+        let edges = estimate_fidelity_edges(&report, &model);
+        assert!(edges.edge_aware);
+        assert!(
+            (uniform.control_fidelity - edges.control_fidelity).abs() < 1e-9,
+            "{} vs {}",
+            uniform.control_fidelity,
+            edges.control_fidelity
+        );
+        assert_eq!(uniform.gate_count, edges.gate_count);
+    }
+
+    #[test]
+    fn edge_aware_estimate_punishes_a_degraded_edge() {
+        use snailqc_transpiler::RouterConfig;
+        let circuit = Workload::Qft.generate(12, 3);
+        let graph = catalog::corral11_16();
+        let mut degraded = graph.clone();
+        degraded.scale_edge_error(0, 2, 50.0);
+        let options = TranspileOptions {
+            // Noise-blind routing so both devices get the identical circuit.
+            router: RouterConfig::default(),
+            ..TranspileOptions::with_basis(BasisGate::SqrtISwap)
+        };
+        let clean = transpile(&circuit, &graph, &options).report;
+        let noisy = transpile(&circuit, &degraded, &options).report;
+        assert_eq!(clean.swap_count, noisy.swap_count);
+        let model = ErrorModel::default();
+        let f_clean = estimate_fidelity_edges(&clean, &model);
+        let f_noisy = estimate_fidelity_edges(&noisy, &model);
+        assert!(
+            f_noisy.control_fidelity < f_clean.control_fidelity,
+            "degraded edge must lower the edge-aware control fidelity"
+        );
     }
 }

@@ -12,6 +12,9 @@
 //! * [`headline`] — the summary ratios quoted in the abstract and §6
 //!   (hypercube+√iSWAP vs heavy-hex+CNOT, the Tree progression, the QAOA
 //!   critical-path comparison).
+//! * [`noise`] — named error-model specifications (presets and JSON) that
+//!   stamp per-edge error rates onto a device for noise-aware routing and
+//!   edge-aware fidelity estimation ([`fidelity::estimate_fidelity_edges`]).
 //!
 //! ```
 //! use snailqc_core::machine::{Machine, SizeClass};
@@ -26,6 +29,7 @@
 //!     workloads: vec![Workload::Ghz],
 //!     sizes: vec![6],
 //!     routing_trials: 1,
+//!     error_weight: 0.0,
 //!     seed: 1,
 //! };
 //! let points = run_codesign_sweep(&machines, &config);
@@ -37,9 +41,14 @@
 pub mod fidelity;
 pub mod headline;
 pub mod machine;
+pub mod noise;
 pub mod sweep;
 
-pub use fidelity::{estimate_fidelity, ErrorModel, FidelityEstimate};
+pub use fidelity::{
+    estimate_fidelity, estimate_fidelity_edges, estimate_fidelity_routed, ErrorModel,
+    FidelityEstimate,
+};
 pub use headline::{headline_ratios, quantum_volume_headline, HeadlineConfig, HeadlineRatios};
 pub use machine::{Machine, SizeClass};
+pub use noise::{EdgeNoise, ErrorModelSpec};
 pub use sweep::{run_codesign_sweep, run_swap_sweep, SweepConfig, SweepPoint};

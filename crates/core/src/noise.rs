@@ -1,0 +1,347 @@
+//! Named error-model specifications: the bridge between the CLI's
+//! `--error-model <preset|file.json>` option and the per-edge error rates the
+//! noise-aware router consumes.
+//!
+//! A specification bundles the channel-level [`ErrorModel`] (uniform per-gate
+//! and per-pulse-time infidelities) with a description of how error rates are
+//! distributed over the device's edges: uniform, sampled "calibrated device"
+//! heterogeneity, or explicit per-edge overrides. [`ErrorModelSpec::apply`]
+//! stamps the distribution onto a [`CouplingGraph`], after which routing with
+//! a positive `error_weight` and [`estimate_fidelity_edges`] both see the
+//! calibrated rates.
+//!
+//! [`estimate_fidelity_edges`]: crate::fidelity::estimate_fidelity_edges
+
+use crate::fidelity::ErrorModel;
+use serde::Serialize;
+use snailqc_topology::{builders, CouplingGraph};
+
+/// How error rates are distributed over the device's edges.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum EdgeNoise {
+    /// Every edge carries the model's uniform per-gate infidelity.
+    Uniform,
+    /// Seeded log-uniform heterogeneity around the per-gate infidelity (see
+    /// [`builders::calibrate_edge_errors`]): `(spread, seed)`.
+    Calibrated(f64, u64),
+    /// Explicit `(qubit, qubit, rate)` overrides on top of the uniform rate.
+    Overrides(Vec<(usize, usize, f64)>),
+}
+
+/// A complete, nameable error-model specification.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ErrorModelSpec {
+    /// Channel-level infidelity scales.
+    pub model: ErrorModel,
+    /// Distribution of error rates over the device's edges.
+    pub edges: EdgeNoise,
+}
+
+/// The canonical preset names accepted by [`ErrorModelSpec::parse`].
+pub const PRESETS: [&str; 4] = ["default", "control", "decoherence", "calibrated"];
+
+impl ErrorModelSpec {
+    /// A uniform spec around `model`.
+    pub fn uniform(model: ErrorModel) -> Self {
+        Self {
+            model,
+            edges: EdgeNoise::Uniform,
+        }
+    }
+
+    /// Resolves a named preset (matching is case/punctuation-forgiving).
+    ///
+    /// * `default` — the paper's running example (both channels, uniform).
+    /// * `control` — control-error limited (gate counts matter), uniform.
+    /// * `decoherence` — decoherence limited (duration matters), uniform.
+    /// * `calibrated` — default channels with seeded ~10× per-edge spread.
+    pub fn preset(name: &str) -> Option<Self> {
+        match snailqc_util::normalize_name(name).as_str() {
+            "default" | "uniform" => Some(Self::uniform(ErrorModel::default())),
+            "control" => Some(Self::uniform(ErrorModel::control_limited(1e-3))),
+            "decoherence" => Some(Self::uniform(ErrorModel::decoherence_limited(1e-2))),
+            "calibrated" => Some(Self {
+                model: ErrorModel::default(),
+                edges: EdgeNoise::Calibrated(1.2, 2023),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON specification. All fields are optional and default to
+    /// the `default` preset's values:
+    ///
+    /// ```json
+    /// {
+    ///   "per_gate_infidelity": 1e-3,
+    ///   "per_pulse_time_infidelity": 1e-2,
+    ///   "calibrated": {"spread": 1.2, "seed": 7},
+    ///   "edges": [[0, 1, 0.01], [4, 7, 0.002]]
+    /// }
+    /// ```
+    ///
+    /// `calibrated` and `edges` are mutually exclusive.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        const KNOWN: [&str; 4] = [
+            "per_gate_infidelity",
+            "per_pulse_time_infidelity",
+            "calibrated",
+            "edges",
+        ];
+        let value = serde_json::from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let serde::Value::Object(entries) = &value else {
+            return Err("error-model JSON must be an object".into());
+        };
+        if entries.is_empty() {
+            return Err(format!(
+                "error-model JSON sets none of {}",
+                KNOWN.join(", ")
+            ));
+        }
+        // Reject misspelled and duplicate keys outright: silently ignoring
+        // either would run the study on the wrong device (the Vec-backed
+        // Value::get returns the first duplicate and drops the rest).
+        let mut seen: Vec<&str> = Vec::new();
+        for (key, _) in entries {
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown error-model key `{key}` (known: {})",
+                    KNOWN.join(", ")
+                ));
+            }
+            if seen.contains(&key.as_str()) {
+                return Err(format!("duplicate error-model key `{key}`"));
+            }
+            seen.push(key);
+        }
+        let defaults = ErrorModel::default();
+        let field = |key: &str, default: f64| -> Result<f64, String> {
+            match value.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_f64()
+                    .ok_or_else(|| format!("`{key}` must be a number")),
+            }
+        };
+        let model = ErrorModel {
+            per_gate_infidelity: field("per_gate_infidelity", defaults.per_gate_infidelity)?,
+            per_pulse_time_infidelity: field(
+                "per_pulse_time_infidelity",
+                defaults.per_pulse_time_infidelity,
+            )?,
+        };
+        for rate in [model.per_gate_infidelity, model.per_pulse_time_infidelity] {
+            if !(0.0..1.0).contains(&rate) {
+                return Err(format!("infidelity {rate} outside [0, 1)"));
+            }
+        }
+        let edges = match (value.get("calibrated"), value.get("edges")) {
+            (Some(_), Some(_)) => {
+                return Err("`calibrated` and `edges` are mutually exclusive".into())
+            }
+            (Some(cal), None) => {
+                if let serde::Value::Object(cal_entries) = cal {
+                    for (key, _) in cal_entries {
+                        if key != "spread" && key != "seed" {
+                            return Err(format!(
+                                "unknown `calibrated` key `{key}` (known: spread, seed)"
+                            ));
+                        }
+                    }
+                }
+                let spread = cal
+                    .get("spread")
+                    .and_then(|v| v.as_f64())
+                    .ok_or("`calibrated.spread` must be a number")?;
+                let seed = match cal.get("seed") {
+                    None => 2023,
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or("`calibrated.seed` must be a non-negative integer")?,
+                };
+                if spread < 0.0 {
+                    return Err("`calibrated.spread` must be non-negative".into());
+                }
+                EdgeNoise::Calibrated(spread, seed)
+            }
+            (None, Some(list)) => {
+                let items = list.as_array().ok_or("`edges` must be an array")?;
+                let mut overrides = Vec::with_capacity(items.len());
+                for item in items {
+                    let triple = item
+                        .as_array()
+                        .filter(|t| t.len() == 3)
+                        .ok_or("each `edges` entry must be a [qubit, qubit, rate] triple")?;
+                    let a = triple[0].as_u64().ok_or("edge qubit must be an integer")?;
+                    let b = triple[1].as_u64().ok_or("edge qubit must be an integer")?;
+                    let rate = triple[2].as_f64().ok_or("edge rate must be a number")?;
+                    if !(0.0..1.0).contains(&rate) {
+                        return Err(format!("edge rate {rate} outside [0, 1)"));
+                    }
+                    overrides.push((a as usize, b as usize, rate));
+                }
+                EdgeNoise::Overrides(overrides)
+            }
+            (None, None) => EdgeNoise::Uniform,
+        };
+        Ok(Self { model, edges })
+    }
+
+    /// Parses a CLI argument: a preset name, or a path to a JSON file (any
+    /// argument naming an existing file, or ending in `.json`).
+    pub fn parse(arg: &str) -> Result<Self, String> {
+        let looks_like_file = arg.ends_with(".json") || std::path::Path::new(arg).is_file();
+        if looks_like_file {
+            let text = std::fs::read_to_string(arg)
+                .map_err(|e| format!("reading error model `{arg}`: {e}"))?;
+            return Self::from_json(&text).map_err(|e| format!("error model `{arg}`: {e}"));
+        }
+        Self::preset(arg).ok_or_else(|| {
+            format!(
+                "unknown error model `{arg}` (presets: {}; or a .json file)",
+                PRESETS.join(", ")
+            )
+        })
+    }
+
+    /// Stamps this spec's edge-noise distribution onto `graph`: the uniform
+    /// rate becomes the model's per-gate infidelity, then heterogeneity is
+    /// sampled or overrides applied.
+    ///
+    /// Returns an error if an override names a pair that is not a device
+    /// edge.
+    pub fn apply(&self, graph: &mut CouplingGraph) -> Result<(), String> {
+        let base = self.model.per_gate_infidelity;
+        match &self.edges {
+            EdgeNoise::Uniform => graph.set_uniform_edge_error(base),
+            EdgeNoise::Calibrated(spread, seed) => {
+                // A zero-infidelity control channel still supports calibrated
+                // *relative* heterogeneity; anchor it at the default rate.
+                let anchor = if base > 0.0 {
+                    base
+                } else {
+                    snailqc_topology::DEFAULT_EDGE_ERROR
+                };
+                builders::calibrate_edge_errors(graph, anchor, *spread, *seed);
+            }
+            EdgeNoise::Overrides(overrides) => {
+                graph.set_uniform_edge_error(base);
+                for &(a, b, rate) in overrides {
+                    if !graph.has_edge(a, b) {
+                        return Err(format!(
+                            "error-model override ({a},{b}) is not an edge of `{}`",
+                            graph.name()
+                        ));
+                    }
+                    graph.set_edge_error(a, b, rate);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snailqc_topology::catalog;
+
+    #[test]
+    fn presets_resolve_forgivingly() {
+        assert!(ErrorModelSpec::preset("default").is_some());
+        assert!(ErrorModelSpec::preset("Decoherence").is_some());
+        assert!(ErrorModelSpec::preset("CONTROL").is_some());
+        assert!(ErrorModelSpec::preset("calibrated").is_some());
+        assert!(ErrorModelSpec::preset("nope").is_none());
+        let d = ErrorModelSpec::preset("decoherence").unwrap();
+        assert_eq!(d.model.per_gate_infidelity, 0.0);
+        assert_eq!(d.edges, EdgeNoise::Uniform);
+    }
+
+    #[test]
+    fn json_round_trip_with_overrides() {
+        let spec = ErrorModelSpec::from_json(
+            r#"{"per_gate_infidelity": 0.002, "edges": [[0, 1, 0.02], [2, 3, 0.004]]}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.model.per_gate_infidelity, 0.002);
+        assert_eq!(
+            spec.edges,
+            EdgeNoise::Overrides(vec![(0, 1, 0.02), (2, 3, 0.004)])
+        );
+    }
+
+    #[test]
+    fn json_calibrated_defaults_seed() {
+        let spec = ErrorModelSpec::from_json(r#"{"calibrated": {"spread": 0.8}}"#).unwrap();
+        assert_eq!(spec.edges, EdgeNoise::Calibrated(0.8, 2023));
+        // Seeds above i64::MAX are valid u64 values.
+        let big = ErrorModelSpec::from_json(
+            r#"{"calibrated": {"spread": 0.8, "seed": 10000000000000000000}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            big.edges,
+            EdgeNoise::Calibrated(0.8, 10_000_000_000_000_000_000)
+        );
+    }
+
+    #[test]
+    fn json_rejects_bad_specs() {
+        for bad in [
+            "not json",
+            "{}",
+            "[1, 2]",
+            r#"{"per_gate_infidelity": 2.0}"#,
+            r#"{"edges": [[0, 1]]}"#,
+            r#"{"edges": [[0, 1, 0.5]], "calibrated": {"spread": 1.0}}"#,
+            r#"{"calibrated": {"spread": -1.0}}"#,
+            // Misspelled or unknown keys must error, not silently no-op.
+            r#"{"per_gate_infidelity": 1e-3, "egdes": [[0, 2, 0.01]]}"#,
+            r#"{"calibrated": {"spread": 1.0, "sede": 7}}"#,
+            // A seed of the wrong type must not fall back to the default.
+            r#"{"calibrated": {"spread": 1.0, "seed": 7.5}}"#,
+            r#"{"calibrated": {"spread": 1.0, "seed": -3}}"#,
+            // Duplicate keys would silently drop one of the values.
+            r#"{"per_gate_infidelity": 1e-3, "per_gate_infidelity": 0.1}"#,
+        ] {
+            assert!(ErrorModelSpec::from_json(bad).is_err(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn apply_stamps_rates_onto_the_graph() {
+        let mut g = catalog::corral11_16();
+        ErrorModelSpec::from_json(r#"{"per_gate_infidelity": 0.005, "edges": [[0, 2, 0.05]]}"#)
+            .unwrap()
+            .apply(&mut g)
+            .unwrap();
+        assert_eq!(g.default_edge_error(), 0.005);
+        assert_eq!(g.edge_error(0, 2), 0.05);
+        assert!(!g.edge_errors_uniform());
+
+        let mut g2 = catalog::corral11_16();
+        let err = ErrorModelSpec::from_json(r#"{"edges": [[0, 1, 0.05]]}"#)
+            .unwrap()
+            .apply(&mut g2);
+        // (0, 1) spans different posts and is not a corral edge.
+        assert!(err.is_err() != g2.has_edge(0, 1));
+    }
+
+    #[test]
+    fn apply_calibrated_produces_heterogeneous_rates() {
+        let mut g = catalog::tree_20();
+        ErrorModelSpec::preset("calibrated")
+            .unwrap()
+            .apply(&mut g)
+            .unwrap();
+        assert!(!g.edge_errors_uniform());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_names_with_the_preset_list() {
+        let err = ErrorModelSpec::parse("bogus").unwrap_err();
+        assert!(err.contains("default"), "{err}");
+        assert!(err.contains("calibrated"), "{err}");
+    }
+}

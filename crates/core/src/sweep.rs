@@ -41,6 +41,9 @@ pub struct SweepConfig {
     pub sizes: Vec<usize>,
     /// Routing trials per point (StochasticSwap analogue).
     pub routing_trials: usize,
+    /// Fidelity weight of the router's SWAP scoring (`0` = noise-blind; only
+    /// matters on graphs with heterogeneous per-edge error rates).
+    pub error_weight: f64,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -51,6 +54,7 @@ impl Default for SweepConfig {
             workloads: Workload::all().to_vec(),
             sizes: vec![8, 12, 16],
             routing_trials: 4,
+            error_weight: 0.0,
             seed: 2022,
         }
     }
@@ -73,6 +77,7 @@ impl SweepConfig {
             workloads: vec![Workload::Ghz, Workload::Qft],
             sizes: vec![4, 6],
             routing_trials: 1,
+            error_weight: 0.0,
             seed: 3,
         }
     }
@@ -121,6 +126,7 @@ fn run_cells(cells: &[SweepCell<'_>], config: &SweepConfig) -> Vec<SweepPoint> {
                 router: RouterConfig {
                     trials: config.routing_trials,
                     seed: config.seed ^ (cell.size as u64) << 16,
+                    error_weight: config.error_weight,
                     ..RouterConfig::default()
                 },
                 basis: cell.basis,
@@ -252,6 +258,7 @@ mod tests {
             workloads: vec![Workload::Ghz],
             sizes: vec![30],
             routing_trials: 1,
+            error_weight: 0.0,
             seed: 1,
         };
         let points = run_swap_sweep(&graphs, &config);
@@ -279,6 +286,7 @@ mod tests {
         let config = SweepConfig {
             workloads: vec![Workload::Qft, Workload::QaoaVanilla],
             sizes: vec![6, 10],
+            error_weight: 0.0,
             routing_trials: 2,
             seed: 99,
         };

@@ -125,7 +125,7 @@ pub fn hex_lattice(rows: usize, cols: usize) -> CouplingGraph {
 pub fn heavy_hex(rows: usize, cols: usize) -> CouplingGraph {
     let hex = hex_lattice(rows, cols);
     let base = hex.num_qubits();
-    let edges = hex.edges();
+    let edges: Vec<(usize, usize)> = hex.edges().collect();
     let mut g = CouplingGraph::new(format!("heavy-hex-{rows}x{cols}"), base + edges.len());
     for (i, &(a, b)) in edges.iter().enumerate() {
         let mid = base + i;
@@ -367,6 +367,51 @@ pub fn corral(posts: usize, stride_a: usize, stride_b: usize) -> CouplingGraph {
     g
 }
 
+// ---------------------------------------------------------------------------
+// Calibrated-device noise sampling
+// ---------------------------------------------------------------------------
+
+/// Assigns every edge of `graph` a sampled "calibrated device" error rate.
+///
+/// Real devices report heterogeneous per-link calibration data whose error
+/// rates span roughly an order of magnitude; this sampler reproduces that
+/// regime by drawing each edge's rate log-uniformly from
+/// `[base_error / e^spread, base_error · e^spread]` with a deterministic,
+/// seeded stream (edges are visited in lexicographic order, so the same seed
+/// always yields the same calibration). `spread = 0` leaves the device
+/// uniform at `base_error`; `spread ≈ 1.2` covers a 10× range.
+///
+/// Rates are clamped to `[1e-6, 0.5)` so downstream log-fidelity sums stay
+/// finite.
+pub fn calibrate_edge_errors(graph: &mut CouplingGraph, base_error: f64, spread: f64, seed: u64) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(
+        base_error > 0.0 && base_error < 1.0,
+        "base_error out of range"
+    );
+    assert!(spread >= 0.0, "spread must be non-negative");
+    graph.set_uniform_edge_error(base_error.min(0.5 - f64::EPSILON));
+    if spread == 0.0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let edges: Vec<(usize, usize)> = graph.edges().collect();
+    for (a, b) in edges {
+        let exponent = rng.gen_range(-spread..spread);
+        let rate = (base_error * exponent.exp()).clamp(1e-6, 0.5 - f64::EPSILON);
+        graph.set_edge_error(a, b, rate);
+    }
+}
+
+/// A copy of `graph` with sampled calibration noise (see
+/// [`calibrate_edge_errors`]).
+pub fn calibrated(graph: &CouplingGraph, base_error: f64, spread: f64, seed: u64) -> CouplingGraph {
+    let mut g = graph.clone();
+    calibrate_edge_errors(&mut g, base_error, spread, seed);
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +618,34 @@ mod tests {
         for q in 0..g.num_qubits() {
             assert_eq!(g.degree(q), 6, "qubit {q}");
         }
+    }
+
+    #[test]
+    fn calibration_is_seed_deterministic_and_bounded() {
+        let base = corral(8, 1, 1);
+        let a = calibrated(&base, 1e-3, 1.2, 42);
+        let b = calibrated(&base, 1e-3, 1.2, 42);
+        let c = calibrated(&base, 1e-3, 1.2, 43);
+        let mut differs = false;
+        for ((edge, ea), (_, eb)) in a.edge_errors().zip(b.edge_errors()) {
+            assert_eq!(ea, eb, "same seed must give same rates on {edge:?}");
+            assert!((1e-6..0.5).contains(&ea));
+        }
+        for ((_, ea), (_, ec)) in a.edge_errors().zip(c.edge_errors()) {
+            differs |= ea != ec;
+        }
+        assert!(
+            differs,
+            "different seeds should give different calibrations"
+        );
+        assert!(!a.edge_errors_uniform());
+    }
+
+    #[test]
+    fn zero_spread_calibration_stays_uniform() {
+        let g = calibrated(&line(6), 2e-3, 0.0, 1);
+        assert!(g.edge_errors_uniform());
+        assert_eq!(g.default_edge_error(), 2e-3);
     }
 
     #[test]

@@ -1,18 +1,30 @@
 //! Undirected coupling graphs and their structural metrics.
 //!
 //! A coupling graph records which physical qubit pairs can host a native
-//! two-qubit gate. The paper characterizes every topology by the metrics of
-//! Tables 1 and 2 — qubit count, diameter, average pairwise distance and
-//! average connectivity (degree) — all of which are provided here, along with
-//! the shortest-path machinery the router needs.
+//! two-qubit gate, and carries a per-edge gate error rate (uniform by
+//! default; settable per edge for calibrated-device studies). The paper
+//! characterizes every topology by the metrics of Tables 1 and 2 — qubit
+//! count, diameter, average pairwise distance and average connectivity
+//! (degree) — all of which are provided here, along with the shortest-path
+//! machinery (hop-count BFS and error-weighted Dijkstra) the router needs.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The uniform per-edge two-qubit error rate every graph starts with. It
+/// matches the paper's running example of a 99.9%-fidelity basis pulse (the
+/// `ErrorModel` default in `snailqc-core`), so edge-aware and uniform
+/// fidelity estimates agree on an uncalibrated device.
+pub const DEFAULT_EDGE_ERROR: f64 = 1e-3;
 
 /// An undirected graph over qubits `0..num_qubits`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CouplingGraph {
     name: String,
     adjacency: Vec<BTreeSet<usize>>,
+    /// Error rate applied to every edge without an explicit override.
+    default_edge_error: f64,
+    /// Per-edge overrides, keyed by `(min, max)` qubit pairs.
+    edge_error_overrides: BTreeMap<(usize, usize), f64>,
 }
 
 /// The structural summary reported in the paper's Tables 1 and 2.
@@ -35,6 +47,8 @@ impl CouplingGraph {
         Self {
             name: name.into(),
             adjacency: vec![BTreeSet::new(); num_qubits],
+            default_edge_error: DEFAULT_EDGE_ERROR,
+            edge_error_overrides: BTreeMap::new(),
         }
     }
 
@@ -94,22 +108,89 @@ impl CouplingGraph {
         self.adjacency[q].len()
     }
 
-    /// All edges as `(min, max)` pairs in lexicographic order.
-    pub fn edges(&self) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        for (a, nbrs) in self.adjacency.iter().enumerate() {
-            for &b in nbrs {
-                if a < b {
-                    out.push((a, b));
-                }
-            }
-        }
-        out
+    /// All edges as `(min, max)` pairs in lexicographic order. Iterates over
+    /// the stored adjacency sets without allocating, so it is safe to call
+    /// inside hot loops (layout seeding, router cost models).
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(a, nbrs)| nbrs.range(a + 1..).map(move |&b| (a, b)))
     }
 
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
         self.adjacency.iter().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    // -----------------------------------------------------------------------
+    // Per-edge error rates
+    // -----------------------------------------------------------------------
+
+    /// The error rate of edge `(a, b)` (order-insensitive): the per-edge
+    /// override when one was set, the uniform default otherwise.
+    ///
+    /// # Panics
+    /// Panics if `(a, b)` is not an edge.
+    pub fn edge_error(&self, a: usize, b: usize) -> f64 {
+        assert!(self.has_edge(a, b), "({a},{b}) is not an edge");
+        self.edge_error_overrides
+            .get(&(a.min(b), a.max(b)))
+            .copied()
+            .unwrap_or(self.default_edge_error)
+    }
+
+    /// Sets the error rate of edge `(a, b)`.
+    ///
+    /// # Panics
+    /// Panics if `(a, b)` is not an edge or `rate` is outside `[0, 1)`.
+    pub fn set_edge_error(&mut self, a: usize, b: usize, rate: f64) {
+        assert!(self.has_edge(a, b), "({a},{b}) is not an edge");
+        assert!((0.0..1.0).contains(&rate), "edge error {rate} not in [0,1)");
+        self.edge_error_overrides.insert((a.min(b), a.max(b)), rate);
+    }
+
+    /// Multiplies the error rate of edge `(a, b)` by `factor` (clamped below
+    /// 1), modelling a degraded link on an otherwise calibrated device.
+    pub fn scale_edge_error(&mut self, a: usize, b: usize, factor: f64) {
+        let scaled = (self.edge_error(a, b) * factor).clamp(0.0, 0.999_999);
+        self.set_edge_error(a, b, scaled);
+    }
+
+    /// Resets every edge to the uniform error `rate`, discarding overrides.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn set_uniform_edge_error(&mut self, rate: f64) {
+        assert!((0.0..1.0).contains(&rate), "edge error {rate} not in [0,1)");
+        self.default_edge_error = rate;
+        self.edge_error_overrides.clear();
+    }
+
+    /// The uniform error rate edges fall back to without an override.
+    pub fn default_edge_error(&self) -> f64 {
+        self.default_edge_error
+    }
+
+    /// True when every edge carries the same error rate — whether from the
+    /// default or from overrides that happen to agree — i.e. noise-aware
+    /// routing degenerates to the noise-blind heuristic.
+    pub fn edge_errors_uniform(&self) -> bool {
+        // Overrides only make the device heterogeneous if one differs from
+        // another, or from the default while some edge still uses the default.
+        let mut overrides = self.edge_error_overrides.values();
+        let Some(&first) = overrides.next() else {
+            return true;
+        };
+        if !overrides.all(|&r| r == first) {
+            return false;
+        }
+        first == self.default_edge_error || self.edge_error_overrides.len() == self.num_edges()
+    }
+
+    /// Every edge with its error rate, in lexicographic edge order.
+    pub fn edge_errors(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.edges().map(|(a, b)| ((a, b), self.edge_error(a, b)))
     }
 
     /// Breadth-first distances from `source`; unreachable nodes get
@@ -135,6 +216,49 @@ impl CouplingGraph {
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
         (0..self.num_qubits())
             .map(|s| self.bfs_distances(s))
+            .collect()
+    }
+
+    /// Single-source shortest-path distances under a per-edge cost function
+    /// (Dijkstra; costs must be non-negative). Unreachable nodes get
+    /// `f64::INFINITY`. The O(n²) selection loop is deterministic and fast
+    /// enough for the ≤ 84-qubit devices of the study.
+    pub fn weighted_distances(
+        &self,
+        source: usize,
+        cost: impl Fn(usize, usize) -> f64,
+    ) -> Vec<f64> {
+        let n = self.num_qubits();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut done = vec![false; n];
+        dist[source] = 0.0;
+        for _ in 0..n {
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for q in 0..n {
+                if !done[q] && dist[q] < best {
+                    best = dist[q];
+                    u = q;
+                }
+            }
+            if u == usize::MAX {
+                break; // remaining nodes unreachable
+            }
+            done[u] = true;
+            for v in self.neighbors(u) {
+                let next = dist[u] + cost(u, v);
+                if next < dist[v] {
+                    dist[v] = next;
+                }
+            }
+        }
+        dist
+    }
+
+    /// All-pairs shortest-path matrix under a per-edge cost function.
+    pub fn weighted_distance_matrix(&self, cost: impl Fn(usize, usize) -> f64) -> Vec<Vec<f64>> {
+        (0..self.num_qubits())
+            .map(|s| self.weighted_distances(s, &cost))
             .collect()
     }
 
@@ -224,13 +348,20 @@ impl CouplingGraph {
     }
 
     /// Returns the subgraph induced on the first `n` qubits, relabelled
-    /// `0..n`. Panics if `n` exceeds the current size.
+    /// `0..n`. Edge error rates carry over. Panics if `n` exceeds the current
+    /// size.
     pub fn induced_prefix(&self, n: usize, name: impl Into<String>) -> CouplingGraph {
         assert!(n <= self.num_qubits());
         let mut g = CouplingGraph::new(name, n);
+        g.default_edge_error = self.default_edge_error;
         for (a, b) in self.edges() {
             if a < n && b < n {
                 g.add_edge(a, b);
+            }
+        }
+        for (&(a, b), &rate) in &self.edge_error_overrides {
+            if a < n && b < n {
+                g.set_edge_error(a, b, rate);
             }
         }
         g
@@ -281,9 +412,15 @@ impl CouplingGraph {
             }
         }
         let mut g = CouplingGraph::new(name, target_qubits);
+        g.default_edge_error = self.default_edge_error;
         for (a, b) in self.edges() {
             if !removed[a] && !removed[b] {
                 g.add_edge(mapping[a], mapping[b]);
+            }
+        }
+        for (&(a, b), &rate) in &self.edge_error_overrides {
+            if !removed[a] && !removed[b] {
+                g.set_edge_error(mapping[a], mapping[b], rate);
             }
         }
         g
@@ -418,6 +555,121 @@ mod tests {
         let t = g.truncate_boundary(7, "path7");
         assert_eq!(t.num_qubits(), 7);
         assert!(t.is_connected());
+    }
+
+    #[test]
+    fn edges_iterate_in_lexicographic_order_without_allocation() {
+        let g = cycle(5);
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(g.edges().count(), g.num_edges());
+    }
+
+    #[test]
+    fn edge_errors_default_to_uniform() {
+        let g = path(4);
+        assert!(g.edge_errors_uniform());
+        for ((a, b), err) in g.edge_errors() {
+            assert!(g.has_edge(a, b));
+            assert_eq!(err, DEFAULT_EDGE_ERROR);
+        }
+    }
+
+    #[test]
+    fn edge_error_overrides_are_order_insensitive() {
+        let mut g = path(4);
+        g.set_edge_error(2, 1, 0.05);
+        assert_eq!(g.edge_error(1, 2), 0.05);
+        assert_eq!(g.edge_error(2, 1), 0.05);
+        assert_eq!(g.edge_error(0, 1), DEFAULT_EDGE_ERROR);
+        assert!(!g.edge_errors_uniform());
+        g.set_uniform_edge_error(0.002);
+        assert!(g.edge_errors_uniform());
+        assert_eq!(g.edge_error(1, 2), 0.002);
+    }
+
+    #[test]
+    fn overriding_every_edge_to_one_rate_counts_as_uniform() {
+        let mut g = path(4);
+        for (a, b) in g.edges().collect::<Vec<_>>() {
+            g.set_edge_error(a, b, 0.005);
+        }
+        assert!(g.edge_errors_uniform(), "all edges agree at 0.005");
+        g.set_edge_error(1, 2, 0.009);
+        assert!(!g.edge_errors_uniform());
+    }
+
+    #[test]
+    fn partial_overrides_at_a_non_default_rate_are_heterogeneous() {
+        let mut g = path(4);
+        g.set_edge_error(0, 1, 0.005); // other edges still at the default
+        assert!(!g.edge_errors_uniform());
+    }
+
+    #[test]
+    fn scale_edge_error_multiplies_and_clamps() {
+        let mut g = path(3);
+        g.scale_edge_error(0, 1, 10.0);
+        assert!((g.edge_error(0, 1) - 10.0 * DEFAULT_EDGE_ERROR).abs() < 1e-15);
+        g.scale_edge_error(0, 1, 1e9);
+        assert!(g.edge_error(0, 1) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an edge")]
+    fn setting_error_on_a_non_edge_panics() {
+        let mut g = path(4);
+        g.set_edge_error(0, 3, 0.1);
+    }
+
+    #[test]
+    fn weighted_distances_match_bfs_under_unit_costs() {
+        let g = cycle(8);
+        for s in 0..8 {
+            let bfs = g.bfs_distances(s);
+            let dij = g.weighted_distances(s, |_, _| 1.0);
+            for (h, w) in bfs.iter().zip(&dij) {
+                assert!((*h as f64 - w).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_distances_route_around_expensive_edges() {
+        // Square 0-1-2-3-0: make edge (0,1) cost 10; the cheapest 0→1 path is
+        // now 0-3-2-1 at cost 3.
+        let g = CouplingGraph::from_edges("sq", 4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let cost = |a: usize, b: usize| {
+            if (a.min(b), a.max(b)) == (0, 1) {
+                10.0
+            } else {
+                1.0
+            }
+        };
+        let d = g.weighted_distances(0, cost);
+        assert!((d[1] - 3.0).abs() < 1e-12);
+        let dm = g.weighted_distance_matrix(cost);
+        assert!((dm[1][0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distances_mark_unreachable_nodes_infinite() {
+        let g = CouplingGraph::from_edges("two islands", 4, &[(0, 1), (2, 3)]);
+        let d = g.weighted_distances(0, |_, _| 1.0);
+        assert!(d[2].is_infinite() && d[3].is_infinite());
+        assert!((d[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_and_induction_carry_edge_errors() {
+        let mut g = path(10);
+        g.set_edge_error(0, 1, 0.04);
+        g.set_edge_error(8, 9, 0.09);
+        let t = g.truncate_boundary(7, "path7");
+        assert_eq!(t.edge_error(0, 1), 0.04); // low end survives truncation
+        let sub = g.induced_prefix(5, "path5");
+        assert_eq!(sub.edge_error(0, 1), 0.04);
+        assert_eq!(sub.edge_error(3, 4), DEFAULT_EDGE_ERROR);
     }
 
     #[test]

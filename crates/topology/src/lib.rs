@@ -9,11 +9,14 @@
 //! directly reduces SWAP overhead. This crate provides:
 //!
 //! * [`graph::CouplingGraph`] — an undirected coupling graph with BFS
-//!   shortest paths, diameter / average-distance / average-connectivity
-//!   metrics (the columns of Tables 1 and 2), and truncation helpers.
+//!   shortest paths, error-weighted Dijkstra distances, per-edge gate error
+//!   rates (uniform by default), diameter / average-distance /
+//!   average-connectivity metrics (the columns of Tables 1 and 2), and
+//!   truncation helpers.
 //! * [`builders`] — parametric generators for every topology family: square
 //!   lattice, lattice with alternating diagonals, hex and heavy-hex lattices,
-//!   hypercubes, SNAIL trees and corrals.
+//!   hypercubes, SNAIL trees and corrals — plus a seeded calibrated-device
+//!   noise sampler ([`builders::calibrate_edge_errors`]).
 //! * [`catalog`] — the paper's named instances (`Tree-20`, `Corral1,2-16`,
 //!   `Heavy-Hex-84`, …) and [`catalog::TopologyKind`], the registry used by
 //!   the experiment harness.
@@ -25,4 +28,4 @@ pub mod catalog;
 pub mod graph;
 
 pub use catalog::TopologyKind;
-pub use graph::{CouplingGraph, TopologyMetrics};
+pub use graph::{CouplingGraph, TopologyMetrics, DEFAULT_EDGE_ERROR};

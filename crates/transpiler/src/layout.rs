@@ -160,8 +160,7 @@ pub fn dense_layout(circuit: &Circuit, graph: &CouplingGraph) -> Layout {
         }
         let internal_edges = graph
             .edges()
-            .iter()
-            .filter(|&&(a, b)| in_set[a] && in_set[b])
+            .filter(|&(a, b)| in_set[a] && in_set[b])
             .count();
         if internal_edges > best_edges || best_set.is_none() {
             best_edges = internal_edges;

@@ -21,5 +21,5 @@ pub mod translate;
 
 pub use layout::{dense_layout, Layout, LayoutStrategy};
 pub use pipeline::{transpile, TranspileOptions, TranspileReport, TranspileResult};
-pub use routing::{route, RoutedCircuit, RouterConfig};
+pub use routing::{route, EdgeErrorSource, RoutedCircuit, RouterConfig};
 pub use translate::{count_basis_gates, critical_path_basis_gates, translate_to_basis};

@@ -49,6 +49,13 @@ impl TranspileOptions {
         self.router.seed = seed;
         self
     }
+
+    /// Enables noise-aware routing against the device calibration with the
+    /// given fidelity weight (`0` keeps the router noise-blind).
+    pub fn with_error_weight(mut self, error_weight: f64) -> Self {
+        self.router.error_weight = error_weight;
+        self
+    }
 }
 
 /// The measurements collected by the Fig. 10 flow.
@@ -74,6 +81,15 @@ pub struct TranspileReport {
     pub basis_gate_count: usize,
     /// Critical-path basis-gate count — the paper's pulse-duration proxy.
     pub basis_gate_depth: usize,
+    /// Fidelity weight the router scored SWAPs with (0 = noise-blind).
+    pub error_weight: f64,
+    /// `Σ ln(1 − err_e)` over the two-qubit gates of the *routed* circuit,
+    /// using the per-edge error rates the router saw. `exp` of this is the
+    /// routed circuit's control-channel fidelity at SWAP granularity.
+    pub routed_edge_log_fidelity: f64,
+    /// `Σ ln(1 − err_e)` over the basis gates of the *translated* circuit
+    /// (0 when no basis was requested).
+    pub basis_edge_log_fidelity: f64,
 }
 
 /// The full output of a pipeline run.
@@ -96,6 +112,7 @@ pub fn transpile(
 ) -> TranspileResult {
     let layout = options.layout.compute(circuit, graph);
     let routed = route(circuit, graph, &layout, &options.router);
+    let edge_rate = |a: usize, b: usize| options.router.edge_errors.rate(graph, a, b);
 
     let mut report = TranspileReport {
         logical_qubits: circuit.num_qubits(),
@@ -108,12 +125,16 @@ pub fn transpile(
         basis: options.basis,
         basis_gate_count: 0,
         basis_gate_depth: 0,
+        error_weight: options.router.error_weight,
+        routed_edge_log_fidelity: edge_log_fidelity(&routed.circuit, &edge_rate),
+        basis_edge_log_fidelity: 0.0,
     };
 
     let translated = options.basis.map(|basis| {
         let (translated, _) = translate_to_basis(&routed.circuit, basis);
         report.basis_gate_count = translated.two_qubit_count();
         report.basis_gate_depth = translated.two_qubit_depth();
+        report.basis_edge_log_fidelity = edge_log_fidelity(&translated, &edge_rate);
         translated
     });
 
@@ -122,6 +143,20 @@ pub fn transpile(
         translated,
         report,
     }
+}
+
+/// `Σ ln(1 − err_e)` over every two-qubit gate of `circuit`, the log of the
+/// circuit's control-channel success probability under per-edge error rates.
+fn edge_log_fidelity(circuit: &Circuit, edge_rate: &impl Fn(usize, usize) -> f64) -> f64 {
+    circuit
+        .instructions()
+        .iter()
+        .filter(|inst| inst.is_two_qubit())
+        .map(|inst| {
+            let rate = edge_rate(inst.qubits[0], inst.qubits[1]).clamp(0.0, 0.999_999);
+            (1.0 - rate).ln()
+        })
+        .sum()
 }
 
 #[cfg(test)]

@@ -5,6 +5,23 @@
 //! best-of-`trials` outer loop, which reproduces the same behaviour at the
 //! granularity the study measures: the number of SWAP gates induced by a
 //! topology, in total and on the critical path.
+//!
+//! The router can additionally be made *noise-aware*: when the coupling
+//! graph carries heterogeneous per-edge error rates and
+//! [`RouterConfig::error_weight`] is positive, SWAP candidates are scored
+//! against an error-weighted distance matrix (Dijkstra over
+//! `1 + w · penalty(e)` edge costs, with `penalty` the edge's log infidelity
+//! normalized by the device's default rate) plus a direct penalty for
+//! executing the SWAP itself on a noisy link. Three safeguards keep the
+//! heuristic stable on the continuous cost landscape: candidates are pruned
+//! to SWAPs that make hop progress on the front layer (the weighted score
+//! chooses *which* route, not *whether* to converge), a small relative
+//! jitter keeps trials diverse where exact score ties are measure-zero, and
+//! the best-of-`trials` winner is picked by a total-infidelity proxy
+//! (summed edge penalties + depth) instead of raw SWAP count. With a uniform
+//! error model — `error_weight = 0` or all edges equal — the scoring
+//! degenerates to plain hop distances and the routed output is
+//! bitwise-identical to the noise-blind router.
 
 use crate::layout::Layout;
 use rand::rngs::StdRng;
@@ -12,6 +29,17 @@ use rand::Rng;
 use rand::SeedableRng;
 use snailqc_circuit::{Circuit, Gate, Instruction};
 use snailqc_topology::CouplingGraph;
+use std::collections::BTreeMap;
+
+/// Number of basis pulses a SWAP costs on the edge that executes it (three
+/// CNOT-equivalents); scales the direct noise penalty of a SWAP candidate.
+const SWAP_PULSES: f64 = 3.0;
+
+/// Weight of one unit of two-qubit depth in the noise-aware trial-selection
+/// metric, in normalized edge-penalty units. Matches the default error
+/// model's decoherence-to-control ratio (10⁻² per pulse time vs 10⁻³ per
+/// gate).
+const DEPTH_PENALTY: f64 = 10.0;
 
 /// The result of routing a logical circuit onto a device.
 #[derive(Debug, Clone)]
@@ -40,6 +68,26 @@ impl RoutedCircuit {
     }
 }
 
+/// Where the router reads per-edge error rates from.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum EdgeErrorSource {
+    /// Use the rates stored on the [`CouplingGraph`] (calibrated device).
+    Device,
+    /// Ignore the graph's calibration and treat every edge as having this
+    /// flat rate — forces noise-blind routing on a calibrated device.
+    Uniform(f64),
+}
+
+impl EdgeErrorSource {
+    /// Resolves the error rate of edge `(a, b)` under this source.
+    pub fn rate(&self, graph: &CouplingGraph, a: usize, b: usize) -> f64 {
+        match self {
+            EdgeErrorSource::Device => graph.edge_error(a, b),
+            EdgeErrorSource::Uniform(r) => *r,
+        }
+    }
+}
+
 /// Configuration of the stochastic lookahead router.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct RouterConfig {
@@ -50,6 +98,12 @@ pub struct RouterConfig {
     pub lookahead: usize,
     /// Weight of the lookahead term relative to the front layer.
     pub lookahead_weight: f64,
+    /// Weight of the per-edge infidelity term in SWAP scoring; `0` routes by
+    /// hop distance alone (noise-blind), `1` values the average edge's log
+    /// infidelity as much as one extra hop.
+    pub error_weight: f64,
+    /// Where per-edge error rates come from.
+    pub edge_errors: EdgeErrorSource,
     /// RNG seed.
     pub seed: u64,
 }
@@ -60,6 +114,8 @@ impl Default for RouterConfig {
             trials: 4,
             lookahead: 20,
             lookahead_weight: 0.5,
+            error_weight: 0.0,
+            edge_errors: EdgeErrorSource::Device,
             seed: 11,
         }
     }
@@ -70,10 +126,101 @@ impl RouterConfig {
     pub fn deterministic(seed: u64) -> Self {
         Self {
             trials: 1,
-            lookahead: 20,
-            lookahead_weight: 0.5,
             seed,
+            ..Self::default()
         }
+    }
+
+    /// A noise-aware configuration reading the device calibration with the
+    /// given fidelity weight.
+    pub fn noise_aware(error_weight: f64) -> Self {
+        Self {
+            error_weight,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the fidelity weight, keeping everything else.
+    pub fn with_error_weight(mut self, error_weight: f64) -> Self {
+        self.error_weight = error_weight;
+        self
+    }
+}
+
+/// Precomputed noise data for one routing run: normalized per-edge penalties
+/// used both for the weighted distance matrix and the direct SWAP penalty.
+struct NoiseContext {
+    /// `-ln(1 − err_e)` divided by the reference (default-rate) penalty,
+    /// keyed by `(min, max)` edge; a typical edge sits near 1.0.
+    penalties: BTreeMap<(usize, usize), f64>,
+    /// `error_weight` echoed from the config.
+    weight: f64,
+}
+
+impl NoiseContext {
+    /// Builds the context, or `None` when the configuration is effectively
+    /// noise-blind (zero weight or homogeneous edge errors) and the legacy
+    /// hop-distance scoring should be used verbatim.
+    ///
+    /// Penalties are normalized by the *device default rate* rather than the
+    /// calibration's mean, so degrading one edge raises that edge's cost and
+    /// leaves every other edge untouched — a locality property the
+    /// monotonicity regression suite relies on. (The mean is only used as a
+    /// fallback reference when the default rate is zero.)
+    fn build(graph: &CouplingGraph, config: &RouterConfig) -> Option<Self> {
+        if config.error_weight <= 0.0 {
+            return None;
+        }
+        let rate = |a: usize, b: usize| config.edge_errors.rate(graph, a, b);
+        let penalty_of = |r: f64| -(1.0 - r.clamp(0.0, 0.999_999)).ln();
+        let raw: BTreeMap<(usize, usize), f64> = graph
+            .edges()
+            .map(|(a, b)| ((a, b), penalty_of(rate(a, b))))
+            .collect();
+        let first = raw.values().next().copied()?;
+        if raw.values().all(|&p| p == first) {
+            return None; // homogeneous noise cannot change SWAP choices
+        }
+        let mut reference = penalty_of(graph.default_edge_error());
+        if reference <= 0.0 {
+            reference = raw.values().sum::<f64>() / raw.len() as f64;
+        }
+        let penalties = raw.into_iter().map(|(e, p)| (e, p / reference)).collect();
+        Some(Self {
+            penalties,
+            weight: config.error_weight,
+        })
+    }
+
+    /// Distance cost of traversing edge `(a, b)`: one hop plus the weighted
+    /// normalized infidelity.
+    fn edge_cost(&self, a: usize, b: usize) -> f64 {
+        1.0 + self.weight * self.penalties[&(a.min(b), a.max(b))]
+    }
+
+    /// Direct penalty for executing a SWAP on edge `(p, q)`.
+    fn swap_penalty(&self, p: usize, q: usize) -> f64 {
+        SWAP_PULSES * self.weight * self.penalties[&(p.min(q), p.max(q))]
+    }
+
+    /// Total normalized penalty of a routed circuit: `Σ penalty(e)` over its
+    /// two-qubit gates, with SWAPs weighted by their pulse count. Used to
+    /// pick the winning trial in noise-aware mode.
+    fn circuit_penalty(&self, circuit: &Circuit) -> f64 {
+        circuit
+            .instructions()
+            .iter()
+            .filter(|inst| inst.is_two_qubit())
+            .map(|inst| {
+                let (a, b) = (inst.qubits[0], inst.qubits[1]);
+                let p = self.penalties[&(a.min(b), a.max(b))];
+                if inst.gate.is_swap() {
+                    SWAP_PULSES * p
+                } else {
+                    p
+                }
+            })
+            .sum()
     }
 }
 
@@ -94,7 +241,17 @@ pub fn route(
         "device too small"
     );
     assert!(graph.is_connected(), "coupling graph must be connected");
-    let dist = graph.distance_matrix();
+    let noise = NoiseContext::build(graph, config);
+    let hops = graph.distance_matrix();
+    // Hop distances exactly match the noise-blind router; error-weighted
+    // Dijkstra distances steer lookahead cost away from noisy links.
+    let dist: Vec<Vec<f64>> = match &noise {
+        Some(n) => graph.weighted_distance_matrix(|a, b| n.edge_cost(a, b)),
+        None => hops
+            .iter()
+            .map(|row| row.iter().map(|&d| d as f64).collect())
+            .collect(),
+    };
 
     let mut best: Option<RoutedCircuit> = None;
     for trial in 0..config.trials.max(1) {
@@ -102,10 +259,35 @@ pub fn route(
             .seed
             .wrapping_add(trial as u64)
             .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let candidate = route_once(circuit, graph, initial_layout, &dist, config, seed);
+        let candidate = route_once(
+            circuit,
+            graph,
+            initial_layout,
+            &dist,
+            &hops,
+            noise.as_ref(),
+            config,
+            seed,
+        );
         let better = match &best {
             None => true,
-            Some(b) => candidate.swap_count < b.swap_count,
+            // Noise-blind trials compete on SWAP count (StochasticSwap);
+            // noise-aware trials compete on a proxy for total infidelity:
+            // the routed circuit's summed per-edge penalty (control channel)
+            // plus its two-qubit depth (decoherence channel), with SWAP
+            // count as the tiebreak.
+            Some(b) => match &noise {
+                None => candidate.swap_count < b.swap_count,
+                Some(n) => {
+                    let metric = |c: &RoutedCircuit| {
+                        n.circuit_penalty(&c.circuit)
+                            + DEPTH_PENALTY * c.circuit.two_qubit_depth() as f64
+                    };
+                    let (cand, best_so_far) = (metric(&candidate), metric(b));
+                    cand < best_so_far
+                        || (cand == best_so_far && candidate.swap_count < b.swap_count)
+                }
+            },
         };
         if better {
             best = Some(candidate);
@@ -114,11 +296,14 @@ pub fn route(
     best.expect("at least one routing trial")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn route_once(
     circuit: &Circuit,
     graph: &CouplingGraph,
     initial_layout: &Layout,
-    dist: &[Vec<usize>],
+    dist: &[Vec<f64>],
+    hops: &[Vec<usize>],
+    noise: Option<&NoiseContext>,
     config: &RouterConfig,
     seed: u64,
 ) -> RoutedCircuit {
@@ -238,14 +423,57 @@ fn route_once(
                 .map(|&i| {
                     let a = layout.physical(instructions[i].qubits[0]);
                     let b = layout.physical(instructions[i].qubits[1]);
-                    dist[a][b] as f64
+                    dist[a][b]
                 })
                 .sum();
             let look_cost: f64 = lookahead
                 .iter()
-                .map(|&(la, lb)| dist[layout.physical(la)][layout.physical(lb)] as f64)
+                .map(|&(la, lb)| dist[layout.physical(la)][layout.physical(lb)])
                 .sum();
             (front_cost, look_cost)
+        };
+
+        // Noise-aware mode only: the continuous weighted-distance landscape
+        // has plateaus where a SWAP lowers the weighted cost without moving
+        // the front closer in hops, and a greedy walk can wander over them
+        // inserting SWAPs that never converge. Restrict the candidate set to
+        // SWAPs that strictly reduce the front's total hop distance (falling
+        // back to the full set when none does), and let the noise-weighted
+        // score choose *which* progressing SWAP — i.e. which route — to take.
+        let candidates = match noise {
+            None => candidates,
+            Some(_) => {
+                let front_hops = |layout: &Layout| -> usize {
+                    front
+                        .iter()
+                        .filter(|&&i| instructions[i].qubits.len() == 2)
+                        .map(|&i| {
+                            let a = layout.physical(instructions[i].qubits[0]);
+                            let b = layout.physical(instructions[i].qubits[1]);
+                            hops[a][b]
+                        })
+                        .sum()
+                };
+                let current = front_hops(&layout);
+                // `swap_physical` is an involution, so one scratch layout
+                // serves every candidate without per-candidate clones.
+                let mut scratch = layout.clone();
+                let progressing: Vec<(usize, usize)> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&(p, q)| {
+                        scratch.swap_physical(p, q);
+                        let after = front_hops(&scratch);
+                        scratch.swap_physical(p, q);
+                        after < current
+                    })
+                    .collect();
+                if progressing.is_empty() {
+                    candidates
+                } else {
+                    progressing
+                }
+            }
         };
 
         let mut best_swap = candidates[0];
@@ -255,9 +483,21 @@ fn route_once(
             trial_layout.swap_physical(p, q);
             let (front_cost, look_cost) = score_layout(&trial_layout);
             let mut score = front_cost + config.lookahead_weight * look_cost;
+            // Executing the SWAP itself burns pulses on edge (p, q); bias
+            // away from noisy links even when the distances tie.
+            if let Some(n) = noise {
+                score += n.swap_penalty(p, q);
+            }
             score *= decay[p].max(decay[q]);
             // Randomized tie-breaking keeps trials diverse (StochasticSwap).
+            // Integer hop scores tie constantly, so an absolute 1e-6 nudge is
+            // enough; continuous noise-weighted scores almost never tie, so
+            // noisy mode needs a small relative jitter or every trial would
+            // collapse onto the same route and best-of-N would buy nothing.
             score += rng.gen::<f64>() * 1e-6;
+            if noise.is_some() {
+                score *= 1.0 + 0.02 * rng.gen::<f64>();
+            }
             if score < best_score {
                 best_score = score;
                 best_swap = (p, q);

@@ -3,7 +3,7 @@
 //! combination, not just the curated ones.
 
 use proptest::prelude::*;
-use snailqc_circuit::{Circuit, Gate};
+use snailqc_circuit::{simulate, Circuit, Gate};
 use snailqc_decompose::BasisGate;
 use snailqc_topology::builders;
 use snailqc_topology::CouplingGraph;
@@ -154,5 +154,76 @@ proptest! {
         let layout = LayoutStrategy::Trivial.compute(&circuit, &graph);
         let routed = route(&circuit, &graph, &layout, &RouterConfig::deterministic(seed));
         prop_assert_eq!(routed.swap_count, 0);
+    }
+
+    #[test]
+    fn noise_aware_routing_still_respects_the_device(
+        circuit in arb_circuit(8, 30),
+        dev in 0usize..5,
+        seed in 0u64..500,
+        spread in 0.0f64..2.0,
+        error_weight in 0.0f64..3.0,
+    ) {
+        let graph = builders::calibrated(&device(dev), 1e-3, spread, seed ^ 0xA5A5);
+        let layout = LayoutStrategy::Dense.compute(&circuit, &graph);
+        let config = RouterConfig {
+            trials: 1,
+            seed,
+            ..RouterConfig::noise_aware(error_weight)
+        };
+        let routed = route(&circuit, &graph, &layout, &config);
+        for inst in routed.circuit.instructions() {
+            if inst.is_two_qubit() {
+                prop_assert!(graph.has_edge(inst.qubits[0], inst.qubits[1]));
+            }
+        }
+        // Non-SWAP gates survive as a multiset (no gate lost to rerouting).
+        let mut original: Vec<&'static str> =
+            circuit.instructions().iter().map(|i| i.gate.name()).collect();
+        let mut routed_names: Vec<&'static str> = routed
+            .circuit
+            .instructions()
+            .iter()
+            .filter(|i| !i.gate.is_swap())
+            .map(|i| i.gate.name())
+            .collect();
+        original.sort_unstable();
+        routed_names.sort_unstable();
+        prop_assert_eq!(original, routed_names);
+    }
+
+    #[test]
+    fn noise_aware_routing_preserves_semantics(
+        circuit in arb_circuit(8, 20),
+        dev in 0usize..2,
+        seed in 0u64..200,
+        error_weight in 0.0f64..3.0,
+    ) {
+        // Route onto an equal-sized calibrated device and compare
+        // statevectors: the routed circuit must implement the original up to
+        // the tracked qubit permutation, no matter how noisy the links are.
+        let n = circuit.num_qubits();
+        let base = if dev == 0 { builders::hypercube(3) } else { builders::ring(8) };
+        prop_assert_eq!(base.num_qubits(), n);
+        let graph = builders::calibrated(&base, 1e-3, 1.5, seed);
+        let layout = LayoutStrategy::Trivial.compute(&circuit, &graph);
+        let config = RouterConfig {
+            trials: 1,
+            seed,
+            ..RouterConfig::noise_aware(error_weight)
+        };
+        let routed = route(&circuit, &graph, &layout, &config);
+        let sv_original = simulate(&circuit);
+        let sv_routed = simulate(&routed.circuit);
+        let perm: Vec<usize> = (0..n)
+            .map(|p| routed.final_layout.logical(p).unwrap_or(p))
+            .collect();
+        let sv_logical = sv_routed.permute_qubits(&perm);
+        let fidelity = sv_original.fidelity(&sv_logical);
+        prop_assert!(
+            fidelity > 1.0 - 1e-7,
+            "noise-aware routing broke semantics: fidelity {}",
+            fidelity
+        );
     }
 }

@@ -13,6 +13,7 @@ fn main() {
         workloads: Workload::all().to_vec(),
         sizes: vec![8, 12, 16],
         routing_trials: 2,
+        error_weight: 0.0,
         seed: 2022,
     };
     println!(

@@ -6,12 +6,17 @@
 //!
 //! ```text
 //! snailqc transpile circuit.qasm --topology corral11-16 --basis sqrt-iswap --json
+//! snailqc transpile circuit.qasm --topology corral11-16 --error-model calibrated --json
 //! snailqc emit qaoa-vanilla --qubits 12 --seed 7 -o qaoa12.qasm
 //! snailqc parse circuit.qasm
 //! snailqc topologies --json
 //! snailqc workloads
 //! ```
 
+use snailqc::core::fidelity::{
+    estimate_fidelity, estimate_fidelity_edges, estimate_fidelity_routed, FidelityEstimate,
+};
+use snailqc::core::noise::ErrorModelSpec;
 use snailqc::decompose::BasisGate;
 use snailqc::prelude::*;
 use snailqc::topology::catalog;
@@ -31,6 +36,11 @@ COMMANDS:
         --layout <strategy> dense | trivial                  [default: dense]
         --trials <N>        Stochastic routing trials        [default: 4]
         --seed <N>          Router RNG seed                  [default: 11]
+        --error-model <m>   default | control | decoherence | calibrated,
+                            or a JSON file with per-edge rates; enables
+                            noise-aware routing + fidelity estimates
+        --error-weight <w>  Fidelity weight of the SWAP scoring
+                            [default: 1 with --error-model, else 0]
         -o, --out <file>    Write the transpiled circuit as QASM
         --json              Print the TranspileReport as JSON
 
@@ -197,13 +207,40 @@ struct TranspileOutput {
     basis: Option<&'static str>,
     trials: usize,
     seed: u64,
+    error_model: Option<ErrorModelSpec>,
+    error_weight: f64,
     report: TranspileReport,
+    fidelity: Option<FidelityComparison>,
+}
+
+/// Noise-blind vs noise-aware routing under the same calibrated device.
+#[derive(serde::Serialize)]
+struct FidelityComparison {
+    /// Edge-aware estimate for the circuit the noise-blind router produced.
+    noise_blind: FidelityEstimate,
+    /// Edge-aware estimate for the circuit the noise-aware router produced.
+    noise_aware: FidelityEstimate,
+    /// Uniform-rate estimate (ignores per-edge calibration) of the
+    /// noise-aware circuit, for reference.
+    uniform: FidelityEstimate,
+    /// `(1 − F_blind) / (1 − F_aware)`; > 1 means noise-aware routing
+    /// reduced the estimated infidelity.
+    infidelity_improvement: f64,
 }
 
 fn cmd_transpile(args: &[String]) -> Result<(), String> {
     let opts = Options::parse(
         args,
-        &["topology", "basis", "layout", "trials", "seed", "out"],
+        &[
+            "topology",
+            "basis",
+            "layout",
+            "trials",
+            "seed",
+            "error-model",
+            "error-weight",
+            "out",
+        ],
         &["json"],
     )?;
     let [file] = opts.positional.as_slice() else {
@@ -212,12 +249,26 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     let topology_name = opts
         .value("topology")
         .ok_or("transpile needs --topology <name> (see `snailqc topologies`)")?;
-    let graph = catalog::by_name(topology_name).ok_or_else(|| {
+    let mut graph = catalog::by_name(topology_name).ok_or_else(|| {
         format!(
             "unknown topology `{topology_name}`; available: {}",
             catalog::names().join(", ")
         )
     })?;
+    let error_model = opts
+        .value("error-model")
+        .map(ErrorModelSpec::parse)
+        .transpose()?;
+    let error_weight: f64 = opts.numeric(
+        "error-weight",
+        if error_model.is_some() { 1.0 } else { 0.0 },
+    )?;
+    if error_weight < 0.0 {
+        return Err("--error-weight must be non-negative".into());
+    }
+    if let Some(spec) = &error_model {
+        spec.apply(&mut graph)?;
+    }
     let basis = parse_basis(opts.value("basis").unwrap_or("none"))?;
     let layout = match opts.value("layout").unwrap_or("dense") {
         "dense" => LayoutStrategy::Dense,
@@ -243,11 +294,47 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
         router: RouterConfig {
             trials,
             seed,
+            error_weight,
             ..RouterConfig::default()
         },
         basis,
     };
     let result = transpile(&program.circuit, &graph, &options);
+
+    // With an error model, also run the noise-blind router on the same
+    // calibrated device so the output surfaces both fidelity estimates. On a
+    // uniform device (or with zero weight) the noise-aware run is provably
+    // identical to the noise-blind one, so reuse its report instead of
+    // routing twice.
+    let fidelity = error_model.as_ref().map(|spec| {
+        let blind_report = if error_weight == 0.0 || graph.edge_errors_uniform() {
+            result.report
+        } else {
+            let blind_options = TranspileOptions {
+                router: RouterConfig {
+                    error_weight: 0.0,
+                    ..options.router
+                },
+                ..options
+            };
+            transpile(&program.circuit, &graph, &blind_options).report
+        };
+        let estimate = |report: &TranspileReport| estimate_fidelity_edges(report, &spec.model);
+        let uniform = match basis {
+            Some(_) => estimate_fidelity(&result.report, &spec.model),
+            None => estimate_fidelity_routed(&result.report, &spec.model),
+        };
+        let noise_blind = estimate(&blind_report);
+        let noise_aware = estimate(&result.report);
+        let infidelity_improvement = (1.0 - noise_blind.total_fidelity)
+            / (1.0 - noise_aware.total_fidelity).max(f64::MIN_POSITIVE);
+        FidelityComparison {
+            noise_blind,
+            noise_aware,
+            uniform,
+            infidelity_improvement,
+        }
+    });
 
     if let Some(out) = opts.value("out") {
         let circuit = result.translated.as_ref().unwrap_or(&result.routed.circuit);
@@ -262,7 +349,10 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
             basis: basis.map(|b| b.label()),
             trials,
             seed,
+            error_model,
+            error_weight,
             report: result.report,
+            fidelity,
         };
         println!(
             "{}",
@@ -285,6 +375,19 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
                 println!("  basis gate depth      {}", r.basis_gate_depth);
             }
             None => println!("  basis                 (routing only)"),
+        }
+        if let Some(f) = &fidelity {
+            println!("  -- fidelity (error-weight {error_weight}) --");
+            println!(
+                "  noise-blind routing   {:.6}",
+                f.noise_blind.total_fidelity
+            );
+            println!(
+                "  noise-aware routing   {:.6}",
+                f.noise_aware.total_fidelity
+            );
+            println!("  uniform-rate estimate {:.6}", f.uniform.total_fidelity);
+            println!("  infidelity improved   {:.3}x", f.infidelity_improvement);
         }
     }
     Ok(())

@@ -53,12 +53,18 @@ pub use snailqc_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use snailqc_circuit::{Circuit, Gate};
+    pub use snailqc_core::fidelity::{
+        estimate_fidelity, estimate_fidelity_edges, ErrorModel, FidelityEstimate,
+    };
     pub use snailqc_core::machine::{Machine, SizeClass};
+    pub use snailqc_core::noise::ErrorModelSpec;
     pub use snailqc_core::sweep::{run_codesign_sweep, run_swap_sweep, SweepConfig};
     pub use snailqc_decompose::{BasisGate, NuOpDecomposer, StudyConfig};
     pub use snailqc_math::{weyl_coordinates, Matrix2, Matrix4, WeylCoordinates};
     pub use snailqc_qasm::{emit as emit_qasm, parse as parse_qasm, QasmProgram};
     pub use snailqc_topology::{CouplingGraph, TopologyKind};
-    pub use snailqc_transpiler::{transpile, LayoutStrategy, RouterConfig, TranspileOptions};
+    pub use snailqc_transpiler::{
+        transpile, EdgeErrorSource, LayoutStrategy, RouterConfig, TranspileOptions,
+    };
     pub use snailqc_workloads::Workload;
 }

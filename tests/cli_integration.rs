@@ -1,0 +1,129 @@
+//! End-to-end tests of the `snailqc` binary's noise-aware transpile path:
+//! golden JSON output for a preset error model, and the degraded-edge
+//! improvement scenario through a JSON error-model file.
+
+use std::process::Command;
+
+fn snailqc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_snailqc"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("snailqc binary runs")
+}
+
+/// Structural JSON equality with a 1e-12 relative tolerance on numbers:
+/// `powf` is lowered to the platform libm, whose last-ulp behaviour differs
+/// between glibc/musl/macOS, so byte-exact float comparison would be flaky
+/// across toolchains while any real routing drift changes integers anyway.
+fn json_approx_eq(a: &serde_json::Value, b: &serde_json::Value, path: &str) {
+    use serde_json::Value;
+    match (a, b) {
+        (Value::Object(xs), Value::Object(ys)) => {
+            let keys = |entries: &[(String, Value)]| {
+                entries.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>()
+            };
+            assert_eq!(keys(xs), keys(ys), "object keys differ at {path}");
+            for ((k, x), (_, y)) in xs.iter().zip(ys) {
+                json_approx_eq(x, y, &format!("{path}.{k}"));
+            }
+        }
+        (Value::Array(xs), Value::Array(ys)) => {
+            assert_eq!(xs.len(), ys.len(), "array length differs at {path}");
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                json_approx_eq(x, y, &format!("{path}[{i}]"));
+            }
+        }
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => {
+                let tolerance = 1e-12 * x.abs().max(y.abs()).max(1.0);
+                assert!((x - y).abs() <= tolerance, "{path}: {x} != {y}");
+            }
+            _ => assert_eq!(a, b, "value differs at {path}"),
+        },
+    }
+}
+
+#[test]
+fn transpile_with_decoherence_preset_matches_golden_json() {
+    let output = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology",
+        "corral11-16",
+        "--error-model",
+        "decoherence",
+        "--json",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+    let got = serde_json::from_str(&stdout).expect("CLI emits valid JSON");
+    let golden = serde_json::from_str(include_str!("data/qaoa12_decoherence.json"))
+        .expect("golden file is valid JSON");
+    // Any drift means the router or the output schema changed; regenerate
+    // tests/data/qaoa12_decoherence.json if the change is intentional.
+    json_approx_eq(&got, &golden, "$");
+}
+
+#[test]
+fn degraded_edge_error_model_improves_estimated_infidelity() {
+    // The acceptance scenario: one corral edge degraded 10× via a JSON error
+    // model. The noise-aware router must beat the noise-blind router on
+    // estimated infidelity, and the JSON must surface both estimates.
+    let output = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology",
+        "corral11-16",
+        "--error-model",
+        "tests/data/corral_degraded.json",
+        "--json",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let json = serde_json::from_str(&stdout).expect("valid JSON output");
+    let fidelity = json.get("fidelity").expect("fidelity block present");
+    let blind = fidelity
+        .get("noise_blind")
+        .and_then(|f| f.get("total_fidelity"))
+        .and_then(|v| v.as_f64())
+        .expect("noise-blind estimate");
+    let aware = fidelity
+        .get("noise_aware")
+        .and_then(|f| f.get("total_fidelity"))
+        .and_then(|v| v.as_f64())
+        .expect("noise-aware estimate");
+    let improvement = fidelity
+        .get("infidelity_improvement")
+        .and_then(|v| v.as_f64())
+        .expect("improvement ratio");
+    assert!(
+        aware > blind,
+        "noise-aware routing must beat noise-blind on the degraded corral: \
+         {aware} vs {blind}"
+    );
+    assert!(improvement > 1.0, "improvement = {improvement}");
+}
+
+#[test]
+fn unknown_error_model_reports_the_preset_list() {
+    let output = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology",
+        "corral11-16",
+        "--error-model",
+        "bogus",
+    ]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("decoherence"), "stderr: {stderr}");
+}
