@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snailqc_decompose::BasisGate;
 use snailqc_topology::catalog;
-use snailqc_transpiler::{transpile, RouterConfig, TranspileOptions};
+use snailqc_transpiler::Pipeline;
 use snailqc_workloads::Workload;
 
 fn bench_routing_16q(c: &mut Criterion) {
@@ -27,16 +27,9 @@ fn bench_routing_16q(c: &mut Criterion) {
         ),
     ];
     for (name, graph, basis) in cases {
-        let options = TranspileOptions {
-            router: RouterConfig {
-                trials: 2,
-                ..RouterConfig::default()
-            },
-            basis: Some(basis),
-            ..TranspileOptions::default()
-        };
+        let pipeline = Pipeline::builder().trials(2).translate_to(basis).build();
         group.bench_with_input(BenchmarkId::new("qft16", name), &graph, |b, g| {
-            b.iter(|| transpile(&circuit, g, &options))
+            b.iter(|| pipeline.run(&circuit, g))
         });
     }
     group.finish();
@@ -52,16 +45,12 @@ fn bench_routing_large(c: &mut Criterion) {
         ("hypercube_84", catalog::hypercube_84()),
     ];
     for (name, graph) in cases {
-        let options = TranspileOptions {
-            router: RouterConfig {
-                trials: 1,
-                ..RouterConfig::default()
-            },
-            basis: Some(BasisGate::SqrtISwap),
-            ..TranspileOptions::default()
-        };
+        let pipeline = Pipeline::builder()
+            .trials(1)
+            .translate_to(BasisGate::SqrtISwap)
+            .build();
         group.bench_with_input(BenchmarkId::new("qv32", name), &graph, |b, g| {
-            b.iter(|| transpile(&circuit, g, &options))
+            b.iter(|| pipeline.run(&circuit, g))
         });
     }
     group.finish();

@@ -2,19 +2,19 @@
 //! topologies at 84 qubits (gate-agnostic), plus the §3.2 QAOA critical-path
 //! ratios.
 
-use snailqc_bench::{is_full_run, print_sweep, write_json};
-use snailqc_core::sweep::{run_swap_sweep, SweepConfig};
+use snailqc_bench::{devices_from_graphs, is_full_run, print_sweep, run_sweep_cached, write_json};
+use snailqc_core::sweep::SweepConfig;
 use snailqc_topology::catalog;
 use snailqc_workloads::Workload;
 
 fn main() {
-    let graphs = vec![
+    let devices = devices_from_graphs(vec![
         catalog::heavy_hex_84(),
         catalog::hex_lattice_84(),
         catalog::square_lattice_84(),
         catalog::lattice_alt_diagonals_84(),
         catalog::hypercube_84(),
-    ];
+    ]);
     let sizes = if is_full_run() {
         SweepConfig::large_sizes()
     } else {
@@ -31,9 +31,9 @@ fn main() {
         "running Fig. 4 sweep ({} sizes × {} workloads × {} topologies)…",
         config.sizes.len(),
         config.workloads.len(),
-        graphs.len()
+        devices.len()
     );
-    let points = run_swap_sweep(&graphs, &config);
+    let points = run_sweep_cached(&devices, &config);
 
     print_sweep("Fig. 4 (top) — total SWAP count", &points, |p| {
         p.report.swap_count as f64

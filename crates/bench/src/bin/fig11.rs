@@ -1,20 +1,20 @@
 //! Regenerates Fig. 11: total and critical-path SWAP counts for the proposed
 //! 16–20 qubit SNAIL topologies (gate-agnostic).
 
-use snailqc_bench::{is_full_run, print_sweep, write_json};
-use snailqc_core::sweep::{run_swap_sweep, SweepConfig};
+use snailqc_bench::{devices_from_graphs, is_full_run, print_sweep, run_sweep_cached, write_json};
+use snailqc_core::sweep::SweepConfig;
 use snailqc_topology::catalog;
 use snailqc_workloads::Workload;
 
 fn main() {
-    let graphs = vec![
+    let devices = devices_from_graphs(vec![
         catalog::square_lattice_16(),
         catalog::hypercube_16(),
         catalog::tree_20(),
         catalog::tree_rr_20(),
         catalog::corral11_16(),
         catalog::corral12_16(),
-    ];
+    ]);
     let sizes = if is_full_run() {
         SweepConfig::small_sizes()
     } else {
@@ -27,7 +27,7 @@ fn main() {
         error_weight: 0.0,
         seed: 2022,
     };
-    let points = run_swap_sweep(&graphs, &config);
+    let points = run_sweep_cached(&devices, &config);
 
     print_sweep("Fig. 11 (top) — total SWAP count", &points, |p| {
         p.report.swap_count as f64

@@ -1,19 +1,19 @@
 //! Regenerates Fig. 12: total and critical-path SWAP counts at 84 qubits,
 //! comparing the SNAIL trees against the common baselines (gate-agnostic).
 
-use snailqc_bench::{is_full_run, print_sweep, write_json};
-use snailqc_core::sweep::{run_swap_sweep, SweepConfig};
+use snailqc_bench::{devices_from_graphs, is_full_run, print_sweep, run_sweep_cached, write_json};
+use snailqc_core::sweep::SweepConfig;
 use snailqc_topology::catalog;
 use snailqc_workloads::Workload;
 
 fn main() {
-    let graphs = vec![
+    let devices = devices_from_graphs(vec![
         catalog::heavy_hex_84(),
         catalog::square_lattice_84(),
         catalog::tree_84(),
         catalog::tree_rr_84(),
         catalog::hypercube_84(),
-    ];
+    ]);
     let sizes = if is_full_run() {
         SweepConfig::large_sizes()
     } else {
@@ -30,9 +30,9 @@ fn main() {
         "running Fig. 12 sweep ({} sizes × {} workloads × {} topologies)…",
         config.sizes.len(),
         config.workloads.len(),
-        graphs.len()
+        devices.len()
     );
-    let points = run_swap_sweep(&graphs, &config);
+    let points = run_sweep_cached(&devices, &config);
 
     print_sweep("Fig. 12 (top) — total SWAP count", &points, |p| {
         p.report.swap_count as f64

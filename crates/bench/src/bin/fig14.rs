@@ -1,13 +1,17 @@
 //! Regenerates Fig. 14: total and critical-path two-qubit gate counts after
 //! basis translation on the 84-qubit co-designed machines.
 
-use snailqc_bench::{is_full_run, print_sweep, write_json};
+use snailqc_bench::{is_full_run, print_sweep, run_sweep_cached, write_json};
+use snailqc_core::device::Device;
 use snailqc_core::machine::Machine;
-use snailqc_core::sweep::{run_codesign_sweep, SweepConfig};
+use snailqc_core::sweep::SweepConfig;
 use snailqc_workloads::Workload;
 
 fn main() {
-    let machines = Machine::figure14_lineup();
+    let devices: Vec<Device> = Machine::figure14_lineup()
+        .into_iter()
+        .map(Device::from_machine)
+        .collect();
     let sizes = if is_full_run() {
         SweepConfig::large_sizes()
     } else {
@@ -24,9 +28,9 @@ fn main() {
         "running Fig. 14 sweep ({} sizes × {} workloads × {} machines)…",
         config.sizes.len(),
         config.workloads.len(),
-        machines.len()
+        devices.len()
     );
-    let points = run_codesign_sweep(&machines, &config);
+    let points = run_sweep_cached(&devices, &config);
 
     print_sweep("Fig. 14 (top) — total 2Q basis gates", &points, |p| {
         p.report.basis_gate_count as f64

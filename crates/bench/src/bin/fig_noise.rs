@@ -14,9 +14,10 @@
 
 use serde::Serialize;
 use snailqc_bench::{is_full_run, print_table, write_json};
+use snailqc_core::device::Device;
 use snailqc_core::fidelity::{estimate_fidelity_edges, ErrorModel};
 use snailqc_topology::{builders, catalog, CouplingGraph};
-use snailqc_transpiler::{transpile, RouterConfig, TranspileOptions};
+use snailqc_transpiler::Pipeline;
 use snailqc_workloads::Workload;
 
 /// Calibration RNG seed (one fixed draw per (topology, spread) cell).
@@ -58,17 +59,11 @@ fn main() {
         let circuit = workload.generate(size, 7);
         for graph in &graphs {
             for &spread in &spreads {
-                let device = builders::calibrated(graph, 1e-3, spread, CALIBRATION_SEED);
+                let device =
+                    Device::from_graph(builders::calibrated(graph, 1e-3, spread, CALIBRATION_SEED));
                 let run = |error_weight: f64| {
-                    transpile(
-                        &circuit,
-                        &device,
-                        &TranspileOptions {
-                            router: RouterConfig::noise_aware(error_weight),
-                            ..TranspileOptions::default()
-                        },
-                    )
-                    .report
+                    let pipeline = Pipeline::builder().error_weight(error_weight).build();
+                    device.transpile(&circuit, &pipeline).report
                 };
                 let blind = run(0.0);
                 let aware = run(1.0);
@@ -76,7 +71,7 @@ fn main() {
                 let f_aware = estimate_fidelity_edges(&aware, &model);
                 points.push(NoisePoint {
                     workload,
-                    topology: device.name().to_string(),
+                    topology: device.label().to_string(),
                     spread,
                     blind_swaps: blind.swap_count,
                     aware_swaps: aware.swap_count,

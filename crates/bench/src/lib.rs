@@ -19,13 +19,19 @@
 //! All binaries print human-readable tables and write machine-readable JSON
 //! under `target/paper-results/`. By default they run a reduced sweep sized
 //! for a laptop; set `SNAILQC_FULL=1` to reproduce the paper-scale sweeps.
+//! Sweep cells are additionally cached in
+//! `target/paper-results/sweep-store.jsonl` ([`run_sweep_cached`]) and
+//! replayed on repeated runs; set `SNAILQC_NO_CACHE=1` to bypass the store.
 //! Criterion benches (`cargo bench`) time the underlying kernels: topology
 //! construction/metrics, the transpilation pipeline, and the NuOp optimizer.
 
 #![warn(missing_docs)]
 
 use serde::Serialize;
-use snailqc_core::sweep::SweepPoint;
+use snailqc_core::device::Device;
+use snailqc_core::store::SweepStore;
+use snailqc_core::sweep::{run_sweep_with_store, SweepConfig, SweepPoint};
+use snailqc_topology::CouplingGraph;
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
@@ -43,6 +49,34 @@ pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("target/paper-results");
     let _ = fs::create_dir_all(&dir);
     dir
+}
+
+/// Wraps bare catalog graphs as [`Device`]s (gate-agnostic sweeps).
+pub fn devices_from_graphs(graphs: Vec<CouplingGraph>) -> Vec<Device> {
+    graphs.into_iter().map(Device::from_graph).collect()
+}
+
+/// Runs a sweep through the persistent result store under
+/// `target/paper-results/sweep-store.jsonl`, so repeated bench runs replay
+/// cached cells instead of re-routing them. Set `SNAILQC_NO_CACHE=1` to
+/// bypass the store (always recompute, persist nothing).
+pub fn run_sweep_cached(devices: &[Device], config: &SweepConfig) -> Vec<SweepPoint> {
+    if std::env::var("SNAILQC_NO_CACHE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        return run_sweep_with_store(devices, config, None);
+    }
+    let mut store = SweepStore::open(results_dir().join("sweep-store.jsonl"));
+    let points = run_sweep_with_store(devices, config, Some(&mut store));
+    eprintln!(
+        "sweep store: {} cells replayed, {} computed ({} total cached in {})",
+        store.hits(),
+        store.inserted(),
+        store.len(),
+        store.path().display()
+    );
+    points
 }
 
 /// Serializes `value` to `target/paper-results/<name>.json` and returns the
@@ -156,13 +190,13 @@ pub fn print_sweep(title: &str, points: &[SweepPoint], metric: impl Fn(&SweepPoi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snailqc_core::sweep::{run_swap_sweep, SweepConfig};
+    use snailqc_core::sweep::run_sweep;
     use snailqc_topology::catalog;
 
     #[test]
     fn pivot_produces_one_table_per_workload() {
-        let graphs = vec![catalog::hypercube_16(), catalog::tree_20()];
-        let points = run_swap_sweep(&graphs, &SweepConfig::smoke());
+        let devices = devices_from_graphs(vec![catalog::hypercube_16(), catalog::tree_20()]);
+        let points = run_sweep(&devices, &SweepConfig::smoke());
         let pivot = pivot_by_workload(&points, |p| p.report.swap_count as f64);
         assert_eq!(pivot.len(), 2); // GHZ and QFT
         for (_, (sizes, rows)) in pivot {

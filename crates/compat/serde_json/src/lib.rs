@@ -19,7 +19,7 @@ impl std::error::Error for Error {}
 const MAX_DEPTH: usize = 128;
 
 /// Parses JSON text into a [`Value`] tree (recursive descent; rejects
-/// trailing garbage and nesting deeper than [`MAX_DEPTH`]).
+/// trailing garbage and nesting deeper than `MAX_DEPTH` levels).
 pub fn from_str(text: &str) -> Result<Value, Error> {
     let bytes = text.as_bytes();
     let mut pos = 0;

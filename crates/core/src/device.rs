@@ -1,0 +1,254 @@
+//! A first-class device: coupling graph + per-edge noise + native basis.
+//!
+//! The paper's whole argument is about *co-designed machines* — a topology,
+//! its native basis gate and its calibrated noise are one artifact, because
+//! all three are set by the same modulator. A [`Device`] bundles that
+//! artifact behind one type so every consumer (the sweep engine, the CLI,
+//! the bench binaries) stops re-assembling it by hand:
+//!
+//! ```
+//! use snailqc_core::device::Device;
+//! use snailqc_core::noise::ErrorModelSpec;
+//! use snailqc_decompose::BasisGate;
+//! use snailqc_transpiler::Pipeline;
+//! use snailqc_workloads::Workload;
+//!
+//! let device = Device::from_catalog("corral11-16")
+//!     .unwrap()
+//!     .with_basis(BasisGate::SqrtISwap)
+//!     .with_error_model(ErrorModelSpec::preset("calibrated").unwrap())
+//!     .unwrap();
+//! let circuit = Workload::Qft.generate(8, 7);
+//! let result = device.transpile(&circuit, &Pipeline::default());
+//! assert_eq!(result.report.basis, Some(BasisGate::SqrtISwap));
+//! ```
+//!
+//! [`Device::transpile`] resolves the pipeline's default
+//! [`BasisChoice::Device`](snailqc_transpiler::BasisChoice::Device)
+//! translation stage against the device's native basis — on a co-designed
+//! machine the modulator chooses the gate, not the transpiler call site.
+
+use crate::machine::Machine;
+use crate::noise::ErrorModelSpec;
+use snailqc_circuit::Circuit;
+use snailqc_decompose::BasisGate;
+use snailqc_topology::{catalog, CouplingGraph};
+use snailqc_transpiler::{Pipeline, TranspileResult};
+
+/// A co-designed quantum device: a coupling graph carrying per-edge error
+/// rates, an optional native two-qubit basis gate, and a display label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    label: String,
+    graph: CouplingGraph,
+    basis: Option<BasisGate>,
+    error_model: Option<ErrorModelSpec>,
+    machine: Option<Machine>,
+}
+
+impl Device {
+    /// Wraps a bare coupling graph (no native basis, uniform default noise).
+    /// The device label starts as the graph's name.
+    pub fn from_graph(graph: CouplingGraph) -> Self {
+        Self {
+            label: graph.name().to_string(),
+            graph,
+            basis: None,
+            error_model: None,
+            machine: None,
+        }
+    }
+
+    /// Builds the device described by a [`Machine`]: the machine's coupling
+    /// graph paired with its native basis gate, labelled like the paper's
+    /// figure legends (e.g. `Heavy-Hex-CX`).
+    pub fn from_machine(machine: Machine) -> Self {
+        Self {
+            label: machine.label(),
+            graph: machine.graph(),
+            basis: Some(machine.basis),
+            error_model: None,
+            machine: Some(machine),
+        }
+    }
+
+    /// Builds a device from the topology catalog by name (forgiving
+    /// matching, same registry as `snailqc topologies`). The device has no
+    /// native basis until [`Device::with_basis`] sets one.
+    pub fn from_catalog(name: &str) -> Result<Self, String> {
+        let graph = catalog::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown topology `{name}`; available: {}",
+                catalog::names().join(", ")
+            )
+        })?;
+        Ok(Self::from_graph(graph))
+    }
+
+    /// Stamps `spec`'s edge-noise distribution onto the device (see
+    /// [`ErrorModelSpec::apply`]) and records the spec. Errors if the spec
+    /// names an edge the device does not have.
+    pub fn with_error_model(mut self, spec: ErrorModelSpec) -> Result<Self, String> {
+        spec.apply(&mut self.graph)?;
+        self.error_model = Some(spec);
+        Ok(self)
+    }
+
+    /// Sets the native two-qubit basis gate.
+    pub fn with_basis(mut self, basis: BasisGate) -> Self {
+        self.basis = Some(basis);
+        self
+    }
+
+    /// Overrides the display label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The display label (figure-legend style; also the sweep-store key
+    /// component identifying this device).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The coupling graph, with any applied error model stamped on.
+    pub fn graph(&self) -> &CouplingGraph {
+        &self.graph
+    }
+
+    /// The native basis gate, when the device has one.
+    pub fn basis(&self) -> Option<BasisGate> {
+        self.basis
+    }
+
+    /// The error-model specification applied via [`Device::with_error_model`].
+    pub fn error_model(&self) -> Option<&ErrorModelSpec> {
+        self.error_model.as_ref()
+    }
+
+    /// The [`Machine`] this device was built from, when it came from
+    /// [`Device::from_machine`].
+    pub fn machine(&self) -> Option<Machine> {
+        self.machine
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.graph.num_qubits()
+    }
+
+    /// True when `circuit` fits on this device.
+    pub fn fits(&self, circuit: &Circuit) -> bool {
+        circuit.num_qubits() <= self.graph.num_qubits()
+    }
+
+    /// Runs `pipeline` on this device. The pipeline's default
+    /// `BasisChoice::Device` translation stage resolves to this device's
+    /// native basis (no translation when the device has none).
+    pub fn transpile(&self, circuit: &Circuit, pipeline: &Pipeline) -> TranspileResult {
+        pipeline.run_with_native_basis(circuit, &self.graph, self.basis)
+    }
+
+    /// A stable fingerprint of the device's per-edge error rates, mixed into
+    /// sweep-store cache keys so re-calibrating a device (same label,
+    /// different noise) never resurrects stale cached results.
+    pub fn noise_digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(8 * (1 + 3 * self.graph.num_edges()));
+        bytes.extend_from_slice(&self.graph.default_edge_error().to_bits().to_le_bytes());
+        for ((a, b), rate) in self.graph.edge_errors() {
+            bytes.extend_from_slice(&(a as u64).to_le_bytes());
+            bytes.extend_from_slice(&(b as u64).to_le_bytes());
+            bytes.extend_from_slice(&rate.to_bits().to_le_bytes());
+        }
+        snailqc_util::fnv1a_64(&bytes)
+    }
+}
+
+impl From<CouplingGraph> for Device {
+    fn from(graph: CouplingGraph) -> Self {
+        Self::from_graph(graph)
+    }
+}
+
+impl From<Machine> for Device {
+    fn from(machine: Machine) -> Self {
+        Self::from_machine(machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SizeClass;
+
+    #[test]
+    fn from_machine_round_trips() {
+        for machine in Machine::figure13_lineup() {
+            let device = Device::from_machine(machine);
+            assert_eq!(device.machine(), Some(machine));
+            assert_eq!(device.basis(), Some(machine.basis));
+            assert_eq!(device.label(), machine.label());
+            assert_eq!(device.graph(), &machine.graph());
+        }
+    }
+
+    #[test]
+    fn from_catalog_resolves_forgivingly_and_rejects_unknown_names() {
+        let device = Device::from_catalog("CORRAL_1_1_16").unwrap();
+        assert_eq!(device.label(), "Corral1,1-16");
+        assert!(device.basis().is_none());
+        let err = Device::from_catalog("no-such-device").unwrap_err();
+        assert!(err.contains("corral11-16"), "{err}");
+    }
+
+    #[test]
+    fn with_error_model_stamps_rates_and_records_the_spec() {
+        let device = Device::from_catalog("tree-20")
+            .unwrap()
+            .with_error_model(ErrorModelSpec::preset("calibrated").unwrap())
+            .unwrap();
+        assert!(!device.graph().edge_errors_uniform());
+        assert!(device.error_model().is_some());
+        // Bad overrides surface as errors instead of silently no-opping.
+        let err = Device::from_catalog("tree-20")
+            .unwrap()
+            .with_error_model(ErrorModelSpec::from_json(r#"{"edges": [[0, 19, 0.1]]}"#).unwrap());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn transpile_uses_the_native_basis_by_default() {
+        let circuit = snailqc_workloads::qft(8, true);
+        let device = Device::from_machine(Machine::ibm_baseline(SizeClass::Small));
+        let result = device.transpile(&circuit, &Pipeline::default());
+        assert_eq!(result.report.basis, Some(BasisGate::Cnot));
+        assert!(result.translated.is_some());
+        // A basis-less device routes without translating.
+        let bare = Device::from_catalog("hypercube-16").unwrap();
+        let routed_only = bare.transpile(&circuit, &Pipeline::default());
+        assert!(routed_only.translated.is_none());
+    }
+
+    #[test]
+    fn noise_digest_tracks_calibration_not_label() {
+        let uniform = Device::from_catalog("tree-20").unwrap();
+        let calibrated = Device::from_catalog("tree-20")
+            .unwrap()
+            .with_error_model(ErrorModelSpec::preset("calibrated").unwrap())
+            .unwrap();
+        assert_ne!(uniform.noise_digest(), calibrated.noise_digest());
+        assert_eq!(
+            uniform.noise_digest(),
+            Device::from_catalog("tree-20").unwrap().noise_digest()
+        );
+    }
+
+    #[test]
+    fn fits_checks_qubit_budget() {
+        let device = Device::from_catalog("hypercube-16").unwrap();
+        assert!(device.fits(&snailqc_workloads::ghz(16)));
+        assert!(!device.fits(&snailqc_workloads::ghz(17)));
+        assert_eq!(device.num_qubits(), 16);
+    }
+}

@@ -178,12 +178,16 @@ pub fn fidelity_advantage(
 mod tests {
     use super::*;
     use snailqc_topology::catalog;
-    use snailqc_transpiler::{transpile, TranspileOptions};
+    use snailqc_transpiler::Pipeline;
     use snailqc_workloads::Workload;
 
     fn report_for(basis: BasisGate, graph: &snailqc_topology::CouplingGraph) -> TranspileReport {
         let circuit = Workload::Qft.generate(12, 3);
-        transpile(&circuit, graph, &TranspileOptions::with_basis(basis)).report
+        Pipeline::builder()
+            .translate_to(basis)
+            .build()
+            .run(&circuit, graph)
+            .report
     }
 
     #[test]
@@ -239,14 +243,18 @@ mod tests {
     #[should_panic(expected = "needs a basis-translated report")]
     fn rejects_reports_without_basis() {
         let circuit = Workload::Ghz.generate(6, 1);
-        let report = transpile(&circuit, &catalog::tree_20(), &TranspileOptions::default()).report;
+        let report = Pipeline::default()
+            .run(&circuit, &catalog::tree_20())
+            .report;
         estimate_fidelity(&report, &ErrorModel::default());
     }
 
     #[test]
     fn routed_estimate_works_without_basis() {
         let circuit = Workload::Qft.generate(8, 2);
-        let report = transpile(&circuit, &catalog::tree_20(), &TranspileOptions::default()).report;
+        let report = Pipeline::default()
+            .run(&circuit, &catalog::tree_20())
+            .report;
         let est = estimate_fidelity_routed(&report, &ErrorModel::default());
         assert!(est.basis.is_none());
         assert_eq!(est.gate_count, report.routed_two_qubit_gates);
@@ -279,13 +287,13 @@ mod tests {
         let graph = catalog::corral11_16();
         let mut degraded = graph.clone();
         degraded.scale_edge_error(0, 2, 50.0);
-        let options = TranspileOptions {
+        let pipeline = Pipeline::builder()
             // Noise-blind routing so both devices get the identical circuit.
-            router: RouterConfig::default(),
-            ..TranspileOptions::with_basis(BasisGate::SqrtISwap)
-        };
-        let clean = transpile(&circuit, &graph, &options).report;
-        let noisy = transpile(&circuit, &degraded, &options).report;
+            .router(RouterConfig::default())
+            .translate_to(BasisGate::SqrtISwap)
+            .build();
+        let clean = pipeline.run(&circuit, &graph).report;
+        let noisy = pipeline.run(&circuit, &degraded).report;
         assert_eq!(clean.swap_count, noisy.swap_count);
         let model = ErrorModel::default();
         let f_clean = estimate_fidelity_edges(&clean, &model);

@@ -10,13 +10,12 @@
 //! * §3.2: for an 80-qubit QAOA, Heavy-Hex needs 1.92× / 1.53× / 2.83× the
 //!   critical-path SWAPs of Square-Lattice / Lattice+AltDiag / Hypercube.
 
+use crate::device::Device;
 use crate::machine::{Machine, SizeClass};
 use serde::Serialize;
 use snailqc_decompose::BasisGate;
 use snailqc_topology::TopologyKind;
-use snailqc_transpiler::{
-    transpile, LayoutStrategy, RouterConfig, TranspileOptions, TranspileReport,
-};
+use snailqc_transpiler::{LayoutStrategy, Pipeline, RouterConfig, TranspileReport};
 use snailqc_workloads::Workload;
 
 /// Ratios between a baseline machine and a proposed machine, averaged over a
@@ -77,18 +76,17 @@ fn run_point(
     size: usize,
     config: &HeadlineConfig,
 ) -> TranspileReport {
-    let graph = machine.graph();
+    let device = Device::from_machine(*machine);
     let circuit = workload.generate(size, config.seed ^ size as u64);
-    let options = TranspileOptions {
-        layout: LayoutStrategy::Dense,
-        router: RouterConfig {
+    let pipeline = Pipeline::builder()
+        .layout(LayoutStrategy::Dense)
+        .router(RouterConfig {
             trials: config.routing_trials,
             seed: config.seed ^ (size as u64) << 16,
             ..RouterConfig::default()
-        },
-        basis: Some(machine.basis),
-    };
-    transpile(&circuit, &graph, &options).report
+        })
+        .build();
+    device.transpile(&circuit, &pipeline).report
 }
 
 /// Computes the headline ratios between two machines on a workload sweep.

@@ -1,14 +1,30 @@
 //! # snailqc-core
 //!
 //! The co-design experiment harness — the paper's primary contribution
-//! expressed as a library. It ties the other crates together:
+//! expressed as a library. It ties the other crates together around two
+//! first-class types:
 //!
-//! * [`machine::Machine`] — a (topology, basis gate) pairing, the unit of
-//!   co-design. Pre-built line-ups reproduce the machines compared in
-//!   Figs. 13 and 14 (Heavy-Hex/CNOT, Square-Lattice/SYC, and the SNAIL
-//!   machines with √iSWAP on Tree, Tree-RR, Corral and Hypercube).
-//! * [`sweep`] — (workload × size × machine) sweeps collecting total and
-//!   critical-path SWAP and 2Q gate counts, the data behind Figs. 4, 11–14.
+//! * [`device::Device`] — the unit of co-design as one artifact: a coupling
+//!   graph with per-edge noise, an optional native basis gate, and a label.
+//!   Built from the topology catalog ([`Device::from_catalog`]), from a
+//!   [`machine::Machine`] pairing ([`Device::from_machine`]), or from a bare
+//!   graph, then refined with [`Device::with_error_model`] /
+//!   [`Device::with_basis`]. [`Device::transpile`] runs a staged
+//!   [`Pipeline`](snailqc_transpiler::Pipeline) whose translation stage
+//!   defaults to the device's native gate.
+//! * [`machine::Machine`] — a (topology, basis gate) pairing. Pre-built
+//!   line-ups reproduce the machines compared in Figs. 13 and 14
+//!   (Heavy-Hex/CNOT, Square-Lattice/SYC, and the SNAIL machines with
+//!   √iSWAP on Tree, Tree-RR, Corral and Hypercube).
+//!
+//! On top of these sit the experiment engines:
+//!
+//! * [`sweep`] — (workload × size × device) sweeps collecting total and
+//!   critical-path SWAP and 2Q gate counts, the data behind Figs. 4, 11–14
+//!   ([`sweep::run_sweep`] over `&[Device]`).
+//! * [`store`] — the persistent sweep-result store: JSON-lines cache keyed
+//!   by (workload, size, device label, basis, seed, error weight, noise
+//!   digest) so repeated bench runs replay cells instead of re-routing.
 //! * [`headline`] — the summary ratios quoted in the abstract and §6
 //!   (hypercube+√iSWAP vs heavy-hex+CNOT, the Tree progression, the QAOA
 //!   critical-path comparison).
@@ -17,13 +33,14 @@
 //!   edge-aware fidelity estimation ([`fidelity::estimate_fidelity_edges`]).
 //!
 //! ```
+//! use snailqc_core::device::Device;
 //! use snailqc_core::machine::{Machine, SizeClass};
-//! use snailqc_core::sweep::{run_codesign_sweep, SweepConfig};
+//! use snailqc_core::sweep::{run_sweep, SweepConfig};
 //! use snailqc_workloads::Workload;
 //!
-//! let machines = [
-//!     Machine::ibm_baseline(SizeClass::Small),
-//!     Machine::snail_machines(SizeClass::Small)[0],
+//! let devices = [
+//!     Device::from_machine(Machine::ibm_baseline(SizeClass::Small)),
+//!     Device::from_machine(Machine::snail_machines(SizeClass::Small)[0]),
 //! ];
 //! let config = SweepConfig {
 //!     workloads: vec![Workload::Ghz],
@@ -32,18 +49,27 @@
 //!     error_weight: 0.0,
 //!     seed: 1,
 //! };
-//! let points = run_codesign_sweep(&machines, &config);
+//! let points = run_sweep(&devices, &config);
 //! assert_eq!(points.len(), 2);
 //! ```
+//!
+//! [`Device::from_catalog`]: device::Device::from_catalog
+//! [`Device::from_machine`]: device::Device::from_machine
+//! [`Device::with_error_model`]: device::Device::with_error_model
+//! [`Device::with_basis`]: device::Device::with_basis
+//! [`Device::transpile`]: device::Device::transpile
 
 #![warn(missing_docs)]
 
+pub mod device;
 pub mod fidelity;
 pub mod headline;
 pub mod machine;
 pub mod noise;
+pub mod store;
 pub mod sweep;
 
+pub use device::Device;
 pub use fidelity::{
     estimate_fidelity, estimate_fidelity_edges, estimate_fidelity_routed, ErrorModel,
     FidelityEstimate,
@@ -51,4 +77,7 @@ pub use fidelity::{
 pub use headline::{headline_ratios, quantum_volume_headline, HeadlineConfig, HeadlineRatios};
 pub use machine::{Machine, SizeClass};
 pub use noise::{EdgeNoise, ErrorModelSpec};
-pub use sweep::{run_codesign_sweep, run_swap_sweep, SweepConfig, SweepPoint};
+pub use store::SweepStore;
+#[allow(deprecated)]
+pub use sweep::{run_codesign_sweep, run_swap_sweep};
+pub use sweep::{run_sweep, run_sweep_with_store, SweepConfig, SweepPoint};

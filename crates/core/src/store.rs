@@ -1,0 +1,303 @@
+//! Persistent sweep-result store: JSON-lines cache of transpiled cells.
+//!
+//! Routing is by far the most expensive stage of a sweep, and the bench
+//! binaries re-run the same (workload, size, device, seed) cells on every
+//! invocation. A [`SweepStore`] persists each cell's [`TranspileReport`] as
+//! one JSON line keyed by everything that determines it — workload, size,
+//! device label, basis, seed, error weight, routing trials, and a digest of
+//! the device's per-edge calibration — so repeated runs replay cached cells
+//! instead of re-routing (the ROADMAP's sweep-store item). The file format
+//! is append-friendly plain JSON-lines under `target/paper-results/` and
+//! corrupt lines are skipped, so a killed run never poisons the cache.
+//!
+//! Wire the store into a sweep with
+//! [`run_sweep_with_store`](crate::sweep::run_sweep_with_store).
+
+use crate::device::Device;
+use crate::sweep::SweepConfig;
+use snailqc_decompose::BasisGate;
+use snailqc_transpiler::TranspileReport;
+use snailqc_workloads::Workload;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A keyed, file-backed cache of sweep-cell reports.
+#[derive(Debug)]
+pub struct SweepStore {
+    path: PathBuf,
+    entries: BTreeMap<String, TranspileReport>,
+    /// Cells answered from the cache since opening.
+    hits: usize,
+    /// New cells inserted since opening (pending and flushed).
+    inserted: usize,
+}
+
+impl SweepStore {
+    /// Opens the store at `path`, loading any existing entries. A missing
+    /// file is an empty store; unparseable lines are skipped.
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let mut entries = BTreeMap::new();
+        if let Ok(text) = fs::read_to_string(&path) {
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if let Some((key, report)) = parse_line(line) {
+                    entries.insert(key, report);
+                }
+            }
+        }
+        Self {
+            path,
+            entries,
+            hits: 0,
+            inserted: 0,
+        }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the store holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cells answered from the cache since opening.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// New cells inserted since opening.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Looks up a cell, counting a hit when present.
+    pub fn get(&mut self, key: &str) -> Option<TranspileReport> {
+        let report = self.entries.get(key).copied();
+        if report.is_some() {
+            self.hits += 1;
+        }
+        report
+    }
+
+    /// Inserts (or replaces) a cell.
+    pub fn insert(&mut self, key: String, report: TranspileReport) {
+        self.entries.insert(key, report);
+        self.inserted += 1;
+    }
+
+    /// Persists every cached cell (sorted by key, one JSON line each),
+    /// creating parent directories as needed. A no-op when nothing was
+    /// inserted since opening, so warm replay runs never touch the file; the
+    /// rewrite goes through a temp file + rename so a killed run leaves the
+    /// previous store intact instead of a truncated one.
+    pub fn flush(&self) -> std::io::Result<()> {
+        if self.inserted == 0 {
+            return Ok(());
+        }
+        if let Some(parent) = self.path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut out = Vec::new();
+        for (key, report) in &self.entries {
+            let line = serde::Value::Object(vec![
+                ("key".into(), serde::Value::String(key.clone())),
+                ("report".into(), serde_json::to_value(report)),
+            ]);
+            writeln!(
+                out,
+                "{}",
+                serde_json::to_string(&line).map_err(std::io::Error::other)?
+            )?;
+        }
+        let tmp = self.path.with_extension("jsonl.tmp");
+        fs::write(&tmp, out)?;
+        fs::rename(&tmp, &self.path)
+    }
+}
+
+/// Cache-key schema / algorithm fingerprint. The crate version is mixed into
+/// every key so cells cached by an older build are never replayed after a
+/// release that may have changed the router or translation counting; bump
+/// the `v*` tag to force invalidation within a release.
+const KEY_VERSION: &str = concat!("v1-", env!("CARGO_PKG_VERSION"));
+
+/// The cache key of one sweep cell: everything that determines its report,
+/// plus the code-version fingerprint [`KEY_VERSION`].
+pub fn cell_key(workload: Workload, size: usize, device: &Device, config: &SweepConfig) -> String {
+    format!(
+        "{KEY_VERSION}|{:?}|{}|{}|{:?}|seed={}|trials={}|ew={:?}|noise={:016x}",
+        workload,
+        size,
+        device.label(),
+        device.basis(),
+        config.seed,
+        config.routing_trials,
+        config.error_weight,
+        device.noise_digest(),
+    )
+}
+
+/// Parses one stored JSON line back into `(key, report)`. Returns `None`
+/// (skipping the line) on any structural mismatch.
+fn parse_line(line: &str) -> Option<(String, TranspileReport)> {
+    let value = serde_json::from_str(line).ok()?;
+    let key = value.get("key")?.as_str()?.to_string();
+    let report = value.get("report")?;
+    let field = |name: &str| report.get(name)?.as_f64();
+    let count = |name: &str| field(name).map(|v| v as usize);
+    let basis = match report.get("basis")? {
+        serde::Value::Null => None,
+        value => Some(basis_from_variant(value.as_str()?)?),
+    };
+    Some((
+        key,
+        TranspileReport {
+            logical_qubits: count("logical_qubits")?,
+            physical_qubits: count("physical_qubits")?,
+            input_two_qubit_gates: count("input_two_qubit_gates")?,
+            swap_count: count("swap_count")?,
+            swap_depth: count("swap_depth")?,
+            routed_two_qubit_gates: count("routed_two_qubit_gates")?,
+            routed_two_qubit_depth: count("routed_two_qubit_depth")?,
+            basis,
+            basis_gate_count: count("basis_gate_count")?,
+            basis_gate_depth: count("basis_gate_depth")?,
+            error_weight: field("error_weight")?,
+            routed_edge_log_fidelity: field("routed_edge_log_fidelity")?,
+            basis_edge_log_fidelity: field("basis_edge_log_fidelity")?,
+        },
+    ))
+}
+
+/// Inverse of the derive(Serialize) unit-variant encoding of [`BasisGate`].
+fn basis_from_variant(name: &str) -> Option<BasisGate> {
+    match name {
+        "Cnot" => Some(BasisGate::Cnot),
+        "SqrtISwap" => Some(BasisGate::SqrtISwap),
+        "Syc" => Some(BasisGate::Syc),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snailqc_transpiler::Pipeline;
+
+    fn store_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("snailqc-store-tests");
+        let _ = fs::create_dir_all(&dir);
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn sample_report(basis: Option<BasisGate>) -> TranspileReport {
+        let circuit = snailqc_workloads::qft(8, true);
+        let mut device = Device::from_catalog("hypercube-16").unwrap();
+        if let Some(basis) = basis {
+            device = device.with_basis(basis);
+        }
+        device.transpile(&circuit, &Pipeline::default()).report
+    }
+
+    #[test]
+    fn reports_round_trip_through_the_file_bitwise() {
+        let path = store_path("roundtrip");
+        let _ = fs::remove_file(&path);
+        let mut store = SweepStore::open(&path);
+        let with_basis = sample_report(Some(BasisGate::SqrtISwap));
+        let routed_only = sample_report(None);
+        store.insert("a".into(), with_basis);
+        store.insert("b".into(), routed_only);
+        store.flush().unwrap();
+
+        let mut reopened = SweepStore::open(&path);
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get("a"), Some(with_basis));
+        assert_eq!(reopened.get("b"), Some(routed_only));
+        assert_eq!(reopened.hits(), 2);
+        assert_eq!(reopened.get("missing"), None);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_not_fatal() {
+        let path = store_path("corrupt");
+        let mut store = SweepStore::open(&path);
+        store.insert("good".into(), sample_report(None));
+        store.flush().unwrap();
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("not json at all\n{\"key\": \"half\"}\n");
+        fs::write(&path, text).unwrap();
+
+        let reopened = SweepStore::open(&path);
+        assert_eq!(reopened.len(), 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_opens_empty() {
+        let store = SweepStore::open(store_path("never-created"));
+        assert!(store.is_empty());
+        assert_eq!(store.hits(), 0);
+    }
+
+    #[test]
+    fn cell_keys_separate_every_axis() {
+        let config = SweepConfig::smoke();
+        let tree = Device::from_catalog("tree-20").unwrap();
+        let base = cell_key(Workload::Qft, 8, &tree, &config);
+        // Different workload, size, device, basis, seed, or calibration ⇒
+        // different key.
+        assert_ne!(base, cell_key(Workload::Ghz, 8, &tree, &config));
+        assert_ne!(base, cell_key(Workload::Qft, 10, &tree, &config));
+        assert_ne!(
+            base,
+            cell_key(
+                Workload::Qft,
+                8,
+                &Device::from_catalog("tree-84").unwrap(),
+                &config
+            )
+        );
+        assert_ne!(
+            base,
+            cell_key(
+                Workload::Qft,
+                8,
+                &tree.clone().with_basis(BasisGate::SqrtISwap),
+                &config
+            )
+        );
+        assert_ne!(
+            base,
+            cell_key(
+                Workload::Qft,
+                8,
+                &tree,
+                &SweepConfig {
+                    seed: config.seed + 1,
+                    ..config.clone()
+                }
+            )
+        );
+        let recalibrated = tree
+            .clone()
+            .with_error_model(crate::noise::ErrorModelSpec::preset("calibrated").unwrap())
+            .unwrap();
+        assert_ne!(base, cell_key(Workload::Qft, 8, &recalibrated, &config));
+    }
+}

@@ -1,20 +1,23 @@
-//! Benchmark sweeps over (workload, size, machine) — the engine behind
+//! Benchmark sweeps over (workload, size, device) — the engine behind
 //! Figs. 4 and 11–14.
 //!
 //! A sweep transpiles every workload at every requested size onto every
-//! machine and records the paper's four series (total / critical-path SWAPs,
-//! total / critical-path 2Q gates). Results serialize to JSON so the bench
-//! binaries can emit machine-readable tables alongside the printed ones.
+//! [`Device`] and records the paper's four series (total / critical-path
+//! SWAPs, total / critical-path 2Q gates). Devices with a native basis get a
+//! translation stage (the co-designed comparison of Figs. 13/14); bare
+//! devices are routed gate-agnostically (Figs. 4/11/12). Results serialize
+//! to JSON so the bench binaries can emit machine-readable tables alongside
+//! the printed ones, and [`run_sweep_with_store`] replays cached cells from
+//! a [`SweepStore`] instead of re-routing them.
 
-use crate::machine::Machine;
+use crate::device::Device;
+use crate::store::{cell_key, SweepStore};
 use rayon::prelude::*;
 use serde::Serialize;
 use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
 use snailqc_topology::CouplingGraph;
-use snailqc_transpiler::{
-    transpile, LayoutStrategy, RouterConfig, TranspileOptions, TranspileReport,
-};
+use snailqc_transpiler::{LayoutStrategy, Pipeline, RouterConfig, TranspileReport};
 use snailqc_workloads::Workload;
 
 /// One transpiled data point of a sweep.
@@ -24,7 +27,7 @@ pub struct SweepPoint {
     pub workload: Workload,
     /// Program size in qubits.
     pub circuit_qubits: usize,
-    /// Topology name (e.g. `Tree-84`).
+    /// Device label (e.g. `Tree-84` or `Heavy-Hex-CX`).
     pub topology: String,
     /// Basis gate, when basis translation ran.
     pub basis: Option<BasisGate>,
@@ -42,7 +45,7 @@ pub struct SweepConfig {
     /// Routing trials per point (StochasticSwap analogue).
     pub routing_trials: usize,
     /// Fidelity weight of the router's SWAP scoring (`0` = noise-blind; only
-    /// matters on graphs with heterogeneous per-edge error rates).
+    /// matters on devices with heterogeneous per-edge error rates).
     pub error_weight: f64,
     /// Base RNG seed.
     pub seed: u64,
@@ -81,19 +84,51 @@ impl SweepConfig {
             seed: 3,
         }
     }
+
+    /// The per-cell pipeline of this sweep: dense layout, the configured
+    /// trials and error weight, and a router seed derived from the sweep
+    /// seed and the cell's requested size alone — so results never depend on
+    /// worker-thread count or cell order.
+    pub fn pipeline(&self, size: usize) -> Pipeline {
+        Pipeline::builder()
+            .layout(LayoutStrategy::Dense)
+            .router(RouterConfig {
+                trials: self.routing_trials,
+                seed: self.seed ^ (size as u64) << 16,
+                error_weight: self.error_weight,
+                ..RouterConfig::default()
+            })
+            .build()
+    }
 }
 
 /// One independent transpilation cell of a sweep: a generated circuit paired
-/// with a target device and the basis/label it should be reported under.
+/// with a target device.
 struct SweepCell<'a> {
     workload: Workload,
     /// Requested problem size (keys the per-point router seed; the generated
     /// circuit may be smaller, e.g. the adder).
     size: usize,
     circuit: &'a Circuit,
-    graph: &'a CouplingGraph,
-    topology: String,
-    basis: Option<BasisGate>,
+    device: &'a Device,
+}
+
+impl SweepCell<'_> {
+    fn transpile(&self, config: &SweepConfig) -> TranspileReport {
+        self.device
+            .transpile(self.circuit, &config.pipeline(self.size))
+            .report
+    }
+
+    fn point(&self, report: TranspileReport) -> SweepPoint {
+        SweepPoint {
+            workload: self.workload,
+            circuit_qubits: self.circuit.num_qubits(),
+            topology: self.device.label().to_string(),
+            basis: self.device.basis(),
+            report,
+        }
+    }
 }
 
 /// Generates every workload circuit once per (workload, size) pair.
@@ -113,83 +148,108 @@ fn generate_circuits(config: &SweepConfig) -> Vec<(Workload, usize, Circuit)> {
         .collect()
 }
 
-/// Transpiles every cell in parallel. Each cell derives its router seed from
-/// the sweep seed and the requested size alone, and results are collected in
-/// cell order, so the output is bitwise-identical to the sequential sweep
-/// regardless of worker-thread count.
-fn run_cells(cells: &[SweepCell<'_>], config: &SweepConfig) -> Vec<SweepPoint> {
-    cells
-        .par_iter()
-        .map(|cell| {
-            let options = TranspileOptions {
-                layout: LayoutStrategy::Dense,
-                router: RouterConfig {
-                    trials: config.routing_trials,
-                    seed: config.seed ^ (cell.size as u64) << 16,
-                    error_weight: config.error_weight,
-                    ..RouterConfig::default()
-                },
-                basis: cell.basis,
-            };
-            let result = transpile(cell.circuit, cell.graph, &options);
-            SweepPoint {
-                workload: cell.workload,
-                circuit_qubits: cell.circuit.num_qubits(),
-                topology: cell.topology.clone(),
-                basis: cell.basis,
-                report: result.report,
-            }
+/// Builds the cell grid: workload-major, then size, then device, skipping
+/// devices too small for the generated circuit. This is the single cell
+/// assembly every sweep flavour shares (the old gate-agnostic and co-design
+/// engines each had their own copy).
+fn build_cells<'a>(
+    circuits: &'a [(Workload, usize, Circuit)],
+    devices: &'a [Device],
+) -> Vec<SweepCell<'a>> {
+    circuits
+        .iter()
+        .flat_map(|(workload, size, circuit)| {
+            devices
+                .iter()
+                .filter(|device| device.fits(circuit))
+                .map(move |device| SweepCell {
+                    workload: *workload,
+                    size: *size,
+                    circuit,
+                    device,
+                })
         })
         .collect()
 }
 
-/// Runs a gate-agnostic sweep (routing only, no basis translation) over a set
-/// of named coupling graphs — the engine of Figs. 4, 11 and 12. Cells are
-/// transpiled in parallel with deterministic per-point seeds.
-pub fn run_swap_sweep(graphs: &[CouplingGraph], config: &SweepConfig) -> Vec<SweepPoint> {
+/// Runs a sweep over a set of devices: every workload at every size onto
+/// every device that fits it, in parallel with deterministic per-point
+/// seeds. Devices with a native basis are basis-translated; bare devices are
+/// routed gate-agnostically.
+pub fn run_sweep(devices: &[Device], config: &SweepConfig) -> Vec<SweepPoint> {
+    run_sweep_with_store(devices, config, None)
+}
+
+/// [`run_sweep`], replaying cached cells from `store` when one is given.
+/// Cache misses are transpiled in parallel (bitwise-identical to an uncached
+/// run), inserted into the store, and flushed back to disk.
+pub fn run_sweep_with_store(
+    devices: &[Device],
+    config: &SweepConfig,
+    store: Option<&mut SweepStore>,
+) -> Vec<SweepPoint> {
     let circuits = generate_circuits(config);
-    let cells: Vec<SweepCell<'_>> = circuits
+    let cells = build_cells(&circuits, devices);
+    let Some(store) = store else {
+        return cells
+            .par_iter()
+            .map(|cell| cell.point(cell.transpile(config)))
+            .collect();
+    };
+
+    // Resolve cache hits sequentially, then transpile only the misses in
+    // parallel; each cell's seed depends only on its own coordinates, so the
+    // split cannot change any result.
+    let keys: Vec<String> = cells
         .iter()
-        .flat_map(|(workload, size, circuit)| {
-            graphs
-                .iter()
-                .filter(|graph| graph.num_qubits() >= circuit.num_qubits())
-                .map(move |graph| SweepCell {
-                    workload: *workload,
-                    size: *size,
-                    circuit,
-                    graph,
-                    topology: graph.name().to_string(),
-                    basis: None,
-                })
-        })
+        .map(|cell| cell_key(cell.workload, cell.size, cell.device, config))
         .collect();
-    run_cells(&cells, config)
+    let mut reports: Vec<Option<TranspileReport>> = keys.iter().map(|key| store.get(key)).collect();
+    let missing: Vec<usize> = (0..cells.len()).filter(|&i| reports[i].is_none()).collect();
+    let computed: Vec<(usize, TranspileReport)> = missing
+        .par_iter()
+        .map(|&i| (i, cells[i].transpile(config)))
+        .collect();
+    for (i, report) in computed {
+        store.insert(keys[i].clone(), report);
+        reports[i] = Some(report);
+    }
+    if let Err(err) = store.flush() {
+        eprintln!(
+            "warning: could not persist sweep store {}: {err}",
+            store.path().display()
+        );
+    }
+    cells
+        .iter()
+        .zip(reports)
+        .map(|(cell, report)| cell.point(report.expect("every cell resolved")))
+        .collect()
+}
+
+/// Runs a gate-agnostic sweep (routing only, no basis translation) over a
+/// set of named coupling graphs — the old engine of Figs. 4, 11 and 12.
+#[deprecated(
+    since = "0.2.0",
+    note = "wrap the graphs in `Device::from_graph` and call `run_sweep`"
+)]
+pub fn run_swap_sweep(graphs: &[CouplingGraph], config: &SweepConfig) -> Vec<SweepPoint> {
+    let devices: Vec<Device> = graphs.iter().cloned().map(Device::from_graph).collect();
+    run_sweep(&devices, config)
 }
 
 /// Runs a co-designed sweep (routing plus basis translation) over a set of
-/// machines — the engine of Figs. 13 and 14. Cells are transpiled in parallel
-/// with deterministic per-point seeds.
-pub fn run_codesign_sweep(machines: &[Machine], config: &SweepConfig) -> Vec<SweepPoint> {
-    let graphs: Vec<(Machine, CouplingGraph)> = machines.iter().map(|m| (*m, m.graph())).collect();
-    let circuits = generate_circuits(config);
-    let cells: Vec<SweepCell<'_>> = circuits
-        .iter()
-        .flat_map(|(workload, size, circuit)| {
-            graphs
-                .iter()
-                .filter(|(_, graph)| graph.num_qubits() >= circuit.num_qubits())
-                .map(move |(machine, graph)| SweepCell {
-                    workload: *workload,
-                    size: *size,
-                    circuit,
-                    graph,
-                    topology: machine.label(),
-                    basis: Some(machine.basis),
-                })
-        })
-        .collect();
-    run_cells(&cells, config)
+/// machines — the old engine of Figs. 13 and 14.
+#[deprecated(
+    since = "0.2.0",
+    note = "wrap the machines in `Device::from_machine` and call `run_sweep`"
+)]
+pub fn run_codesign_sweep(
+    machines: &[crate::machine::Machine],
+    config: &SweepConfig,
+) -> Vec<SweepPoint> {
+    let devices: Vec<Device> = machines.iter().copied().map(Device::from_machine).collect();
+    run_sweep(&devices, config)
 }
 
 /// Aggregates sweep points: average of `metric` over all points matching a
@@ -217,14 +277,18 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::SizeClass;
+    use crate::machine::{Machine, SizeClass};
     use snailqc_topology::catalog;
 
+    fn graph_devices(graphs: Vec<CouplingGraph>) -> Vec<Device> {
+        graphs.into_iter().map(Device::from_graph).collect()
+    }
+
     #[test]
-    fn swap_sweep_produces_a_point_per_cell() {
-        let graphs = vec![catalog::hypercube_16(), catalog::tree_20()];
+    fn sweep_produces_a_point_per_cell() {
+        let devices = graph_devices(vec![catalog::hypercube_16(), catalog::tree_20()]);
         let config = SweepConfig::smoke();
-        let points = run_swap_sweep(&graphs, &config);
+        let points = run_sweep(&devices, &config);
         // 2 workloads × 2 sizes × 2 graphs.
         assert_eq!(points.len(), 8);
         for p in &points {
@@ -237,13 +301,13 @@ mod tests {
     }
 
     #[test]
-    fn codesign_sweep_translates_to_each_machine_basis() {
-        let machines = vec![
-            Machine::ibm_baseline(SizeClass::Small),
-            Machine::snail_machines(SizeClass::Small)[0],
+    fn machine_devices_translate_to_their_native_basis() {
+        let devices = vec![
+            Device::from_machine(Machine::ibm_baseline(SizeClass::Small)),
+            Device::from_machine(Machine::snail_machines(SizeClass::Small)[0]),
         ];
         let config = SweepConfig::smoke();
-        let points = run_codesign_sweep(&machines, &config);
+        let points = run_sweep(&devices, &config);
         assert_eq!(points.len(), 8);
         for p in &points {
             assert!(p.basis.is_some());
@@ -253,7 +317,7 @@ mod tests {
 
     #[test]
     fn oversized_circuits_are_skipped() {
-        let graphs = vec![catalog::hypercube_16()];
+        let devices = graph_devices(vec![catalog::hypercube_16()]);
         let config = SweepConfig {
             workloads: vec![Workload::Ghz],
             sizes: vec![30],
@@ -261,7 +325,7 @@ mod tests {
             error_weight: 0.0,
             seed: 1,
         };
-        let points = run_swap_sweep(&graphs, &config);
+        let points = run_sweep(&devices, &config);
         assert!(points.is_empty());
     }
 
@@ -278,11 +342,11 @@ mod tests {
 
     #[test]
     fn parallel_sweeps_are_deterministic() {
-        let graphs = vec![
+        let devices = graph_devices(vec![
             catalog::hypercube_16(),
             catalog::tree_20(),
             catalog::heavy_hex_20(),
-        ];
+        ]);
         let config = SweepConfig {
             workloads: vec![Workload::Qft, Workload::QaoaVanilla],
             sizes: vec![6, 10],
@@ -290,18 +354,18 @@ mod tests {
             routing_trials: 2,
             seed: 99,
         };
-        let a = run_swap_sweep(&graphs, &config);
-        let b = run_swap_sweep(&graphs, &config);
+        let a = run_sweep(&devices, &config);
+        let b = run_sweep(&devices, &config);
         assert!(
             points_equal(&a, &b),
             "repeated sweeps must be bitwise-stable"
         );
-        // Cell order is workload-major, then size, then graph.
+        // Cell order is workload-major, then size, then device.
         let mut expected: Vec<(Workload, String)> = Vec::new();
         for w in &config.workloads {
             for _size in &config.sizes {
-                for g in &graphs {
-                    expected.push((*w, g.name().to_string()));
+                for d in &devices {
+                    expected.push((*w, d.label().to_string()));
                 }
             }
         }
@@ -311,10 +375,66 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_means_are_in_range() {
-        let graphs = vec![catalog::hypercube_16(), catalog::heavy_hex_20()];
+    fn stored_sweeps_replay_identically() {
+        let path =
+            std::env::temp_dir().join(format!("snailqc-sweep-store-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let devices = vec![
+            Device::from_graph(catalog::hypercube_16()),
+            Device::from_machine(Machine::ibm_baseline(SizeClass::Small)),
+        ];
         let config = SweepConfig::smoke();
-        let points = run_swap_sweep(&graphs, &config);
+
+        let fresh = run_sweep(&devices, &config);
+        let mut store = SweepStore::open(&path);
+        let cold = run_sweep_with_store(&devices, &config, Some(&mut store));
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.inserted(), fresh.len());
+        assert!(
+            points_equal(&fresh, &cold),
+            "cold store must not change results"
+        );
+
+        let mut store = SweepStore::open(&path);
+        let warm = run_sweep_with_store(&devices, &config, Some(&mut store));
+        assert_eq!(store.hits(), fresh.len(), "every cell should replay");
+        assert_eq!(store.inserted(), 0);
+        assert!(
+            points_equal(&fresh, &warm),
+            "warm store must not change results"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_device_sweep() {
+        let graphs = vec![catalog::hypercube_16(), catalog::tree_20()];
+        let machines = vec![
+            Machine::ibm_baseline(SizeClass::Small),
+            Machine::google_baseline(SizeClass::Small),
+        ];
+        let config = SweepConfig::smoke();
+        let legacy_swap = run_swap_sweep(&graphs, &config);
+        let new_swap = run_sweep(&graph_devices(graphs), &config);
+        assert!(points_equal(&legacy_swap, &new_swap));
+        let legacy_codesign = run_codesign_sweep(&machines, &config);
+        let new_codesign = run_sweep(
+            &machines
+                .iter()
+                .copied()
+                .map(Device::from_machine)
+                .collect::<Vec<_>>(),
+            &config,
+        );
+        assert!(points_equal(&legacy_codesign, &new_codesign));
+    }
+
+    #[test]
+    fn aggregate_means_are_in_range() {
+        let devices = graph_devices(vec![catalog::hypercube_16(), catalog::heavy_hex_20()]);
+        let config = SweepConfig::smoke();
+        let points = run_sweep(&devices, &config);
         let agg = aggregate_by_topology(&points, |r| r.swap_count as f64);
         assert!(!agg.is_empty());
         for (_, _, mean) in &agg {

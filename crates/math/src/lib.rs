@@ -8,7 +8,7 @@
 //! linear-algebra dependencies:
 //!
 //! * [`complex`] — a `C64` double-precision complex type.
-//! * [`matrix`] — dense [`Matrix2`](matrix::Matrix2) / [`Matrix4`](matrix::Matrix4)
+//! * [`matrix`] — dense [`Matrix2`] / [`Matrix4`]
 //!   operators with Kronecker products, adjoints, determinants and
 //!   Hilbert–Schmidt inner products.
 //! * [`gates`] — unitaries for the paper's gate zoo: CNOT/CZ, SWAP,

@@ -8,9 +8,15 @@
 //!   and the induced SWAP counts.
 //! * [`translate`] — structural basis translation into CNOT, SYC or √iSWAP
 //!   using the Weyl-chamber counting rules of `snailqc-decompose`.
-//! * [`pipeline`] — the end-to-end flow plus the [`pipeline::TranspileReport`]
-//!   carrying the four series every figure of the paper plots: total SWAPs,
-//!   critical-path SWAPs, total 2Q gates and critical-path 2Q gates.
+//! * [`pipeline`] — the staged end-to-end flow: a [`Pipeline`] built via
+//!   [`Pipeline::builder`] (layout → routing → translation → analysis) whose
+//!   runs produce the [`pipeline::TranspileReport`] carrying the four series
+//!   every figure of the paper plots — total SWAPs, critical-path SWAPs,
+//!   total 2Q gates and critical-path 2Q gates — plus a [`PassTrace`] with
+//!   per-stage timings and gate/SWAP deltas.
+//!
+//! The legacy one-shot [`transpile()`](pipeline::transpile) entry point is
+//! deprecated; it delegates to a [`Pipeline`] with bitwise-identical output.
 
 #![warn(missing_docs)]
 
@@ -20,6 +26,11 @@ pub mod routing;
 pub mod translate;
 
 pub use layout::{dense_layout, Layout, LayoutStrategy};
-pub use pipeline::{transpile, TranspileOptions, TranspileReport, TranspileResult};
+#[allow(deprecated)]
+pub use pipeline::transpile;
+pub use pipeline::{
+    BasisChoice, PassTrace, Pipeline, PipelineBuilder, StageTrace, TranspileOptions,
+    TranspileReport, TranspileResult,
+};
 pub use routing::{route, EdgeErrorSource, RoutedCircuit, RouterConfig};
 pub use translate::{count_basis_gates, critical_path_basis_gates, translate_to_basis};

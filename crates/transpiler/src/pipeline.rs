@@ -1,10 +1,34 @@
-//! The full transpilation-and-measurement flow of Fig. 10.
+//! The staged transpilation pipeline of Fig. 10.
 //!
-//! `Quantum circuit → placement → routing → (count SWAPs) → basis translation
-//! → (count 2Q gates)`. The [`TranspileReport`] bundles the four data series
-//! the paper collects for every (workload, size, topology, basis) point:
-//! total SWAPs, critical-path SWAPs, total 2Q basis gates, and critical-path
-//! 2Q basis gates (the pulse-duration proxy).
+//! `Quantum circuit → layout → routing → (count SWAPs) → basis translation
+//! → analysis (count 2Q gates)`. The stages are assembled with
+//! [`Pipeline::builder`], each with its own configuration:
+//!
+//! ```
+//! use snailqc_transpiler::{Pipeline, LayoutStrategy, RouterConfig};
+//! use snailqc_decompose::BasisGate;
+//! use snailqc_topology::builders;
+//! use snailqc_workloads::qft;
+//!
+//! let pipeline = Pipeline::builder()
+//!     .layout(LayoutStrategy::Dense)
+//!     .router(RouterConfig::default())
+//!     .translate_to(BasisGate::SqrtISwap)
+//!     .build();
+//! let result = pipeline.run(&qft(8, true), &builders::hypercube(4));
+//! assert!(result.report.basis_gate_count >= result.report.swap_count);
+//! ```
+//!
+//! A run produces a [`TranspileResult`]: the routed (and optionally
+//! basis-translated) circuit, the [`TranspileReport`] bundling the four data
+//! series the paper collects for every (workload, size, topology, basis)
+//! point — total SWAPs, critical-path SWAPs, total 2Q basis gates, and
+//! critical-path 2Q basis gates (the pulse-duration proxy) — plus a
+//! [`PassTrace`] recording per-stage wall time and gate/SWAP deltas for
+//! observability.
+//!
+//! The legacy one-shot [`transpile`] entry point survives as a deprecated
+//! shim; it delegates to a [`Pipeline`] and its output is bitwise-identical.
 
 use crate::layout::LayoutStrategy;
 use crate::routing::{route, RoutedCircuit, RouterConfig};
@@ -12,8 +36,13 @@ use crate::translate::translate_to_basis;
 use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
 use snailqc_topology::CouplingGraph;
+use std::time::Instant;
 
 /// Options controlling the transpilation pipeline.
+///
+/// This is the configuration carrier of the legacy [`transpile`] entry
+/// point; new code builds a [`Pipeline`] instead, which takes the same three
+/// per-stage configurations through its builder.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct TranspileOptions {
     /// Initial-placement strategy (the paper uses dense placement).
@@ -55,6 +84,332 @@ impl TranspileOptions {
     pub fn with_error_weight(mut self, error_weight: f64) -> Self {
         self.router.error_weight = error_weight;
         self
+    }
+}
+
+/// How the translation stage picks its target basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum BasisChoice {
+    /// Use the native basis of the device the pipeline runs on, when it has
+    /// one (resolved by `snailqc_core::device::Device::transpile`; running
+    /// directly on a bare [`CouplingGraph`] skips translation). This is the
+    /// default: on a co-designed machine the modulator chooses the gate.
+    Device,
+    /// Always translate into this basis, whatever the device says.
+    Fixed(BasisGate),
+    /// Stop after routing (the gate-agnostic SWAP studies of Figs. 4/11/12).
+    Skip,
+}
+
+impl BasisChoice {
+    /// Resolves the translation target given a device's native basis.
+    pub fn resolve(&self, native: Option<BasisGate>) -> Option<BasisGate> {
+        match self {
+            BasisChoice::Device => native,
+            BasisChoice::Fixed(basis) => Some(*basis),
+            BasisChoice::Skip => None,
+        }
+    }
+}
+
+/// The staged transpilation flow: layout → routing → translation → analysis.
+///
+/// Build one with [`Pipeline::builder`], then [`Pipeline::run`] it on any
+/// number of (circuit, device) pairs; a pipeline is an immutable recipe and
+/// every run is independent.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Pipeline {
+    layout: LayoutStrategy,
+    router: RouterConfig,
+    translation: BasisChoice,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl Pipeline {
+    /// Starts building a pipeline (dense layout, default router, translation
+    /// to the device's native basis).
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// Re-opens this pipeline as a builder, to derive a variant (e.g. the
+    /// same stages under a different seed).
+    pub fn to_builder(&self) -> PipelineBuilder {
+        PipelineBuilder {
+            layout: self.layout,
+            router: self.router,
+            translation: self.translation,
+        }
+    }
+
+    /// Converts legacy [`TranspileOptions`] into the equivalent pipeline
+    /// (`basis: None` maps to [`BasisChoice::Skip`], preserving the old
+    /// semantics exactly).
+    pub fn from_options(options: &TranspileOptions) -> Self {
+        Self {
+            layout: options.layout,
+            router: options.router,
+            translation: match options.basis {
+                Some(basis) => BasisChoice::Fixed(basis),
+                None => BasisChoice::Skip,
+            },
+        }
+    }
+
+    /// The configured layout strategy.
+    pub fn layout(&self) -> LayoutStrategy {
+        self.layout
+    }
+
+    /// The configured router.
+    pub fn router(&self) -> &RouterConfig {
+        &self.router
+    }
+
+    /// The configured translation stage.
+    pub fn translation(&self) -> BasisChoice {
+        self.translation
+    }
+
+    /// Runs the pipeline on `circuit` against a bare coupling graph. With
+    /// the default [`BasisChoice::Device`] translation, a bare graph carries
+    /// no native basis, so translation is skipped; use
+    /// [`PipelineBuilder::translate_to`] or run through
+    /// `snailqc_core::device::Device` to get a translated circuit.
+    pub fn run(&self, circuit: &Circuit, graph: &CouplingGraph) -> TranspileResult {
+        self.run_with_native_basis(circuit, graph, None)
+    }
+
+    /// Runs the pipeline with the device's native basis supplied by the
+    /// caller — the hook `snailqc_core::device::Device::transpile` uses to
+    /// resolve [`BasisChoice::Device`] without this crate depending on the
+    /// device layer.
+    pub fn run_with_native_basis(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        native_basis: Option<BasisGate>,
+    ) -> TranspileResult {
+        let basis = self.translation.resolve(native_basis);
+        let mut trace = PassTrace::default();
+
+        // Stage 1 — layout: pick the initial logical→physical placement.
+        let started = Instant::now();
+        let layout = self.layout.compute(circuit, graph);
+        trace.push(
+            "layout",
+            started,
+            (circuit.len(), circuit.two_qubit_count()),
+            (circuit.len(), circuit.two_qubit_count()),
+        );
+
+        // Stage 2 — routing: insert SWAPs until every 2Q gate is adjacent.
+        let started = Instant::now();
+        let routed = route(circuit, graph, &layout, &self.router);
+        trace.push(
+            "routing",
+            started,
+            (circuit.len(), circuit.two_qubit_count()),
+            (routed.circuit.len(), routed.circuit.two_qubit_count()),
+        );
+
+        // Stage 3 — translation: rewrite into the native basis, if any.
+        let translated = basis.map(|basis| {
+            let started = Instant::now();
+            let (translated, _) = translate_to_basis(&routed.circuit, basis);
+            trace.push(
+                "translation",
+                started,
+                (routed.circuit.len(), routed.circuit.two_qubit_count()),
+                (translated.len(), translated.two_qubit_count()),
+            );
+            translated
+        });
+
+        // Stage 4 — analysis: collect the paper's metrics.
+        let started = Instant::now();
+        let edge_rate = |a: usize, b: usize| self.router.edge_errors.rate(graph, a, b);
+        let mut report = TranspileReport {
+            logical_qubits: circuit.num_qubits(),
+            physical_qubits: graph.num_qubits(),
+            input_two_qubit_gates: circuit.two_qubit_count(),
+            swap_count: routed.swap_count,
+            swap_depth: routed.swap_depth(),
+            routed_two_qubit_gates: routed.circuit.two_qubit_count(),
+            routed_two_qubit_depth: routed.circuit.two_qubit_depth(),
+            basis,
+            basis_gate_count: 0,
+            basis_gate_depth: 0,
+            error_weight: self.router.error_weight,
+            routed_edge_log_fidelity: edge_log_fidelity(&routed.circuit, &edge_rate),
+            basis_edge_log_fidelity: 0.0,
+        };
+        if let Some(translated) = &translated {
+            report.basis_gate_count = translated.two_qubit_count();
+            report.basis_gate_depth = translated.two_qubit_depth();
+            report.basis_edge_log_fidelity = edge_log_fidelity(translated, &edge_rate);
+        }
+        let final_gates = translated
+            .as_ref()
+            .map(|t| (t.len(), t.two_qubit_count()))
+            .unwrap_or((routed.circuit.len(), routed.circuit.two_qubit_count()));
+        trace.push("analysis", started, final_gates, final_gates);
+
+        TranspileResult {
+            routed,
+            translated,
+            report,
+            trace,
+        }
+    }
+}
+
+/// Assembles a [`Pipeline`] stage by stage.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineBuilder {
+    layout: LayoutStrategy,
+    router: RouterConfig,
+    translation: BasisChoice,
+}
+
+impl Default for PipelineBuilder {
+    fn default() -> Self {
+        Self {
+            layout: LayoutStrategy::Dense,
+            router: RouterConfig::default(),
+            translation: BasisChoice::Device,
+        }
+    }
+}
+
+impl PipelineBuilder {
+    /// Sets the initial-placement strategy.
+    pub fn layout(mut self, layout: LayoutStrategy) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Sets the full router configuration.
+    pub fn router(mut self, router: RouterConfig) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Overrides the router seed, keeping the rest of the configuration.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.router.seed = seed;
+        self
+    }
+
+    /// Overrides the number of stochastic routing trials.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.router.trials = trials;
+        self
+    }
+
+    /// Overrides the fidelity weight of the SWAP scoring (`0` = noise-blind).
+    pub fn error_weight(mut self, error_weight: f64) -> Self {
+        self.router.error_weight = error_weight;
+        self
+    }
+
+    /// Always translate into `basis`, ignoring the device's native gate.
+    pub fn translate_to(mut self, basis: BasisGate) -> Self {
+        self.translation = BasisChoice::Fixed(basis);
+        self
+    }
+
+    /// Stop after routing (gate-agnostic SWAP studies).
+    pub fn routing_only(mut self) -> Self {
+        self.translation = BasisChoice::Skip;
+        self
+    }
+
+    /// Translate into the device's native basis when it has one (default).
+    pub fn device_basis(mut self) -> Self {
+        self.translation = BasisChoice::Device;
+        self
+    }
+
+    /// Sets the translation stage explicitly.
+    pub fn translation(mut self, choice: BasisChoice) -> Self {
+        self.translation = choice;
+        self
+    }
+
+    /// Finalizes the pipeline.
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            layout: self.layout,
+            router: self.router,
+            translation: self.translation,
+        }
+    }
+}
+
+/// Wall time and gate/SWAP deltas of one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct StageTrace {
+    /// Stage name: `layout`, `routing`, `translation` or `analysis`.
+    pub stage: &'static str,
+    /// Wall time the stage took, in microseconds.
+    pub micros: f64,
+    /// Total gates entering the stage.
+    pub gates_in: usize,
+    /// Total gates leaving the stage.
+    pub gates_out: usize,
+    /// Two-qubit gates entering the stage.
+    pub two_qubit_in: usize,
+    /// Two-qubit gates leaving the stage.
+    pub two_qubit_out: usize,
+}
+
+/// Per-stage observability record of one pipeline run: which stages ran, how
+/// long each took, and how each changed the circuit's gate counts.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct PassTrace {
+    /// The stages that ran, in execution order.
+    pub stages: Vec<StageTrace>,
+}
+
+impl PassTrace {
+    fn push(
+        &mut self,
+        stage: &'static str,
+        started: Instant,
+        (gates_in, two_qubit_in): (usize, usize),
+        (gates_out, two_qubit_out): (usize, usize),
+    ) {
+        self.stages.push(StageTrace {
+            stage,
+            micros: started.elapsed().as_secs_f64() * 1e6,
+            gates_in,
+            gates_out,
+            two_qubit_in,
+            two_qubit_out,
+        });
+    }
+
+    /// The trace of one stage by name, if it ran.
+    pub fn stage(&self, name: &str) -> Option<&StageTrace> {
+        self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// Total wall time across all stages, in microseconds.
+    pub fn total_micros(&self) -> f64 {
+        self.stages.iter().map(|s| s.micros).sum()
+    }
+
+    /// SWAP gates inserted by the routing stage (its two-qubit delta).
+    pub fn swaps_inserted(&self) -> usize {
+        self.stage("routing")
+            .map(|s| s.two_qubit_out - s.two_qubit_in)
+            .unwrap_or(0)
     }
 }
 
@@ -101,48 +456,22 @@ pub struct TranspileResult {
     pub translated: Option<Circuit>,
     /// The collected measurements.
     pub report: TranspileReport,
+    /// Per-stage timings and gate deltas.
+    pub trace: PassTrace,
 }
 
 /// Runs placement, routing and (optionally) basis translation of `circuit`
 /// onto `graph`, collecting the paper's metrics.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a staged `Pipeline` instead: `Pipeline::builder().layout(..).router(..).build().run(circuit, graph)`"
+)]
 pub fn transpile(
     circuit: &Circuit,
     graph: &CouplingGraph,
     options: &TranspileOptions,
 ) -> TranspileResult {
-    let layout = options.layout.compute(circuit, graph);
-    let routed = route(circuit, graph, &layout, &options.router);
-    let edge_rate = |a: usize, b: usize| options.router.edge_errors.rate(graph, a, b);
-
-    let mut report = TranspileReport {
-        logical_qubits: circuit.num_qubits(),
-        physical_qubits: graph.num_qubits(),
-        input_two_qubit_gates: circuit.two_qubit_count(),
-        swap_count: routed.swap_count,
-        swap_depth: routed.swap_depth(),
-        routed_two_qubit_gates: routed.circuit.two_qubit_count(),
-        routed_two_qubit_depth: routed.circuit.two_qubit_depth(),
-        basis: options.basis,
-        basis_gate_count: 0,
-        basis_gate_depth: 0,
-        error_weight: options.router.error_weight,
-        routed_edge_log_fidelity: edge_log_fidelity(&routed.circuit, &edge_rate),
-        basis_edge_log_fidelity: 0.0,
-    };
-
-    let translated = options.basis.map(|basis| {
-        let (translated, _) = translate_to_basis(&routed.circuit, basis);
-        report.basis_gate_count = translated.two_qubit_count();
-        report.basis_gate_depth = translated.two_qubit_depth();
-        report.basis_edge_log_fidelity = edge_log_fidelity(&translated, &edge_rate);
-        translated
-    });
-
-    TranspileResult {
-        routed,
-        translated,
-        report,
-    }
+    Pipeline::from_options(options).run(circuit, graph)
 }
 
 /// `Σ ln(1 − err_e)` over every two-qubit gate of `circuit`, the log of the
@@ -165,11 +494,15 @@ mod tests {
     use snailqc_topology::{builders, catalog};
     use snailqc_workloads::{ghz, qaoa_vanilla, qft};
 
+    fn with_basis(basis: BasisGate) -> Pipeline {
+        Pipeline::builder().translate_to(basis).build()
+    }
+
     #[test]
     fn report_fields_are_consistent() {
         let c = qft(8, true);
         let graph = builders::square_lattice(3, 3);
-        let result = transpile(&c, &graph, &TranspileOptions::with_basis(BasisGate::Cnot));
+        let result = with_basis(BasisGate::Cnot).run(&c, &graph);
         let r = result.report;
         assert_eq!(r.logical_qubits, 8);
         assert_eq!(r.physical_qubits, 9);
@@ -186,19 +519,36 @@ mod tests {
     }
 
     #[test]
-    fn no_basis_skips_translation() {
+    fn bare_graph_run_skips_translation_under_device_choice() {
         let c = ghz(6);
         let graph = builders::line(6);
-        let result = transpile(&c, &graph, &TranspileOptions::default());
+        let result = Pipeline::default().run(&c, &graph);
         assert!(result.translated.is_none());
         assert_eq!(result.report.basis_gate_count, 0);
+        assert!(result.trace.stage("translation").is_none());
+    }
+
+    #[test]
+    fn native_basis_resolves_the_device_choice() {
+        let c = ghz(6);
+        let graph = builders::line(6);
+        let result =
+            Pipeline::default().run_with_native_basis(&c, &graph, Some(BasisGate::SqrtISwap));
+        assert_eq!(result.report.basis, Some(BasisGate::SqrtISwap));
+        assert!(result.translated.is_some());
+        // An explicit Skip ignores the native basis.
+        let skipped = Pipeline::builder()
+            .routing_only()
+            .build()
+            .run_with_native_basis(&c, &graph, Some(BasisGate::SqrtISwap));
+        assert!(skipped.translated.is_none());
     }
 
     #[test]
     fn ghz_on_a_line_with_trivial_adjacency_needs_no_swaps() {
         let c = ghz(6);
         let graph = builders::line(6);
-        let result = transpile(&c, &graph, &TranspileOptions::default());
+        let result = Pipeline::builder().routing_only().build().run(&c, &graph);
         assert_eq!(result.report.swap_count, 0);
     }
 
@@ -209,9 +559,9 @@ mod tests {
         let c = qaoa_vanilla(12, 1, 3);
         let corral = catalog::corral11_16();
         let heavy = catalog::heavy_hex_20();
-        let opts = TranspileOptions::default();
-        let on_corral = transpile(&c, &corral, &opts).report;
-        let on_heavy = transpile(&c, &heavy, &opts).report;
+        let pipeline = Pipeline::default();
+        let on_corral = pipeline.run(&c, &corral).report;
+        let on_heavy = pipeline.run(&c, &heavy).report;
         assert!(
             on_corral.swap_count < on_heavy.swap_count,
             "corral {} vs heavy-hex {}",
@@ -226,13 +576,67 @@ mod tests {
         // needs more applications than SYC.
         let c = qft(10, true);
         let graph = builders::hypercube(4);
-        let siswap = transpile(
-            &c,
-            &graph,
-            &TranspileOptions::with_basis(BasisGate::SqrtISwap),
-        );
-        let syc = transpile(&c, &graph, &TranspileOptions::with_basis(BasisGate::Syc));
+        let siswap = with_basis(BasisGate::SqrtISwap).run(&c, &graph);
+        let syc = with_basis(BasisGate::Syc).run(&c, &graph);
         assert!(siswap.report.basis_gate_count <= syc.report.basis_gate_count);
+    }
+
+    #[test]
+    fn builder_configures_every_stage() {
+        let pipeline = Pipeline::builder()
+            .layout(LayoutStrategy::Trivial)
+            .trials(2)
+            .seed(99)
+            .error_weight(0.5)
+            .translate_to(BasisGate::SqrtISwap)
+            .build();
+        assert_eq!(pipeline.layout(), LayoutStrategy::Trivial);
+        assert_eq!(pipeline.router().trials, 2);
+        assert_eq!(pipeline.router().seed, 99);
+        assert_eq!(pipeline.router().error_weight, 0.5);
+        assert_eq!(
+            pipeline.translation(),
+            BasisChoice::Fixed(BasisGate::SqrtISwap)
+        );
+    }
+
+    #[test]
+    fn pass_trace_records_every_stage_and_the_swap_delta() {
+        let c = qft(8, true);
+        let graph = builders::square_lattice(3, 3);
+        let result = with_basis(BasisGate::Cnot).run(&c, &graph);
+        let names: Vec<&str> = result.trace.stages.iter().map(|s| s.stage).collect();
+        assert_eq!(names, ["layout", "routing", "translation", "analysis"]);
+        assert_eq!(result.trace.swaps_inserted(), result.report.swap_count);
+        let routing = result.trace.stage("routing").unwrap();
+        assert_eq!(routing.two_qubit_in, c.two_qubit_count());
+        assert_eq!(routing.two_qubit_out, result.report.routed_two_qubit_gates);
+        let translation = result.trace.stage("translation").unwrap();
+        assert_eq!(translation.two_qubit_out, result.report.basis_gate_count);
+        assert!(result.trace.total_micros() >= 0.0);
+        for stage in &result.trace.stages {
+            assert!(stage.micros >= 0.0, "{}", stage.stage);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_transpile_shim_matches_the_pipeline_bitwise() {
+        let c = qft(10, true);
+        let graph = catalog::tree_20();
+        for options in [
+            TranspileOptions::default(),
+            TranspileOptions::with_basis(BasisGate::SqrtISwap).with_seed(7),
+            TranspileOptions::with_basis(BasisGate::Cnot).with_error_weight(1.0),
+        ] {
+            let legacy = transpile(&c, &graph, &options);
+            let staged = Pipeline::from_options(&options).run(&c, &graph);
+            assert_eq!(legacy.report, staged.report);
+            assert_eq!(
+                legacy.routed.circuit.instructions(),
+                staged.routed.circuit.instructions()
+            );
+        }
     }
 
     #[test]

@@ -12,10 +12,13 @@
 //! 3. **Monotonicity** — raising one edge's error rate never increases the
 //!    number of two-qubit gates the noise-aware router schedules across that
 //!    edge, on a fixed seed corpus.
+//! 4. **API equivalence** — the staged [`Pipeline`] and the deprecated
+//!    [`transpile`] shim produce bitwise-identical routed circuits and
+//!    reports for every catalog topology (the PR-3 redesign regression).
 
 use snailqc_circuit::Circuit;
 use snailqc_topology::{builders, catalog, CouplingGraph};
-use snailqc_transpiler::{transpile, RouterConfig, TranspileOptions};
+use snailqc_transpiler::{Pipeline, RouterConfig, TranspileOptions};
 use snailqc_workloads::Workload;
 
 /// `(catalog name, workload, swap_count, swap_depth)` captured from the
@@ -69,13 +72,51 @@ fn noise_blind_router_matches_frozen_baseline_on_every_catalog_topology() {
     for &(name, workload, swaps, depth) in &BASELINE {
         let circuit = workload.generate(12, 7);
         let graph = catalog::by_name(name).unwrap();
-        let report = transpile(&circuit, &graph, &TranspileOptions::default()).report;
+        let report = Pipeline::default().run(&circuit, &graph).report;
         assert_eq!(
             (report.swap_count, report.swap_depth),
             (swaps, depth),
             "{} on {name}: router output drifted from the frozen baseline",
             workload.label()
         );
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn staged_pipeline_matches_legacy_transpile_bitwise_on_every_catalog_topology() {
+    // The PR-3 acceptance regression: for any (graph, options) the Pipeline
+    // output is bitwise-identical to the legacy transpile() across all 16
+    // catalog topologies — same routed instructions, same report.
+    use snailqc_decompose::BasisGate;
+    use snailqc_transpiler::transpile;
+    let option_sets = [
+        TranspileOptions::default(),
+        TranspileOptions::with_basis(BasisGate::SqrtISwap).with_seed(23),
+        TranspileOptions::default().with_error_weight(1.0),
+    ];
+    let names = catalog::names();
+    assert_eq!(names.len(), 16, "catalog grew; extend the regression");
+    for name in names {
+        let graph = catalog::by_name(name).unwrap();
+        let circuit = Workload::QuantumVolume.generate(12, 7);
+        for options in &option_sets {
+            let legacy = transpile(&circuit, &graph, options);
+            let staged = Pipeline::from_options(options).run(&circuit, &graph);
+            assert_eq!(
+                legacy.report, staged.report,
+                "{name}: pipeline report drifted from legacy transpile"
+            );
+            assert!(
+                same_instructions(&legacy.routed.circuit, &staged.routed.circuit),
+                "{name}: pipeline routed circuit drifted from legacy transpile"
+            );
+            match (&legacy.translated, &staged.translated) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!(same_instructions(a, b), "{name}"),
+                _ => panic!("{name}: translation presence diverged"),
+            }
+        }
     }
 }
 
@@ -88,17 +129,12 @@ fn uniform_error_models_route_bitwise_identically() {
         let calibrated = builders::calibrated(&graph, 1e-3, 1.2, 17);
         let circuit = Workload::QaoaVanilla.generate(12, 7);
 
-        let blind = transpile(&circuit, &graph, &TranspileOptions::default());
-        let zero_weight_on_calibrated =
-            transpile(&circuit, &calibrated, &TranspileOptions::default());
-        let weighted_on_uniform = transpile(
-            &circuit,
-            &graph,
-            &TranspileOptions {
-                router: RouterConfig::noise_aware(1.0),
-                ..TranspileOptions::default()
-            },
-        );
+        let blind = Pipeline::default().run(&circuit, &graph);
+        let zero_weight_on_calibrated = Pipeline::default().run(&circuit, &calibrated);
+        let weighted_on_uniform = Pipeline::builder()
+            .router(RouterConfig::noise_aware(1.0))
+            .build()
+            .run(&circuit, &graph);
 
         for (label, run) in [
             (
@@ -148,33 +184,18 @@ fn raising_one_edges_error_never_attracts_traffic_to_it() {
     for (graph, workload, seed) in corpus {
         let circuit = workload.generate(graph.num_qubits().min(8), seed);
         let edges: Vec<(usize, usize)> = graph.edges().collect();
+        let pipeline = Pipeline::builder()
+            .router(RouterConfig {
+                trials: 1,
+                seed,
+                ..RouterConfig::noise_aware(1.0)
+            })
+            .build();
         for &(a, b) in &edges {
-            let base = transpile(
-                &circuit,
-                &graph,
-                &TranspileOptions {
-                    router: RouterConfig {
-                        trials: 1,
-                        seed,
-                        ..RouterConfig::noise_aware(1.0)
-                    },
-                    ..TranspileOptions::default()
-                },
-            );
+            let base = pipeline.run(&circuit, &graph);
             let mut degraded = graph.clone();
             degraded.scale_edge_error(a, b, 10.0);
-            let noisy = transpile(
-                &circuit,
-                &degraded,
-                &TranspileOptions {
-                    router: RouterConfig {
-                        trials: 1,
-                        seed,
-                        ..RouterConfig::noise_aware(1.0)
-                    },
-                    ..TranspileOptions::default()
-                },
-            );
+            let noisy = pipeline.run(&circuit, &degraded);
             let before = gates_on_edge(&base.routed.circuit, (a, b));
             let after = gates_on_edge(&noisy.routed.circuit, (a, b));
             assert!(

@@ -8,8 +8,7 @@ use snailqc_decompose::BasisGate;
 use snailqc_topology::builders;
 use snailqc_topology::CouplingGraph;
 use snailqc_transpiler::{
-    count_basis_gates, route, translate_to_basis, transpile, LayoutStrategy, RouterConfig,
-    TranspileOptions,
+    count_basis_gates, route, translate_to_basis, LayoutStrategy, Pipeline, RouterConfig,
 };
 
 /// Random logical circuit over `n` qubits with 1Q and 2Q gates.
@@ -121,12 +120,12 @@ proptest! {
     #[test]
     fn pipeline_report_invariants_hold(circuit in arb_circuit(8, 25), dev in 0usize..5, seed in 0u64..200) {
         let graph = device(dev);
-        let options = TranspileOptions {
-            layout: LayoutStrategy::Dense,
-            router: RouterConfig { trials: 1, seed, ..RouterConfig::default() },
-            basis: Some(BasisGate::SqrtISwap),
-        };
-        let report = transpile(&circuit, &graph, &options).report;
+        let pipeline = Pipeline::builder()
+            .layout(LayoutStrategy::Dense)
+            .router(RouterConfig { trials: 1, seed, ..RouterConfig::default() })
+            .translate_to(BasisGate::SqrtISwap)
+            .build();
+        let report = pipeline.run(&circuit, &graph).report;
         prop_assert_eq!(report.input_two_qubit_gates, circuit.two_qubit_count());
         prop_assert_eq!(
             report.routed_two_qubit_gates,

@@ -15,9 +15,20 @@ pub fn normalize_name(name: &str) -> String {
         .collect()
 }
 
+/// 64-bit FNV-1a hash. Stable across platforms and releases, so it is safe
+/// to derive persistent cache keys and per-file RNG seeds from it (unlike
+/// `std::hash`, whose output is unspecified between runs).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    bytes.iter().fold(OFFSET, |hash, &byte| {
+        (hash ^ u64::from(byte)).wrapping_mul(PRIME)
+    })
+}
+
 #[cfg(test)]
 mod tests {
-    use super::normalize_name;
+    use super::{fnv1a_64, normalize_name};
 
     #[test]
     fn strips_case_and_punctuation() {
@@ -25,5 +36,15 @@ mod tests {
         assert_eq!(normalize_name("CORRAL_1_1_16"), "corral1116");
         assert_eq!(normalize_name("sqrt-iswap"), "sqrtiswap");
         assert_eq!(normalize_name(""), "");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+        // Distinct inputs hash apart (the property the seeds rely on).
+        assert_ne!(fnv1a_64(b"adder12.qasm"), fnv1a_64(b"adder16.qasm"));
     }
 }

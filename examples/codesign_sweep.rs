@@ -4,11 +4,13 @@
 //!
 //! Run with: `cargo run --release --example codesign_sweep`
 
-use snailqc::core::sweep::{run_codesign_sweep, SweepConfig};
 use snailqc::prelude::*;
 
 fn main() {
-    let machines = Machine::figure13_lineup();
+    let devices: Vec<Device> = Machine::figure13_lineup()
+        .into_iter()
+        .map(Device::from_machine)
+        .collect();
     let config = SweepConfig {
         workloads: Workload::all().to_vec(),
         sizes: vec![8, 12, 16],
@@ -20,26 +22,30 @@ fn main() {
         "sweeping {} workloads × {:?} qubits × {} machines…\n",
         config.workloads.len(),
         config.sizes,
-        machines.len()
+        devices.len()
     );
-    let points = run_codesign_sweep(&machines, &config);
+    let points = run_sweep(&devices, &config);
 
     for workload in Workload::all() {
         println!("== {} ==", workload.label());
         println!("{:<32}{:>12}{:>12}", "machine", "total 2Q", "2Q depth");
-        let mut rows: Vec<(String, usize, usize)> = machines
+        let mut rows: Vec<(String, usize, usize)> = devices
             .iter()
-            .map(|m| {
+            .map(|d| {
                 let (mut total, mut depth, mut count) = (0usize, 0usize, 0usize);
                 for p in points
                     .iter()
-                    .filter(|p| p.workload == workload && p.topology == m.label())
+                    .filter(|p| p.workload == workload && p.topology == d.label())
                 {
                     total += p.report.basis_gate_count;
                     depth += p.report.basis_gate_depth;
                     count += 1;
                 }
-                (m.label(), total / count.max(1), depth / count.max(1))
+                (
+                    d.label().to_string(),
+                    total / count.max(1),
+                    depth / count.max(1),
+                )
             })
             .collect();
         rows.sort_by_key(|r| r.2);

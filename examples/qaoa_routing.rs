@@ -15,7 +15,7 @@ fn main() {
         circuit.two_qubit_count()
     );
 
-    let graphs = vec![
+    let devices: Vec<Device> = [
         catalog::heavy_hex_20(),
         catalog::hex_lattice_20(),
         catalog::square_lattice_16(),
@@ -24,17 +24,21 @@ fn main() {
         catalog::tree_rr_20(),
         catalog::corral11_16(),
         catalog::corral12_16(),
-    ];
+    ]
+    .into_iter()
+    .map(Device::from_graph)
+    .collect();
 
     println!(
         "{:<24}{:>12}{:>20}{:>14}",
         "topology", "SWAPs", "critical-path SWAPs", "2Q depth"
     );
+    let pipeline = Pipeline::default();
     let mut results: Vec<(String, usize, usize, usize)> = Vec::new();
-    for graph in &graphs {
-        let result = transpile(&circuit, graph, &TranspileOptions::default());
+    for device in &devices {
+        let result = device.transpile(&circuit, &pipeline);
         results.push((
-            graph.name().to_string(),
+            device.label().to_string(),
             result.report.swap_count,
             result.report.swap_depth,
             result.report.routed_two_qubit_depth,

@@ -16,22 +16,21 @@ fn main() {
         circuit.two_qubit_count()
     );
 
-    // 2. Build two machines: the SNAIL Corral with its native √iSWAP basis,
-    //    and the IBM-style heavy-hex fragment with CNOT.
-    let corral = snailqc::topology::catalog::corral12_16();
-    let heavy_hex = snailqc::topology::catalog::heavy_hex_20();
+    // 2. Build two devices: the SNAIL Corral with its native √iSWAP basis,
+    //    and the IBM-style heavy-hex fragment with CNOT. A Device bundles
+    //    topology, per-edge noise and native basis into one artifact.
+    let corral = Device::from_catalog("corral12-16")
+        .expect("catalog name")
+        .with_basis(BasisGate::SqrtISwap);
+    let heavy_hex = Device::from_catalog("heavy-hex-20")
+        .expect("catalog name")
+        .with_basis(BasisGate::Cnot);
 
-    // 3. Run the paper's Fig.-10 pipeline on both.
-    let snail = transpile(
-        &circuit,
-        &corral,
-        &TranspileOptions::with_basis(BasisGate::SqrtISwap),
-    );
-    let ibm = transpile(
-        &circuit,
-        &heavy_hex,
-        &TranspileOptions::with_basis(BasisGate::Cnot),
-    );
+    // 3. Run the paper's Fig.-10 staged pipeline on both; the translation
+    //    stage picks each device's native gate automatically.
+    let pipeline = Pipeline::default();
+    let snail = corral.transpile(&circuit, &pipeline);
+    let ibm = heavy_hex.transpile(&circuit, &pipeline);
 
     println!(
         "\n{:<28}{:>16}{:>16}",

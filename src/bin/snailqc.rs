@@ -1,18 +1,23 @@
 //! The `snailqc` command-line driver.
 //!
 //! Exposes the topology catalog, the workload generators and the full Fig. 10
-//! transpilation pipeline (placement → routing → basis translation) over
-//! OpenQASM 2.0 files, with optional machine-readable JSON output:
+//! staged pipeline (layout → routing → translation → analysis) over OpenQASM
+//! 2.0 files, with optional machine-readable JSON output. Every transpile
+//! flows through one `Device` (graph + noise + native basis) and one
+//! `Pipeline`:
 //!
 //! ```text
 //! snailqc transpile circuit.qasm --topology corral11-16 --basis sqrt-iswap --json
-//! snailqc transpile circuit.qasm --topology corral11-16 --error-model calibrated --json
+//! snailqc transpile circuit.qasm --topology=corral11-16 --error-model=calibrated --json
+//! snailqc transpile qasm_dir/ --topology tree-84 --seed 7 --json   # batch mode
 //! snailqc emit qaoa-vanilla --qubits 12 --seed 7 -o qaoa12.qasm
 //! snailqc parse circuit.qasm
 //! snailqc topologies --json
 //! snailqc workloads
 //! ```
 
+use rayon::prelude::*;
+use snailqc::core::device::Device;
 use snailqc::core::fidelity::{
     estimate_fidelity, estimate_fidelity_edges, estimate_fidelity_routed, FidelityEstimate,
 };
@@ -20,8 +25,9 @@ use snailqc::core::noise::ErrorModelSpec;
 use snailqc::decompose::BasisGate;
 use snailqc::prelude::*;
 use snailqc::topology::catalog;
-use snailqc::transpiler::TranspileReport;
+use snailqc::transpiler::{TranspileReport, TranspileResult};
 use std::io::Read;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "snailqc — SNAIL co-design transpilation toolkit (HPCA 2023 reproduction)
@@ -29,8 +35,13 @@ const USAGE: &str = "snailqc — SNAIL co-design transpilation toolkit (HPCA 202
 USAGE:
     snailqc <COMMAND> [OPTIONS]
 
+Options take either `--flag value` or `--flag=value` form.
+
 COMMANDS:
-    transpile <file.qasm>   Run the Fig. 10 pipeline on an OpenQASM 2.0 file
+    transpile <file.qasm|dir>  Run the staged pipeline on an OpenQASM 2.0
+                            file, or on every .qasm file in a directory
+                            (batch mode: parallel, deterministic per-file
+                            seeds, one aggregated JSON report)
         --topology <name>   Target device from the catalog (required)
         --basis <gate>      cnot | syc | sqrt-iswap | none   [default: none]
         --layout <strategy> dense | trivial                  [default: dense]
@@ -42,7 +53,8 @@ COMMANDS:
         --error-weight <w>  Fidelity weight of the SWAP scoring
                             [default: 1 with --error-model, else 0]
         -o, --out <file>    Write the transpiled circuit as QASM
-        --json              Print the TranspileReport as JSON
+                            (batch mode: write the aggregated JSON report)
+        --json              Print the report as JSON
 
     emit <workload>         Export a built-in workload as OpenQASM 2.0
         --qubits <N>        Problem size in qubits (required)
@@ -101,7 +113,8 @@ struct Options {
 }
 
 impl Options {
-    /// `value_flags` name the options that consume a following value;
+    /// `value_flags` name the options that consume a value — either inline
+    /// (`--flag=value`) or as the following argument (`--flag value`);
     /// `bool_flags` the valueless switches. Anything else errors out instead
     /// of being silently ignored.
     fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Self, String> {
@@ -111,21 +124,32 @@ impl Options {
         while i < args.len() {
             let a = &args[i];
             if a.starts_with('-') && a != "-" {
-                let name = a.trim_start_matches('-').to_string();
+                let body = a.trim_start_matches('-');
+                let (name, inline) = match body.split_once('=') {
+                    Some((name, value)) => (name.to_string(), Some(value.to_string())),
+                    None => (body.to_string(), None),
+                };
                 let canonical = if name == "o" { "out".to_string() } else { name };
                 if value_flags.contains(&canonical.as_str()) {
-                    let value = args
-                        .get(i + 1)
-                        .ok_or_else(|| format!("--{canonical} needs a value"))?
-                        .clone();
+                    let value = match inline {
+                        Some(value) => value,
+                        None => {
+                            i += 1;
+                            args.get(i)
+                                .ok_or_else(|| format!("--{canonical} needs a value"))?
+                                .clone()
+                        }
+                    };
                     flags.push((canonical, Some(value)));
-                    i += 2;
                 } else if bool_flags.contains(&canonical.as_str()) {
+                    if inline.is_some() {
+                        return Err(format!("--{canonical} does not take a value"));
+                    }
                     flags.push((canonical, None));
-                    i += 1;
                 } else {
                     return Err(format!("unknown option `{a}` (try `snailqc help`)"));
                 }
+                i += 1;
             } else {
                 positional.push(a.clone());
                 i += 1;
@@ -199,6 +223,85 @@ fn emit_output(text: &str, out: Option<&str>) -> Result<(), String> {
 // transpile
 // ---------------------------------------------------------------------------
 
+/// The device and pipeline a `transpile` invocation resolved from its flags —
+/// the single entry point both the one-file and the batch paths share.
+struct TranspileSetup {
+    device: Device,
+    pipeline: Pipeline,
+}
+
+impl TranspileSetup {
+    fn from_options(opts: &Options) -> Result<Self, String> {
+        let topology_name = opts
+            .value("topology")
+            .ok_or("transpile needs --topology <name> (see `snailqc topologies`)")?;
+        let mut device = Device::from_catalog(topology_name)?;
+        let error_model = opts
+            .value("error-model")
+            .map(ErrorModelSpec::parse)
+            .transpose()?;
+        let error_weight: f64 = opts.numeric(
+            "error-weight",
+            if error_model.is_some() { 1.0 } else { 0.0 },
+        )?;
+        if error_weight < 0.0 {
+            return Err("--error-weight must be non-negative".into());
+        }
+        if let Some(spec) = error_model {
+            device = device.with_error_model(spec)?;
+        }
+        if let Some(basis) = parse_basis(opts.value("basis").unwrap_or("none"))? {
+            device = device.with_basis(basis);
+        }
+        let layout = match opts.value("layout").unwrap_or("dense") {
+            "dense" => LayoutStrategy::Dense,
+            "trivial" => LayoutStrategy::Trivial,
+            other => return Err(format!("unknown layout `{other}` (dense | trivial)")),
+        };
+        let trials: usize = opts.numeric("trials", 4)?;
+        let seed: u64 = opts.numeric("seed", 11)?;
+        let pipeline = Pipeline::builder()
+            .layout(layout)
+            .router(RouterConfig {
+                trials,
+                seed,
+                error_weight,
+                ..RouterConfig::default()
+            })
+            .build();
+        Ok(Self { device, pipeline })
+    }
+
+    fn layout(&self) -> LayoutStrategy {
+        self.pipeline.layout()
+    }
+
+    fn trials(&self) -> usize {
+        self.pipeline.router().trials
+    }
+
+    fn seed(&self) -> u64 {
+        self.pipeline.router().seed
+    }
+
+    fn error_weight(&self) -> f64 {
+        self.pipeline.router().error_weight
+    }
+
+    fn parse_circuit(&self, name: &str, source: &str) -> Result<Circuit, String> {
+        let program = snailqc::qasm::parse(source).map_err(|e| e.to_string())?;
+        if !self.device.fits(&program.circuit) {
+            return Err(format!(
+                "circuit `{name}` has {} qubits but `{}` only has {}",
+                program.circuit.num_qubits(),
+                self.device.graph().name(),
+                self.device.num_qubits()
+            ));
+        }
+        Ok(program.circuit)
+    }
+}
+
 #[derive(serde::Serialize)]
 struct TranspileOutput {
     file: String,
@@ -244,83 +347,41 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
         &["json"],
     )?;
     let [file] = opts.positional.as_slice() else {
-        return Err("transpile needs exactly one <file.qasm> argument".into());
+        return Err("transpile needs exactly one <file.qasm | directory> argument".into());
     };
-    let topology_name = opts
-        .value("topology")
-        .ok_or("transpile needs --topology <name> (see `snailqc topologies`)")?;
-    let mut graph = catalog::by_name(topology_name).ok_or_else(|| {
-        format!(
-            "unknown topology `{topology_name}`; available: {}",
-            catalog::names().join(", ")
-        )
-    })?;
-    let error_model = opts
-        .value("error-model")
-        .map(ErrorModelSpec::parse)
-        .transpose()?;
-    let error_weight: f64 = opts.numeric(
-        "error-weight",
-        if error_model.is_some() { 1.0 } else { 0.0 },
-    )?;
-    if error_weight < 0.0 {
-        return Err("--error-weight must be non-negative".into());
+    let setup = TranspileSetup::from_options(&opts)?;
+    if file != "-" && Path::new(file).is_dir() {
+        return transpile_directory(file, &setup, &opts);
     }
-    if let Some(spec) = &error_model {
-        spec.apply(&mut graph)?;
-    }
-    let basis = parse_basis(opts.value("basis").unwrap_or("none"))?;
-    let layout = match opts.value("layout").unwrap_or("dense") {
-        "dense" => LayoutStrategy::Dense,
-        "trivial" => LayoutStrategy::Trivial,
-        other => return Err(format!("unknown layout `{other}` (dense | trivial)")),
-    };
-    let trials: usize = opts.numeric("trials", 4)?;
-    let seed: u64 = opts.numeric("seed", 11)?;
+    transpile_one_file(file, &setup, &opts)
+}
 
+fn transpile_one_file(file: &str, setup: &TranspileSetup, opts: &Options) -> Result<(), String> {
     let source = read_source(file)?;
-    let program = snailqc::qasm::parse(&source).map_err(|e| e.to_string())?;
-    if program.circuit.num_qubits() > graph.num_qubits() {
-        return Err(format!(
-            "circuit has {} qubits but `{}` only has {}",
-            program.circuit.num_qubits(),
-            graph.name(),
-            graph.num_qubits()
-        ));
-    }
-
-    let options = TranspileOptions {
-        layout,
-        router: RouterConfig {
-            trials,
-            seed,
-            error_weight,
-            ..RouterConfig::default()
-        },
-        basis,
-    };
-    let result = transpile(&program.circuit, &graph, &options);
+    let circuit = setup.parse_circuit(file, &source)?;
+    let device = &setup.device;
+    let result = device.transpile(&circuit, &setup.pipeline);
 
     // With an error model, also run the noise-blind router on the same
     // calibrated device so the output surfaces both fidelity estimates. On a
     // uniform device (or with zero weight) the noise-aware run is provably
     // identical to the noise-blind one, so reuse its report instead of
     // routing twice.
-    let fidelity = error_model.as_ref().map(|spec| {
-        let blind_report = if error_weight == 0.0 || graph.edge_errors_uniform() {
+    let fidelity = device.error_model().map(|spec| {
+        let blind_report = if setup.error_weight() == 0.0 || device.graph().edge_errors_uniform() {
             result.report
         } else {
-            let blind_options = TranspileOptions {
-                router: RouterConfig {
+            let blind = Pipeline::builder()
+                .layout(setup.layout())
+                .router(RouterConfig {
                     error_weight: 0.0,
-                    ..options.router
-                },
-                ..options
-            };
-            transpile(&program.circuit, &graph, &blind_options).report
+                    ..*setup.pipeline.router()
+                })
+                .build();
+            device.transpile(&circuit, &blind).report
         };
         let estimate = |report: &TranspileReport| estimate_fidelity_edges(report, &spec.model);
-        let uniform = match basis {
+        let uniform = match device.basis() {
             Some(_) => estimate_fidelity(&result.report, &spec.model),
             None => estimate_fidelity_routed(&result.report, &spec.model),
         };
@@ -343,14 +404,14 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
 
     if opts.has("json") {
         let output = TranspileOutput {
-            file: file.clone(),
-            topology: graph.name().to_string(),
-            layout: format!("{layout:?}"),
-            basis: basis.map(|b| b.label()),
-            trials,
-            seed,
-            error_model,
-            error_weight,
+            file: file.to_string(),
+            topology: device.graph().name().to_string(),
+            layout: format!("{:?}", setup.layout()),
+            basis: device.basis().map(|b| b.label()),
+            trials: setup.trials(),
+            seed: setup.seed(),
+            error_model: device.error_model().cloned(),
+            error_weight: setup.error_weight(),
             report: result.report,
             fidelity,
         };
@@ -359,36 +420,213 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
             serde_json::to_string_pretty(&output).map_err(|e| e.to_string())?
         );
     } else {
-        let r = &result.report;
-        println!("== transpile {file} onto {} ==", graph.name());
-        println!("  logical qubits        {}", r.logical_qubits);
-        println!("  physical qubits       {}", r.physical_qubits);
-        println!("  input 2Q gates        {}", r.input_two_qubit_gates);
-        println!("  SWAPs inserted        {}", r.swap_count);
-        println!("  critical-path SWAPs   {}", r.swap_depth);
-        println!("  routed 2Q gates       {}", r.routed_two_qubit_gates);
-        println!("  routed 2Q depth       {}", r.routed_two_qubit_depth);
-        match basis {
-            Some(b) => {
-                println!("  basis                 {}", b.label());
-                println!("  basis gate count      {}", r.basis_gate_count);
-                println!("  basis gate depth      {}", r.basis_gate_depth);
+        print_human_report(
+            file,
+            device,
+            &result,
+            setup.error_weight(),
+            fidelity.as_ref(),
+        );
+    }
+    Ok(())
+}
+
+fn print_human_report(
+    file: &str,
+    device: &Device,
+    result: &TranspileResult,
+    error_weight: f64,
+    fidelity: Option<&FidelityComparison>,
+) {
+    let r = &result.report;
+    println!("== transpile {file} onto {} ==", device.graph().name());
+    println!("  logical qubits        {}", r.logical_qubits);
+    println!("  physical qubits       {}", r.physical_qubits);
+    println!("  input 2Q gates        {}", r.input_two_qubit_gates);
+    println!("  SWAPs inserted        {}", r.swap_count);
+    println!("  critical-path SWAPs   {}", r.swap_depth);
+    println!("  routed 2Q gates       {}", r.routed_two_qubit_gates);
+    println!("  routed 2Q depth       {}", r.routed_two_qubit_depth);
+    match device.basis() {
+        Some(b) => {
+            println!("  basis                 {}", b.label());
+            println!("  basis gate count      {}", r.basis_gate_count);
+            println!("  basis gate depth      {}", r.basis_gate_depth);
+        }
+        None => println!("  basis                 (routing only)"),
+    }
+    if let Some(f) = fidelity {
+        println!("  -- fidelity (error-weight {error_weight}) --");
+        println!(
+            "  noise-blind routing   {:.6}",
+            f.noise_blind.total_fidelity
+        );
+        println!(
+            "  noise-aware routing   {:.6}",
+            f.noise_aware.total_fidelity
+        );
+        println!("  uniform-rate estimate {:.6}", f.uniform.total_fidelity);
+        println!("  infidelity improved   {:.3}x", f.infidelity_improvement);
+    }
+    println!("  -- pass trace --");
+    for stage in &result.trace.stages {
+        let delta = stage.two_qubit_out as i64 - stage.two_qubit_in as i64;
+        let delta = if delta == 0 {
+            String::new()
+        } else {
+            format!("  ({delta:+} 2Q gates)")
+        };
+        println!("  {:<12}{:>10.1} µs{delta}", stage.stage, stage.micros);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// transpile (batch mode)
+// ---------------------------------------------------------------------------
+
+#[derive(serde::Serialize)]
+struct BatchFileOutput {
+    file: String,
+    /// Router seed used for this file (base seed ⊕ FNV-1a of the file name).
+    seed: u64,
+    error: Option<String>,
+    report: Option<TranspileReport>,
+}
+
+#[derive(serde::Serialize)]
+struct BatchSummary {
+    files: usize,
+    transpiled: usize,
+    failed: usize,
+    total_swaps: usize,
+    total_routed_two_qubit_gates: usize,
+    total_basis_gates: usize,
+}
+
+#[derive(serde::Serialize)]
+struct BatchOutput {
+    directory: String,
+    topology: String,
+    layout: String,
+    basis: Option<&'static str>,
+    trials: usize,
+    base_seed: u64,
+    error_model: Option<ErrorModelSpec>,
+    error_weight: f64,
+    summary: BatchSummary,
+    files: Vec<BatchFileOutput>,
+}
+
+/// Batch mode: transpile every `.qasm` file under `dir` in parallel and emit
+/// one aggregated report. Each file's router seed is derived from the base
+/// seed and the file's name alone, so results are independent of worker
+/// threads, directory enumeration order, and which other files are present.
+fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Result<(), String> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading directory `{dir}`: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some("qasm"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .qasm files in `{dir}`"));
+    }
+
+    let files: Vec<BatchFileOutput> = paths
+        .par_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string());
+            let seed = setup.seed() ^ snailqc_util::fnv1a_64(name.as_bytes());
+            let outcome = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading `{}`: {e}", path.display()))
+                .and_then(|source| setup.parse_circuit(&name, &source))
+                .map(|circuit| {
+                    let pipeline = setup.pipeline.to_builder().seed(seed).build();
+                    setup.device.transpile(&circuit, &pipeline).report
+                });
+            match outcome {
+                Ok(report) => BatchFileOutput {
+                    file: name,
+                    seed,
+                    error: None,
+                    report: Some(report),
+                },
+                Err(error) => BatchFileOutput {
+                    file: name,
+                    seed,
+                    error: Some(error),
+                    report: None,
+                },
             }
-            None => println!("  basis                 (routing only)"),
+        })
+        .collect();
+
+    let transpiled: Vec<&TranspileReport> =
+        files.iter().filter_map(|f| f.report.as_ref()).collect();
+    let summary = BatchSummary {
+        files: files.len(),
+        transpiled: transpiled.len(),
+        failed: files.len() - transpiled.len(),
+        total_swaps: transpiled.iter().map(|r| r.swap_count).sum(),
+        total_routed_two_qubit_gates: transpiled.iter().map(|r| r.routed_two_qubit_gates).sum(),
+        total_basis_gates: transpiled.iter().map(|r| r.basis_gate_count).sum(),
+    };
+    let output = BatchOutput {
+        directory: dir.to_string(),
+        topology: setup.device.graph().name().to_string(),
+        layout: format!("{:?}", setup.layout()),
+        basis: setup.device.basis().map(|b| b.label()),
+        trials: setup.trials(),
+        base_seed: setup.seed(),
+        error_model: setup.device.error_model().cloned(),
+        error_weight: setup.error_weight(),
+        summary,
+        files,
+    };
+
+    let json = serde_json::to_string_pretty(&output).map_err(|e| e.to_string())?;
+    if let Some(out) = opts.value("out") {
+        emit_output(&format!("{json}\n"), Some(out))?;
+    }
+    if opts.has("json") {
+        println!("{json}");
+    } else {
+        println!(
+            "== transpile {} .qasm files from {dir} onto {} ==",
+            output.summary.files,
+            setup.device.graph().name()
+        );
+        println!(
+            "  {:<28} {:>6} {:>8} {:>10} {:>10}",
+            "file", "qubits", "SWAPs", "2Q gates", "basis 2Q"
+        );
+        for f in &output.files {
+            match (&f.report, &f.error) {
+                (Some(r), _) => println!(
+                    "  {:<28} {:>6} {:>8} {:>10} {:>10}",
+                    f.file,
+                    r.logical_qubits,
+                    r.swap_count,
+                    r.routed_two_qubit_gates,
+                    r.basis_gate_count
+                ),
+                (None, Some(e)) => println!("  {:<28} error: {e}", f.file),
+                (None, None) => unreachable!("file produced neither report nor error"),
+            }
         }
-        if let Some(f) = &fidelity {
-            println!("  -- fidelity (error-weight {error_weight}) --");
-            println!(
-                "  noise-blind routing   {:.6}",
-                f.noise_blind.total_fidelity
-            );
-            println!(
-                "  noise-aware routing   {:.6}",
-                f.noise_aware.total_fidelity
-            );
-            println!("  uniform-rate estimate {:.6}", f.uniform.total_fidelity);
-            println!("  infidelity improved   {:.3}x", f.infidelity_improvement);
-        }
+        println!(
+            "  -- total: {} SWAPs, {} routed 2Q gates, {} basis gates; {} failed --",
+            output.summary.total_swaps,
+            output.summary.total_routed_two_qubit_gates,
+            output.summary.total_basis_gates,
+            output.summary.failed
+        );
+    }
+    if output.summary.failed > 0 && output.summary.transpiled == 0 {
+        return Err("every file in the batch failed".into());
     }
     Ok(())
 }

@@ -16,28 +16,45 @@
 //! | [`circuit`] | `snailqc-circuit` | circuit IR, cost metrics, statevector simulator |
 //! | [`topology`] | `snailqc-topology` | coupling graphs and every topology of Tables 1–2 |
 //! | [`workloads`] | `snailqc-workloads` | QV, QFT, QAOA, TIM, CDKM adder, GHZ generators |
-//! | [`transpiler`] | `snailqc-transpiler` | dense layout, stochastic SWAP routing, basis translation |
+//! | [`transpiler`] | `snailqc-transpiler` | the staged `Pipeline`: dense layout, stochastic SWAP routing, basis translation, `PassTrace` |
 //! | [`decompose`] | `snailqc-decompose` | basis-gate counting, NuOp templates, decoherence model |
 //! | [`qasm`] | `snailqc-qasm` | OpenQASM 2.0 parser / emitter for external circuit interchange |
-//! | [`core`] | `snailqc-core` | machines, sweeps and headline ratios (the co-design harness) |
+//! | [`core`] | `snailqc-core` | `Device`, machines, sweeps, the sweep store and headline ratios |
 //!
 //! ## Quick start
+//!
+//! A co-designed machine is one artifact — a topology, its calibrated noise
+//! and its native basis gate — captured by [`Device`](core::device::Device).
+//! Transpilation is a staged [`Pipeline`](transpiler::Pipeline) (layout →
+//! routing → translation → analysis) whose translation stage defaults to
+//! the device's native gate:
 //!
 //! ```
 //! use snailqc::prelude::*;
 //!
 //! // A 12-qubit QFT on the SNAIL Corral with the native sqrt-iSWAP basis…
 //! let circuit = Workload::Qft.generate(12, 7);
-//! let corral = snailqc::topology::catalog::corral12_16();
-//! let options = TranspileOptions::with_basis(BasisGate::SqrtISwap);
-//! let snail = transpile(&circuit, &corral, &options).report;
+//! let corral = Device::from_catalog("corral12-16")
+//!     .unwrap()
+//!     .with_basis(BasisGate::SqrtISwap);
+//! let pipeline = Pipeline::builder().seed(11).build();
+//! let snail = corral.transpile(&circuit, &pipeline).report;
 //!
-//! // …versus the IBM-style baseline.
-//! let heavy_hex = snailqc::topology::catalog::heavy_hex_20();
-//! let ibm = transpile(&circuit, &heavy_hex, &TranspileOptions::with_basis(BasisGate::Cnot)).report;
+//! // …versus the IBM-style baseline, built from the machine line-up.
+//! let ibm_machine = Machine::ibm_baseline(SizeClass::Small);
+//! let ibm = Device::from_machine(ibm_machine)
+//!     .transpile(&circuit, &pipeline)
+//!     .report;
 //!
 //! assert!(snail.swap_count <= ibm.swap_count);
 //! ```
+//!
+//! Sweeps take a slice of devices ([`run_sweep`](core::sweep::run_sweep)),
+//! and every run carries a [`PassTrace`](transpiler::PassTrace) with
+//! per-stage timings and gate/SWAP deltas. The legacy free-function
+//! `transpile(circuit, graph, options)` and the old
+//! `run_swap_sweep`/`run_codesign_sweep` signatures survive one more
+//! release as `#[deprecated]` shims that delegate to the pipeline.
 
 #![warn(missing_docs)]
 
@@ -53,18 +70,25 @@ pub use snailqc_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use snailqc_circuit::{Circuit, Gate};
+    pub use snailqc_core::device::Device;
     pub use snailqc_core::fidelity::{
         estimate_fidelity, estimate_fidelity_edges, ErrorModel, FidelityEstimate,
     };
     pub use snailqc_core::machine::{Machine, SizeClass};
     pub use snailqc_core::noise::ErrorModelSpec;
-    pub use snailqc_core::sweep::{run_codesign_sweep, run_swap_sweep, SweepConfig};
+    pub use snailqc_core::store::SweepStore;
+    #[allow(deprecated)]
+    pub use snailqc_core::sweep::{run_codesign_sweep, run_swap_sweep};
+    pub use snailqc_core::sweep::{run_sweep, run_sweep_with_store, SweepConfig, SweepPoint};
     pub use snailqc_decompose::{BasisGate, NuOpDecomposer, StudyConfig};
     pub use snailqc_math::{weyl_coordinates, Matrix2, Matrix4, WeylCoordinates};
     pub use snailqc_qasm::{emit as emit_qasm, parse as parse_qasm, QasmProgram};
     pub use snailqc_topology::{CouplingGraph, TopologyKind};
+    #[allow(deprecated)]
+    pub use snailqc_transpiler::transpile;
     pub use snailqc_transpiler::{
-        transpile, EdgeErrorSource, LayoutStrategy, RouterConfig, TranspileOptions,
+        BasisChoice, EdgeErrorSource, LayoutStrategy, PassTrace, Pipeline, RouterConfig,
+        TranspileOptions,
     };
     pub use snailqc_workloads::Workload;
 }

@@ -127,3 +127,154 @@ fn unknown_error_model_reports_the_preset_list() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("decoherence"), "stderr: {stderr}");
 }
+
+#[test]
+fn flag_equals_value_form_matches_the_space_form() {
+    // The PR-3 flag-parsing fix: `--flag=value` used to error as an unknown
+    // flag; now both spellings must produce identical output.
+    let spaced = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology",
+        "corral11-16",
+        "--basis",
+        "sqrt-iswap",
+        "--seed",
+        "7",
+        "--json",
+    ]);
+    let equals = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology=corral11-16",
+        "--basis=sqrt-iswap",
+        "--seed=7",
+        "--json",
+    ]);
+    assert!(
+        spaced.status.success() && equals.status.success(),
+        "stderr: {} / {}",
+        String::from_utf8_lossy(&spaced.stderr),
+        String::from_utf8_lossy(&equals.stderr)
+    );
+    assert_eq!(spaced.stdout, equals.stdout);
+}
+
+#[test]
+fn bool_flags_reject_inline_values_and_unknown_flags_still_error() {
+    let with_value = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology=corral11-16",
+        "--json=1",
+    ]);
+    assert!(!with_value.status.success());
+    assert!(String::from_utf8_lossy(&with_value.stderr).contains("does not take a value"));
+
+    let unknown = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology=corral11-16",
+        "--bogus=3",
+    ]);
+    assert!(!unknown.status.success());
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("unknown option"));
+}
+
+#[test]
+fn batch_mode_aggregates_a_directory_deterministically() {
+    // `snailqc transpile <dir>`: every .qasm file routed in parallel with
+    // deterministic per-file seeds, one aggregated JSON report.
+    let dir = std::env::temp_dir().join(format!("snailqc-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, qubits) in [("ghz6", 6), ("ghz9", 9)] {
+        let body: String = (1..qubits)
+            .map(|q| format!("cx q[{}], q[{}];\n", q - 1, q))
+            .collect();
+        std::fs::write(
+            dir.join(format!("{name}.qasm")),
+            format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{qubits}];\nh q[0];\n{body}"),
+        )
+        .unwrap();
+    }
+    // A non-QASM file must be ignored, not break the batch.
+    std::fs::write(dir.join("notes.txt"), "not a circuit").unwrap();
+
+    let run = || {
+        let output = snailqc(&[
+            "transpile",
+            dir.to_str().unwrap(),
+            "--topology=tree-20",
+            "--basis=sqrt-iswap",
+            "--seed=5",
+            "--json",
+        ]);
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        String::from_utf8(output.stdout).unwrap()
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "batch output must be deterministic");
+
+    let json = serde_json::from_str(&first).expect("valid aggregated JSON");
+    let summary = json.get("summary").expect("summary block");
+    assert_eq!(summary.get("files").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(summary.get("transpiled").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(summary.get("failed").and_then(|v| v.as_u64()), Some(0));
+    let files = json.get("files").and_then(|v| v.as_array()).expect("files");
+    assert_eq!(files.len(), 2);
+    // Sorted by file name, each with its own derived seed and a report.
+    assert_eq!(
+        files[0].get("file").and_then(|v| v.as_str()),
+        Some("ghz6.qasm")
+    );
+    assert_eq!(
+        files[1].get("file").and_then(|v| v.as_str()),
+        Some("ghz9.qasm")
+    );
+    let seeds: Vec<u64> = files
+        .iter()
+        .map(|f| f.get("seed").and_then(|v| v.as_u64()).expect("seed"))
+        .collect();
+    assert_ne!(seeds[0], seeds[1], "per-file seeds must differ");
+    for f in files {
+        assert!(f.get("report").map(|r| r.get("swap_count").is_some()) == Some(true));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_mode_surfaces_per_file_errors_without_aborting() {
+    let dir = std::env::temp_dir().join(format!("snailqc-batch-err-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("good.qasm"),
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nh q[0];\ncx q[0], q[1];\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("broken.qasm"), "OPENQASM 2.0;\nqreg q[").unwrap();
+
+    let output = snailqc(&[
+        "transpile",
+        dir.to_str().unwrap(),
+        "--topology=hypercube-16",
+        "--json",
+    ]);
+    assert!(
+        output.status.success(),
+        "a partial batch still succeeds: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json =
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).expect("valid JSON");
+    let summary = json.get("summary").unwrap();
+    assert_eq!(summary.get("transpiled").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(summary.get("failed").and_then(|v| v.as_u64()), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -30,10 +30,10 @@ fn observation1_sqrt_iswap_beats_cnot_beats_syc_on_average() {
 fn observation2_connectivity_reduces_swaps_at_scale() {
     // §3.2 / Fig. 4 directionality on a reduced 40-qubit QAOA instance.
     let circuit = Workload::QaoaVanilla.generate(40, 8);
-    let opts = TranspileOptions::default();
-    let heavy = transpile(&circuit, &catalog::heavy_hex_84(), &opts).report;
-    let square = transpile(&circuit, &catalog::square_lattice_84(), &opts).report;
-    let hyper = transpile(&circuit, &catalog::hypercube_84(), &opts).report;
+    let pipeline = Pipeline::default();
+    let heavy = pipeline.run(&circuit, &catalog::heavy_hex_84()).report;
+    let square = pipeline.run(&circuit, &catalog::square_lattice_84()).report;
+    let hyper = pipeline.run(&circuit, &catalog::hypercube_84()).report;
     assert!(square.swap_count < heavy.swap_count);
     assert!(hyper.swap_count < square.swap_count);
     assert!(hyper.swap_depth < heavy.swap_depth);
@@ -74,9 +74,9 @@ fn tree_beats_heavy_hex_on_ghz_but_not_necessarily_on_qft() {
     // §6.2 notes the Tree's strength is local connectivity (GHZ) while QFT
     // stresses its root bottleneck; at minimum the Tree must win on GHZ.
     let ghz = Workload::Ghz.generate(60, 2);
-    let opts = TranspileOptions::default();
-    let tree = transpile(&ghz, &catalog::tree_84(), &opts).report;
-    let heavy = transpile(&ghz, &catalog::heavy_hex_84(), &opts).report;
+    let pipeline = Pipeline::default();
+    let tree = pipeline.run(&ghz, &catalog::tree_84()).report;
+    let heavy = pipeline.run(&ghz, &catalog::heavy_hex_84()).report;
     assert!(tree.swap_count < heavy.swap_count);
 }
 

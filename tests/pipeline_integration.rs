@@ -1,40 +1,46 @@
-//! Cross-crate integration tests: the full Fig.-10 pipeline from workload
-//! generation through placement, routing and basis translation, on every
-//! machine in the paper's small line-up.
+//! Cross-crate integration tests: the full Fig.-10 staged pipeline from
+//! workload generation through placement, routing and basis translation, on
+//! every device in the paper's small line-up — all through the `Device` +
+//! `Pipeline` entry points.
 
 use snailqc::prelude::*;
 use snailqc::topology::catalog;
 
 #[test]
 fn every_workload_transpiles_onto_every_small_machine() {
-    let machines = Machine::figure13_lineup();
+    let devices: Vec<Device> = Machine::figure13_lineup()
+        .into_iter()
+        .map(Device::from_machine)
+        .collect();
+    let pipeline = Pipeline::default();
     for workload in Workload::all() {
         let circuit = workload.generate(10, 11);
-        for machine in &machines {
-            let graph = machine.graph();
-            let options = TranspileOptions::with_basis(machine.basis);
-            let result = transpile(&circuit, &graph, &options);
+        for device in &devices {
+            let result = device.transpile(&circuit, &pipeline);
             let r = result.report;
             assert_eq!(
                 r.routed_two_qubit_gates,
                 r.input_two_qubit_gates + r.swap_count,
                 "{} on {}",
                 workload.label(),
-                machine.label()
+                device.label()
             );
             assert!(
                 r.basis_gate_count >= r.routed_two_qubit_gates,
                 "{} on {}",
                 workload.label(),
-                machine.label()
+                device.label()
             );
             assert!(r.basis_gate_depth <= r.basis_gate_count);
             // Every two-qubit gate in the routed circuit respects the device.
             for inst in result.routed.circuit.instructions() {
                 if inst.is_two_qubit() {
-                    assert!(graph.has_edge(inst.qubits[0], inst.qubits[1]));
+                    assert!(device.graph().has_edge(inst.qubits[0], inst.qubits[1]));
                 }
             }
+            // The trace mirrors the report's deltas.
+            assert_eq!(result.trace.swaps_inserted(), r.swap_count);
+            assert!(result.trace.stage("translation").is_some());
         }
     }
 }
@@ -47,8 +53,8 @@ fn routed_ghz_still_prepares_a_ghz_state() {
     use snailqc::circuit::simulate;
     let n = 16;
     let circuit = Workload::Ghz.generate(n, 1);
-    let graph = catalog::hypercube_16();
-    let result = transpile(&circuit, &graph, &TranspileOptions::default());
+    let device = Device::from_catalog("hypercube-16").unwrap();
+    let result = device.transpile(&circuit, &Pipeline::default());
     let sv = simulate(&result.routed.circuit);
     // Map physical back to logical and check the two GHZ amplitudes.
     let perm: Vec<usize> = (0..n)
@@ -62,34 +68,28 @@ fn routed_ghz_still_prepares_a_ghz_state() {
 #[test]
 fn richer_snail_topologies_dominate_heavy_hex_on_qft() {
     let circuit = Workload::Qft.generate(16, 5);
-    let heavy = transpile(
-        &circuit,
-        &catalog::heavy_hex_20(),
-        &TranspileOptions::with_basis(BasisGate::Cnot),
-    )
-    .report;
-    for graph in [
-        catalog::tree_20(),
-        catalog::corral12_16(),
-        catalog::hypercube_16(),
-    ] {
-        let snail = transpile(
-            &circuit,
-            &graph,
-            &TranspileOptions::with_basis(BasisGate::SqrtISwap),
-        )
+    let pipeline = Pipeline::default();
+    let heavy = Device::from_catalog("heavy-hex-20")
+        .unwrap()
+        .with_basis(BasisGate::Cnot)
+        .transpile(&circuit, &pipeline)
         .report;
+    for name in ["tree-20", "corral12-16", "hypercube-16"] {
+        let device = Device::from_catalog(name)
+            .unwrap()
+            .with_basis(BasisGate::SqrtISwap);
+        let snail = device.transpile(&circuit, &pipeline).report;
         assert!(
             snail.swap_count < heavy.swap_count,
             "{}: {} vs heavy-hex {}",
-            graph.name(),
+            device.label(),
             snail.swap_count,
             heavy.swap_count
         );
         assert!(
             snail.basis_gate_depth < heavy.basis_gate_depth,
             "{}: duration {} vs heavy-hex {}",
-            graph.name(),
+            device.label(),
             snail.basis_gate_depth,
             heavy.basis_gate_depth
         );
@@ -102,20 +102,17 @@ fn corral_needs_almost_no_swaps_for_small_circuits() {
     // requires zero SWAP gates for Corral1,1". A 4-qubit program fits inside
     // one of the Corral's 4-cliques exactly; slightly larger programs should
     // still need only a handful of SWAPs (far fewer than heavy-hex).
-    let corral = catalog::corral11_16();
+    let corral = Device::from_catalog("corral11-16").unwrap();
+    let heavy = Device::from_catalog("heavy-hex-20").unwrap();
+    let pipeline = Pipeline::default();
     let four = Workload::QuantumVolume.generate(4, 9);
-    let report = transpile(&four, &corral, &TranspileOptions::default()).report;
+    let report = corral.transpile(&four, &pipeline).report;
     assert_eq!(report.swap_count, 0, "4-qubit QV should map SWAP-free");
 
     for size in [6, 8] {
         let circuit = Workload::QuantumVolume.generate(size, 9);
-        let on_corral = transpile(&circuit, &corral, &TranspileOptions::default()).report;
-        let on_heavy = transpile(
-            &circuit,
-            &catalog::heavy_hex_20(),
-            &TranspileOptions::default(),
-        )
-        .report;
+        let on_corral = corral.transpile(&circuit, &pipeline).report;
+        let on_heavy = heavy.transpile(&circuit, &pipeline).report;
         assert!(
             2 * on_corral.swap_count <= on_heavy.swap_count.max(1),
             "size {size}: corral {} vs heavy-hex {}",
@@ -127,14 +124,17 @@ fn corral_needs_almost_no_swaps_for_small_circuits() {
 
 #[test]
 fn noise_aware_routing_beats_noise_blind_on_a_degraded_corral() {
-    // The PR's acceptance scenario: degrade one corral edge 10× and compare
-    // the edge-aware fidelity estimates of noise-blind vs noise-aware
-    // routing, for both the QAOA and QV workloads.
+    // The PR-2 acceptance scenario through the new API: degrade one corral
+    // edge 10× via an error-model override (0.001 → 0.01) and compare the
+    // edge-aware fidelity estimates of noise-blind vs noise-aware routing,
+    // for both the QAOA and QV workloads.
     use snailqc::core::fidelity::{estimate_fidelity_edges, ErrorModel};
-    use snailqc::transpiler::RouterConfig;
 
-    let mut graph = catalog::corral11_16();
-    graph.scale_edge_error(0, 2, 10.0);
+    let spec = ErrorModelSpec::from_json(r#"{"edges": [[0, 2, 0.01]]}"#).unwrap();
+    let device = Device::from_catalog("corral11-16")
+        .unwrap()
+        .with_error_model(spec)
+        .unwrap();
     let model = ErrorModel::default();
 
     // Routing is a seeded heuristic; these are fixed-seed regression points
@@ -142,15 +142,8 @@ fn noise_aware_routing_beats_noise_blind_on_a_degraded_corral() {
     for (workload, seed) in [(Workload::QaoaVanilla, 7), (Workload::QuantumVolume, 2)] {
         let circuit = workload.generate(12, seed);
         let run = |error_weight: f64| {
-            transpile(
-                &circuit,
-                &graph,
-                &TranspileOptions {
-                    router: RouterConfig::noise_aware(error_weight),
-                    ..TranspileOptions::default()
-                },
-            )
-            .report
+            let pipeline = Pipeline::builder().error_weight(error_weight).build();
+            device.transpile(&circuit, &pipeline).report
         };
         let blind = estimate_fidelity_edges(&run(0.0), &model);
         let aware = estimate_fidelity_edges(&run(1.0), &model);
@@ -172,7 +165,11 @@ fn basis_choice_does_not_change_routing() {
     let graph = catalog::tree_20();
     let mut counts = Vec::new();
     for basis in BasisGate::all() {
-        let report = transpile(&circuit, &graph, &TranspileOptions::with_basis(basis)).report;
+        let report = Pipeline::builder()
+            .translate_to(basis)
+            .build()
+            .run(&circuit, &graph)
+            .report;
         counts.push(report.swap_count);
     }
     assert_eq!(counts[0], counts[1]);

@@ -89,9 +89,10 @@ proptest! {
     fn transpiled_circuits_export_and_reimport(c in arb_circuit(6, 25)) {
         // Route + translate onto a catalog device, emit the result, re-parse
         // it, and check the physical circuit survives the trip intact.
-        let graph = snailqc::topology::catalog::corral11_16();
-        let options = TranspileOptions::with_basis(BasisGate::SqrtISwap).with_seed(5);
-        let result = transpile(&c, &graph, &options);
+        let device = Device::from_catalog("corral11-16")
+            .unwrap()
+            .with_basis(BasisGate::SqrtISwap);
+        let result = device.transpile(&c, &Pipeline::builder().seed(5).build());
         let translated = result.translated.as_ref().unwrap();
         let back = qasm::parse_circuit(&qasm::emit(translated)).unwrap();
         prop_assert_eq!(&back, translated);
