@@ -37,6 +37,7 @@ impl Instruction {
 pub struct Circuit {
     num_qubits: usize,
     instructions: Vec<Instruction>,
+    global_phase: f64,
 }
 
 impl Circuit {
@@ -45,12 +46,26 @@ impl Circuit {
         Self {
             num_qubits,
             instructions: Vec::new(),
+            global_phase: 0.0,
         }
     }
 
     /// The register size.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// The accumulated global phase φ: the circuit's unitary carries an
+    /// overall factor `e^{iφ}`. Unobservable in any measurement, but tracked
+    /// so OpenQASM 3 `gphase` statements round-trip exactly and controlled
+    /// versions of phased gates stay well-defined.
+    pub fn global_phase(&self) -> f64 {
+        self.global_phase
+    }
+
+    /// Adds `delta` radians of global phase.
+    pub fn add_global_phase(&mut self, delta: f64) {
+        self.global_phase += delta;
     }
 
     /// The instruction list, in program order.
@@ -150,6 +165,7 @@ impl Circuit {
     pub fn compose(&mut self, other: &Circuit) {
         assert_eq!(self.num_qubits, other.num_qubits, "register sizes differ");
         self.instructions.extend(other.instructions.iter().cloned());
+        self.global_phase += other.global_phase;
     }
 
     /// Returns a new circuit with every qubit index `q` replaced by
@@ -158,6 +174,7 @@ impl Circuit {
     pub fn remap_qubits(&self, mapping: &[usize], new_num_qubits: usize) -> Circuit {
         assert_eq!(mapping.len(), self.num_qubits);
         let mut out = Circuit::new(new_num_qubits);
+        out.global_phase = self.global_phase;
         for inst in &self.instructions {
             let qubits: Vec<usize> = inst.qubits.iter().map(|&q| mapping[q]).collect();
             out.push(inst.gate.clone(), &qubits);
@@ -168,6 +185,7 @@ impl Circuit {
     /// The inverse circuit (every gate inverted, order reversed).
     pub fn inverse(&self) -> Circuit {
         let mut out = Circuit::new(self.num_qubits);
+        out.global_phase = -self.global_phase;
         for inst in self.instructions.iter().rev() {
             out.push(inst.gate.inverse(), &inst.qubits);
         }
@@ -383,6 +401,28 @@ mod tests {
         assert_eq!(inv.len(), 3);
         assert_eq!(inv.instructions()[0].gate.name(), "cx");
         assert_eq!(inv.instructions()[2].gate.name(), "h");
+    }
+
+    #[test]
+    fn global_phase_accumulates_and_flows_through_transforms() {
+        let mut c = ghz(3);
+        assert_eq!(c.global_phase(), 0.0);
+        c.add_global_phase(0.5);
+        c.add_global_phase(-0.2);
+        assert!((c.global_phase() - 0.3).abs() < 1e-15);
+        assert!((c.remap_qubits(&[2, 0, 1], 4).global_phase() - 0.3).abs() < 1e-15);
+        assert!((c.inverse().global_phase() + 0.3).abs() < 1e-15);
+        let mut other = ghz(3);
+        other.add_global_phase(0.7);
+        c.compose(&other);
+        assert!((c.global_phase() - 1.0).abs() < 1e-15);
+        // Phase participates in equality: two otherwise-identical circuits
+        // with different phases are distinct.
+        let mut a = ghz(2);
+        let b = ghz(2);
+        assert_eq!(a, b);
+        a.add_global_phase(0.1);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -116,9 +116,16 @@ impl StateVector {
         }
     }
 
-    /// Applies every instruction of `circuit` in order.
+    /// Applies every instruction of `circuit` in order, then the circuit's
+    /// global phase.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
         assert_eq!(circuit.num_qubits(), self.num_qubits);
+        if circuit.global_phase() != 0.0 {
+            let phase = C64::cis(circuit.global_phase());
+            for amp in &mut self.amplitudes {
+                *amp *= phase;
+            }
+        }
         for inst in circuit.instructions() {
             match inst.gate.num_qubits() {
                 1 => {
@@ -170,6 +177,25 @@ mod tests {
     use crate::gate::Gate;
 
     const TOL: f64 = 1e-10;
+
+    #[test]
+    fn global_phase_multiplies_every_amplitude() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.add_global_phase(std::f64::consts::FRAC_PI_2);
+        let sv = simulate(&c);
+        // e^{iπ/2}·(1/√2) = i/√2 on both amplitudes.
+        for idx in 0..2 {
+            let amp = sv.amplitudes()[idx];
+            assert!(amp.re.abs() < TOL, "amp[{idx}] = {amp:?}");
+            assert!((amp.im - std::f64::consts::FRAC_1_SQRT_2).abs() < TOL);
+        }
+        // Probabilities (and fidelity against the unphased circuit) are
+        // unchanged: the phase is unobservable.
+        let mut plain = Circuit::new(1);
+        plain.h(0);
+        assert!((sv.fidelity(&simulate(&plain)) - 1.0).abs() < TOL);
+    }
 
     #[test]
     fn zero_state_is_normalized() {

@@ -136,7 +136,7 @@ impl SweepStore {
 const KEY_VERSION: &str = concat!("v1-", env!("CARGO_PKG_VERSION"));
 
 /// The cache key of one sweep cell: everything that determines its report,
-/// plus the code-version fingerprint [`KEY_VERSION`].
+/// plus the private `KEY_VERSION` code-version fingerprint.
 pub fn cell_key(workload: Workload, size: usize, device: &Device, config: &SweepConfig) -> String {
     format!(
         "{KEY_VERSION}|{:?}|{}|{}|{:?}|seed={}|trials={}|ew={:?}|noise={:016x}",

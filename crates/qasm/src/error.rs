@@ -1,6 +1,12 @@
 //! Parse-time error reporting with source positions.
+//!
+//! Both dialect parsers produce the same span-carrying [`QasmError`]; the
+//! negative-path test batteries assert on `line`/`col` so errors stay
+//! actionable (e.g. QASM3 syntax under an `OPENQASM 2.0` header points at
+//! the offending keyword, not the end of the file).
 
-/// An error raised while lexing or parsing an OpenQASM 2.0 program.
+/// An error raised while lexing or parsing an OpenQASM program (either
+/// dialect).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QasmError {
     /// 1-based source line of the offending token.

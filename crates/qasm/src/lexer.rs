@@ -1,9 +1,12 @@
-//! A hand-rolled lexer for OpenQASM 2.0.
+//! A hand-rolled lexer shared by the OpenQASM 2.0 and 3.0 parsers.
 //!
 //! Produces a flat token stream with 1-based source positions. Comments
 //! (`// …`) and whitespace are skipped. Numbers are classified as integers
 //! (register sizes, version digits) or reals (gate parameters, which may use
 //! scientific notation so that emitted `f64` values round-trip exactly).
+//! The QASM3-only tokens `@` (gate modifiers) and `=` (measure assignment)
+//! lex unconditionally; the version-2 parser rejects them at the grammar
+//! level so both dialects share one token stream.
 
 use crate::error::QasmError;
 
@@ -38,6 +41,10 @@ pub enum Tok {
     Arrow,
     /// `==`
     EqEq,
+    /// `=` (OpenQASM 3 measure assignment: `c = measure q;`)
+    Eq,
+    /// `@` (OpenQASM 3 gate-modifier separator: `ctrl @ g …`)
+    At,
     /// `+`
     Plus,
     /// `-`
@@ -212,13 +219,14 @@ pub fn lex(source: &str) -> Result<Vec<Token>, QasmError> {
                             Tok::Minus
                         }
                     }
+                    '@' => Tok::At,
                     '=' => {
                         if chars.get(i + 1) == Some(&'=') {
                             bump('=', &mut line, &mut col);
                             i += 1;
                             Tok::EqEq
                         } else {
-                            return Err(QasmError::new(tl, tc, "single `=` is not valid"));
+                            Tok::Eq
                         }
                     }
                     other => {
@@ -307,7 +315,30 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(lex("qreg q[2]; @").is_err());
+        assert!(lex("qreg q[2]; #").is_err());
         assert!(lex("\"open").is_err());
+    }
+
+    #[test]
+    fn lexes_qasm3_modifier_and_assignment_tokens() {
+        assert_eq!(
+            toks("ctrl @ x q; c = measure q;"),
+            vec![
+                Tok::Ident("ctrl".into()),
+                Tok::At,
+                Tok::Ident("x".into()),
+                Tok::Ident("q".into()),
+                Tok::Semi,
+                Tok::Ident("c".into()),
+                Tok::Eq,
+                Tok::Ident("measure".into()),
+                Tok::Ident("q".into()),
+                Tok::Semi,
+            ]
+        );
+        assert_eq!(
+            toks("a == b"),
+            vec![Tok::Ident("a".into()), Tok::EqEq, Tok::Ident("b".into()),]
+        );
     }
 }

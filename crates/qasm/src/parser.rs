@@ -6,7 +6,13 @@
 //! `opaque` declarations, `barrier` (a scheduling no-op for this IR) and
 //! `measure` (recorded but not represented — the IR is unitary-only).
 //! `reset` and classically-controlled `if` statements are rejected with a
-//! clear error.
+//! clear error, and OpenQASM 3 keywords (`qubit`, `gphase`, `ctrl`, …) under
+//! a 2.0 header are rejected with an error naming the version mismatch.
+//!
+//! The (crate-private) `Parser` state machine itself is version-agnostic:
+//! the [`crate::parser3`] module drives the same register, expression and
+//! gate-application machinery with the OpenQASM 3 surface grammar, so both
+//! dialects lower onto identical [`Gate`] semantics.
 //!
 //! The full `qelib1.inc` gate set plus the `snailqc` dialect gates
 //! (`iswap`, `siswap`, `syc`, `iswap_pow`, `fsim`, `zx`, `can`, `unitary2`)
@@ -15,6 +21,7 @@
 //! treats known `qelib1` gates), which is what makes `parse(emit(c))`
 //! preserve gate sequences exactly.
 
+use crate::emit::QasmVersion;
 use crate::error::QasmError;
 use crate::lexer::{lex, Tok, Token};
 use snailqc_circuit::{Circuit, Gate};
@@ -22,9 +29,11 @@ use snailqc_math::{Matrix4, C64};
 use std::collections::HashMap;
 use std::f64::consts::PI;
 
-/// A parsed OpenQASM 2.0 program lowered onto a flattened qubit register.
+/// A parsed OpenQASM program lowered onto a flattened qubit register.
 #[derive(Debug, Clone)]
 pub struct QasmProgram {
+    /// The dialect declared by the `OPENQASM` header.
+    pub version: QasmVersion,
     /// The lowered circuit over all declared qubits (registers flattened in
     /// declaration order).
     pub circuit: Circuit,
@@ -68,7 +77,7 @@ pub fn parse_circuit(source: &str) -> Result<Circuit, QasmError> {
 
 /// A parameter expression inside a gate call or definition body.
 #[derive(Debug, Clone)]
-enum Expr {
+pub(crate) enum Expr {
     Num(f64),
     Pi,
     Param(String),
@@ -146,25 +155,32 @@ struct GateDef {
 
 /// An operand of a gate application / barrier / measure.
 #[derive(Debug, Clone)]
-enum Operand {
+pub(crate) enum Operand {
+    /// A whole register, broadcast element-wise.
     Reg(String),
+    /// One indexed bit of a register.
     Bit(String, usize),
 }
 
-struct Parser {
-    tokens: Vec<Token>,
-    pos: usize,
-    qregs: Vec<(String, usize, usize)>, // name, size, flat offset
-    cregs: Vec<(String, usize)>,
+/// The shared parser state machine. The version-2 grammar lives in this
+/// module; [`crate::parser3`] drives the same machine with the QASM3 surface
+/// grammar so both dialects lower through identical gate semantics.
+pub(crate) struct Parser {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) pos: usize,
+    pub(crate) qregs: Vec<(String, usize, usize)>, // name, size, flat offset
+    pub(crate) cregs: Vec<(String, usize)>,
     gate_defs: HashMap<String, GateDef>,
     opaque_decls: HashMap<String, (usize, usize)>, // params, qubits
-    circuit: Circuit,
-    measurements: usize,
-    barriers: usize,
+    pub(crate) circuit: Circuit,
+    pub(crate) measurements: usize,
+    pub(crate) barriers: usize,
+    /// QASM3 mode: allows `gphase` inside gate bodies and definitions.
+    pub(crate) allow_v3: bool,
 }
 
 impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
+    pub(crate) fn new(tokens: Vec<Token>) -> Self {
         Self {
             tokens,
             pos: 0,
@@ -175,12 +191,13 @@ impl Parser {
             circuit: Circuit::new(0),
             measurements: 0,
             barriers: 0,
+            allow_v3: false,
         }
     }
 
     // --- token helpers ------------------------------------------------------
 
-    fn here(&self) -> (usize, usize) {
+    pub(crate) fn here(&self) -> (usize, usize) {
         self.tokens
             .get(self.pos)
             .or_else(|| self.tokens.last())
@@ -188,16 +205,21 @@ impl Parser {
             .unwrap_or((1, 1))
     }
 
-    fn err(&self, message: impl Into<String>) -> QasmError {
+    pub(crate) fn err(&self, message: impl Into<String>) -> QasmError {
         let (line, col) = self.here();
         QasmError::new(line, col, message)
     }
 
-    fn peek(&self) -> Option<&Tok> {
+    pub(crate) fn peek(&self) -> Option<&Tok> {
         self.tokens.get(self.pos).map(|t| &t.tok)
     }
 
-    fn next(&mut self) -> Option<Tok> {
+    /// The token after the next one, for one-token lookahead decisions.
+    pub(crate) fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    pub(crate) fn next(&mut self) -> Option<Tok> {
         let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
         if t.is_some() {
             self.pos += 1;
@@ -205,7 +227,7 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), QasmError> {
+    pub(crate) fn expect(&mut self, want: &Tok, what: &str) -> Result<(), QasmError> {
         match self.peek() {
             Some(t) if t == want => {
                 self.pos += 1;
@@ -215,7 +237,7 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self, what: &str) -> Result<String, QasmError> {
+    pub(crate) fn expect_ident(&mut self, what: &str) -> Result<String, QasmError> {
         match self.peek() {
             Some(Tok::Ident(s)) => {
                 let s = s.clone();
@@ -226,7 +248,7 @@ impl Parser {
         }
     }
 
-    fn expect_int(&mut self, what: &str) -> Result<u64, QasmError> {
+    pub(crate) fn expect_int(&mut self, what: &str) -> Result<u64, QasmError> {
         match self.peek() {
             Some(Tok::Int(n)) => {
                 let n = *n;
@@ -237,7 +259,7 @@ impl Parser {
         }
     }
 
-    fn eat(&mut self, tok: &Tok) -> bool {
+    pub(crate) fn eat(&mut self, tok: &Tok) -> bool {
         if self.peek() == Some(tok) {
             self.pos += 1;
             true
@@ -253,13 +275,19 @@ impl Parser {
         while self.peek().is_some() {
             self.parse_statement()?;
         }
-        Ok(QasmProgram {
+        Ok(self.finish(QasmVersion::V2))
+    }
+
+    /// Packages the accumulated state into a [`QasmProgram`].
+    pub(crate) fn finish(self, version: QasmVersion) -> QasmProgram {
+        QasmProgram {
+            version,
             circuit: self.circuit,
             qregs: self.qregs.iter().map(|(n, s, _)| (n.clone(), *s)).collect(),
             cregs: self.cregs,
             measurements: self.measurements,
             barriers: self.barriers,
-        })
+        }
     }
 
     fn parse_header(&mut self) -> Result<(), QasmError> {
@@ -292,6 +320,9 @@ impl Parser {
             "measure" => self.parse_measure(),
             "reset" => Err(self.err("`reset` is not supported (the circuit IR is unitary-only)")),
             "if" => Err(self.err("classically-controlled `if` statements are not supported")),
+            "qubit" | "bit" | "input" | "gphase" | "ctrl" | "negctrl" | "inv" => Err(self.err(
+                format!("`{kw}` is OpenQASM 3 syntax, but the header declares `OPENQASM 2.0`"),
+            )),
             _ => self.parse_application(),
         }
     }
@@ -310,35 +341,50 @@ impl Parser {
         self.expect(&Tok::Semi, "`;` after include")
     }
 
-    fn parse_qreg(&mut self) -> Result<(), QasmError> {
+    pub(crate) fn parse_qreg(&mut self) -> Result<(), QasmError> {
         self.pos += 1; // qreg
         let name = self.expect_ident("register name")?;
         self.expect(&Tok::LBracket, "`[`")?;
         let size = self.expect_int("register size")? as usize;
         self.expect(&Tok::RBracket, "`]`")?;
         self.expect(&Tok::Semi, "`;`")?;
+        self.declare_qreg(name, size, "qreg")
+    }
+
+    /// Registers a quantum register (either dialect's declaration syntax) and
+    /// grows the flat circuit register, keeping already-lowered instructions.
+    pub(crate) fn declare_qreg(
+        &mut self,
+        name: String,
+        size: usize,
+        kind: &str,
+    ) -> Result<(), QasmError> {
         if size == 0 {
-            return Err(self.err(format!("qreg `{name}` must have at least one qubit")));
+            return Err(self.err(format!("{kind} `{name}` must have at least one qubit")));
         }
         if self.find_qreg(&name).is_some() || self.cregs.iter().any(|(n, _)| *n == name) {
             return Err(self.err(format!("register `{name}` is already declared")));
         }
         let offset = self.circuit.num_qubits();
         self.qregs.push((name, size, offset));
-        // Grow the flat register, keeping already-lowered instructions.
         let total = offset + size;
         let mapping: Vec<usize> = (0..offset).collect();
         self.circuit = self.circuit.remap_qubits(&mapping, total);
         Ok(())
     }
 
-    fn parse_creg(&mut self) -> Result<(), QasmError> {
+    pub(crate) fn parse_creg(&mut self) -> Result<(), QasmError> {
         self.pos += 1; // creg
         let name = self.expect_ident("register name")?;
         self.expect(&Tok::LBracket, "`[`")?;
         let size = self.expect_int("register size")? as usize;
         self.expect(&Tok::RBracket, "`]`")?;
         self.expect(&Tok::Semi, "`;`")?;
+        self.declare_creg(name, size)
+    }
+
+    /// Registers a classical register (either dialect's declaration syntax).
+    pub(crate) fn declare_creg(&mut self, name: String, size: usize) -> Result<(), QasmError> {
         if self.find_qreg(&name).is_some() || self.cregs.iter().any(|(n, _)| *n == name) {
             return Err(self.err(format!("register `{name}` is already declared")));
         }
@@ -346,7 +392,7 @@ impl Parser {
         Ok(())
     }
 
-    fn find_qreg(&self, name: &str) -> Option<(usize, usize)> {
+    pub(crate) fn find_qreg(&self, name: &str) -> Option<(usize, usize)> {
         self.qregs
             .iter()
             .find(|(n, _, _)| n == name)
@@ -355,7 +401,7 @@ impl Parser {
 
     // --- gate definitions ---------------------------------------------------
 
-    fn parse_gate_def(&mut self) -> Result<(), QasmError> {
+    pub(crate) fn parse_gate_def(&mut self) -> Result<(), QasmError> {
         self.pos += 1; // gate
         let name = self.expect_ident("gate name")?;
         let params = if self.eat(&Tok::LParen) {
@@ -420,7 +466,7 @@ impl Parser {
         Ok(())
     }
 
-    fn parse_opaque(&mut self) -> Result<(), QasmError> {
+    pub(crate) fn parse_opaque(&mut self) -> Result<(), QasmError> {
         self.pos += 1; // opaque
         let name = self.expect_ident("opaque gate name")?;
         let params = if self.eat(&Tok::LParen) {
@@ -449,7 +495,7 @@ impl Parser {
 
     // --- expressions --------------------------------------------------------
 
-    fn parse_expr_list(&mut self) -> Result<Vec<Expr>, QasmError> {
+    pub(crate) fn parse_expr_list(&mut self) -> Result<Vec<Expr>, QasmError> {
         let mut out = vec![self.parse_expr()?];
         while self.eat(&Tok::Comma) {
             out.push(self.parse_expr()?);
@@ -537,7 +583,7 @@ impl Parser {
 
     // --- operands, barrier, measure -----------------------------------------
 
-    fn parse_operand(&mut self) -> Result<Operand, QasmError> {
+    pub(crate) fn parse_operand(&mut self) -> Result<Operand, QasmError> {
         let name = self.expect_ident("register operand")?;
         if self.eat(&Tok::LBracket) {
             let idx = self.expect_int("qubit index")? as usize;
@@ -548,7 +594,7 @@ impl Parser {
         }
     }
 
-    fn parse_operand_list(&mut self) -> Result<Vec<Operand>, QasmError> {
+    pub(crate) fn parse_operand_list(&mut self) -> Result<Vec<Operand>, QasmError> {
         let mut out = vec![self.parse_operand()?];
         while self.eat(&Tok::Comma) {
             out.push(self.parse_operand()?);
@@ -558,7 +604,7 @@ impl Parser {
 
     /// Flat qubit indices of a quantum operand: one per register element, or
     /// a single entry for a bit.
-    fn resolve_qubits(&self, op: &Operand) -> Result<Vec<usize>, QasmError> {
+    pub(crate) fn resolve_qubits(&self, op: &Operand) -> Result<Vec<usize>, QasmError> {
         match op {
             Operand::Reg(name) => {
                 let (size, offset) = self
@@ -578,7 +624,7 @@ impl Parser {
         }
     }
 
-    fn parse_barrier(&mut self) -> Result<(), QasmError> {
+    pub(crate) fn parse_barrier(&mut self) -> Result<(), QasmError> {
         self.pos += 1; // barrier
         let ops = self.parse_operand_list()?;
         for op in &ops {
@@ -589,33 +635,43 @@ impl Parser {
         Ok(())
     }
 
-    fn parse_measure(&mut self) -> Result<(), QasmError> {
+    pub(crate) fn parse_measure(&mut self) -> Result<(), QasmError> {
         self.pos += 1; // measure
         let q = self.parse_operand()?;
         self.expect(&Tok::Arrow, "`->` in measure")?;
         let c = self.parse_operand()?;
         self.expect(&Tok::Semi, "`;` after measure")?;
-        let q_count = self.resolve_qubits(&q)?.len();
-        let c_count = match &c {
-            Operand::Reg(name) => self
-                .cregs
+        self.record_measure(&q, &c)
+    }
+
+    /// Number of classical bits a measure target covers (the whole register,
+    /// or 1 for an in-range indexed bit).
+    pub(crate) fn resolve_bits(&self, op: &Operand) -> Result<usize, QasmError> {
+        let size_of = |name: &str| {
+            self.cregs
                 .iter()
                 .find(|(n, _)| n == name)
                 .map(|(_, size)| *size)
-                .ok_or_else(|| self.err(format!("unknown classical register `{name}`")))?,
+                .ok_or_else(|| self.err(format!("unknown classical register `{name}`")))
+        };
+        match op {
+            Operand::Reg(name) => size_of(name),
             Operand::Bit(name, idx) => {
-                let size = self
-                    .cregs
-                    .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|(_, size)| *size)
-                    .ok_or_else(|| self.err(format!("unknown classical register `{name}`")))?;
+                let size = size_of(name)?;
                 if *idx >= size {
                     return Err(self.err(format!("index {idx} out of range for `{name}[{size}]`")));
                 }
-                1
+                Ok(1)
             }
-        };
+        }
+    }
+
+    /// Validates widths of a measurement from qubit operand `q` into
+    /// classical operand `c` and counts it (shared by `measure q -> c;` and
+    /// the v3 assignment form `c = measure q;`).
+    pub(crate) fn record_measure(&mut self, q: &Operand, c: &Operand) -> Result<(), QasmError> {
+        let q_count = self.resolve_qubits(q)?.len();
+        let c_count = self.resolve_bits(c)?;
         if q_count != c_count {
             return Err(self.err(format!(
                 "measure width mismatch: {q_count} qubit(s) into {c_count} bit(s)"
@@ -627,20 +683,43 @@ impl Parser {
 
     // --- gate application ---------------------------------------------------
 
-    fn parse_application(&mut self) -> Result<(), QasmError> {
+    pub(crate) fn parse_application(&mut self) -> Result<(), QasmError> {
         let (line, col) = self.here();
         let name = self.expect_ident("gate name")?;
-        let params = if self.eat(&Tok::LParen) {
+        let params = self.parse_call_params(line, col)?;
+        self.apply_broadcast(&name, &params, line, col)
+    }
+
+    /// Parses an optional `(expr, …)` parameter list and evaluates it in the
+    /// empty environment (top-level applications have no free parameters).
+    pub(crate) fn parse_call_params(
+        &mut self,
+        line: usize,
+        col: usize,
+    ) -> Result<Vec<f64>, QasmError> {
+        if self.eat(&Tok::LParen) {
             let exprs = self.parse_expr_list()?;
             self.expect(&Tok::RParen, "`)` after parameters")?;
             let env = HashMap::new();
             exprs
                 .iter()
                 .map(|e| e.eval(&env, line, col))
-                .collect::<Result<Vec<f64>, _>>()?
+                .collect::<Result<Vec<f64>, _>>()
         } else {
-            Vec::new()
-        };
+            Ok(Vec::new())
+        }
+    }
+
+    /// Parses the operand list and trailing `;` of a gate application, then
+    /// applies `name` with register broadcasting — the shared tail of both
+    /// dialects' application statements.
+    pub(crate) fn apply_broadcast(
+        &mut self,
+        name: &str,
+        params: &[f64],
+        line: usize,
+        col: usize,
+    ) -> Result<(), QasmError> {
         let operands = self.parse_operand_list()?;
         self.expect(&Tok::Semi, "`;` after gate application")?;
 
@@ -668,13 +747,13 @@ impl Parser {
                 .iter()
                 .map(|idxs| if idxs.len() == 1 { idxs[0] } else { idxs[k] })
                 .collect();
-            self.apply(&name, &params, &qubits, line, col, 0)?;
+            self.apply(name, params, &qubits, line, col, 0)?;
         }
         Ok(())
     }
 
     /// Applies a named gate, preferring built-ins, then user definitions.
-    fn apply(
+    pub(crate) fn apply(
         &mut self,
         name: &str,
         params: &[f64],
@@ -685,6 +764,26 @@ impl Parser {
     ) -> Result<(), QasmError> {
         if depth > 64 {
             return Err(QasmError::new(line, col, "gate expansion too deep"));
+        }
+        if name == "gphase" {
+            // A zero-qubit global-phase entry (OpenQASM 3); reachable from
+            // v3 top-level statements and from v3 gate-definition bodies.
+            if !self.allow_v3 {
+                return Err(QasmError::new(
+                    line,
+                    col,
+                    "`gphase` is OpenQASM 3 syntax, but the header declares `OPENQASM 2.0`",
+                ));
+            }
+            if params.len() != 1 || !qubits.is_empty() {
+                return Err(QasmError::new(
+                    line,
+                    col,
+                    "`gphase` takes exactly one parameter and no qubit operands",
+                ));
+            }
+            self.circuit.add_global_phase(params[0]);
+            return Ok(());
         }
         {
             let mut seen = qubits.to_vec();

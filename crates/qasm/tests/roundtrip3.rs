@@ -1,0 +1,217 @@
+//! The cross-version equivalence battery for the QASM3 front-end/emitter in
+//! isolation (workload- and CLI-level checks live in the workspace-root
+//! integration tests).
+//!
+//! Three families of properties:
+//!
+//! 1. **V3 fixed point** — `emit_v3 ∘ parse3` is the identity on emitted
+//!    text, and `parse3(emit_v3(c)) == c` exactly (gates, qubits, global
+//!    phase, bit-identical `f64` parameters).
+//! 2. **Cross-version equivalence** — `parse(emit_v2(c))` and
+//!    `parse3(emit_v3(c))` produce statevector-identical circuits for every
+//!    representable gate (V2 drops only the unobservable global phase).
+//! 3. **Source-level `ctrl @` / `gphase` equivalence** — randomly generated
+//!    QASM3 modifier-chain programs simulate identically to their hand-written
+//!    QASM2 lowerings.
+
+use proptest::prelude::*;
+use snailqc_circuit::{simulate, Circuit, Gate};
+use snailqc_qasm::{emit, emit_v3, parse3, parse3_circuit, parse_any, parse_circuit, QasmVersion};
+
+/// Random circuits over every gate kind both emitters round-trip, plus an
+/// optional global phase (representable in V3 only).
+fn arb_circuit(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (
+        2..=max_qubits,
+        (any::<bool>(), -3.0..3.0f64),
+        proptest::collection::vec(
+            (
+                0..13u8,
+                0..1000u32,
+                0..1000u32,
+                -std::f64::consts::TAU..std::f64::consts::TAU,
+            ),
+            1..max_gates,
+        ),
+    )
+        .prop_map(|(n, (phased, phase), ops)| {
+            let mut c = Circuit::new(n);
+            if phased {
+                c.add_global_phase(phase);
+            }
+            for (kind, a, b, angle) in ops {
+                let q0 = a as usize % n;
+                let mut q1 = b as usize % n;
+                if q1 == q0 {
+                    q1 = (q0 + 1) % n;
+                }
+                match kind {
+                    0 => c.h(q0),
+                    1 => c.push(Gate::Sdg, &[q0]),
+                    2 => c.rx(angle, q0),
+                    3 => c.push(Gate::P(angle), &[q0]),
+                    4 => c.push(Gate::U3(angle, -angle, angle / 2.0), &[q0]),
+                    5 => c.cx(q0, q1),
+                    6 => c.cp(angle, q0, q1),
+                    7 => c.swap(q0, q1),
+                    8 => c.push(Gate::SqrtISwap, &[q0, q1]),
+                    9 => c.push(Gate::ISwapPow(angle / 7.0), &[q0, q1]),
+                    10 => c.push(Gate::Fsim(angle, angle / 3.0), &[q0, q1]),
+                    11 => c.rzz(angle, q0, q1),
+                    _ => c.push(Gate::Canonical(angle, angle / 2.0, angle / 4.0), &[q0, q1]),
+                }
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn v3_emit_parse_is_a_fixed_point(c in arb_circuit(7, 50)) {
+        let text = emit_v3(&c);
+        let back = parse3_circuit(&text).unwrap();
+        prop_assert_eq!(&back, &c, "parse3(emit_v3(c)) must equal c exactly");
+        prop_assert_eq!(emit_v3(&back), text, "emit_v3 ∘ parse3 must fix emitted text");
+    }
+
+    #[test]
+    fn cross_version_parses_are_statevector_equivalent(c in arb_circuit(6, 30)) {
+        let from_v2 = parse_circuit(&emit(&c)).unwrap();
+        let from_v3 = parse3_circuit(&emit_v3(&c)).unwrap();
+        // Gate-for-gate identical; V2 just cannot carry the global phase.
+        prop_assert_eq!(from_v2.instructions(), from_v3.instructions());
+        prop_assert_eq!(from_v2.global_phase(), 0.0);
+        prop_assert_eq!(from_v3.global_phase(), c.global_phase());
+        let fidelity = simulate(&from_v2).fidelity(&simulate(&from_v3));
+        prop_assert!((fidelity - 1.0).abs() < 1e-9, "fidelity = {}", fidelity);
+    }
+
+    #[test]
+    fn parse_any_dispatches_on_the_header(c in arb_circuit(5, 15)) {
+        let v2 = parse_any(&emit(&c)).unwrap();
+        prop_assert_eq!(v2.version, QasmVersion::V2);
+        let v3 = parse_any(&emit_v3(&c)).unwrap();
+        prop_assert_eq!(v3.version, QasmVersion::V3);
+        prop_assert_eq!(v2.circuit.instructions(), v3.circuit.instructions());
+    }
+}
+
+/// One randomly chosen statement emitted in both dialects: QASM3 modifier
+/// syntax on the left, the equivalent hand-lowered QASM2 on the right (empty
+/// when the statement has no observable QASM2 counterpart, like `gphase`).
+fn chain_statement(kind: u8, angle: f64, q: [usize; 3]) -> (String, String) {
+    let t = format!("{angle:?}");
+    let [a, b, c] = q;
+    match kind % 12 {
+        0 => (
+            format!("ctrl @ x q[{a}],q[{b}];"),
+            format!("cx q[{a}],q[{b}];"),
+        ),
+        1 => (
+            format!("ctrl @ ctrl @ x q[{a}],q[{b}],q[{c}];"),
+            format!("ccx q[{a}],q[{b}],q[{c}];"),
+        ),
+        2 => (
+            format!("ctrl(2) @ x q[{a}],q[{b}],q[{c}];"),
+            format!("ccx q[{a}],q[{b}],q[{c}];"),
+        ),
+        3 => (
+            format!("ctrl @ z q[{a}],q[{b}];"),
+            format!("cz q[{a}],q[{b}];"),
+        ),
+        4 => (
+            format!("ctrl @ rz({t}) q[{a}],q[{b}];"),
+            format!("crz({t}) q[{a}],q[{b}];"),
+        ),
+        5 => (
+            format!("ctrl @ ry({t}) q[{a}],q[{b}];"),
+            format!("cry({t}) q[{a}],q[{b}];"),
+        ),
+        6 => (
+            format!("ctrl @ U({t},{t}/2,-{t}) q[{a}],q[{b}];"),
+            format!("cu3({t},{t}/2,-{t}) q[{a}],q[{b}];"),
+        ),
+        7 => (
+            format!("ctrl @ gphase({t}) q[{a}];"),
+            format!("u1({t}) q[{a}];"),
+        ),
+        8 => (
+            format!("ctrl(2) @ gphase({t}) q[{a}],q[{b}];"),
+            format!("cu1({t}) q[{a}],q[{b}];"),
+        ),
+        9 => (
+            format!("ctrl @ swap q[{a}],q[{b}],q[{c}];"),
+            format!("cswap q[{a}],q[{b}],q[{c}];"),
+        ),
+        10 => (
+            format!("ctrl @ s q[{a}],q[{b}];"),
+            format!("cu1(pi/2) q[{a}],q[{b}];"),
+        ),
+        // Pure global phase: no observable QASM2 counterpart.
+        _ => (format!("gphase({t});"), String::new()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ctrl_chains_and_gphase_match_their_v2_lowerings(
+        ops in proptest::collection::vec(
+            (0..12u8, -3.0..3.0f64, 0..6usize, 0..6usize),
+            1..16,
+        )
+    ) {
+        let n = 6;
+        let mut v3 = format!("OPENQASM 3.0;\ninclude \"stdgates.inc\";\nqubit[{n}] q;\n");
+        let mut v2 = format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{n}];\n");
+        for (kind, angle, x, y) in ops {
+            // Three distinct qubits.
+            let a = x % n;
+            let b = (a + 1 + y % (n - 1)) % n;
+            let c = (0..n).find(|q| *q != a && *q != b).unwrap();
+            let (s3, s2) = chain_statement(kind, angle, [a, b, c]);
+            v3.push_str(&s3);
+            v3.push('\n');
+            if !s2.is_empty() {
+                v2.push_str(&s2);
+                v2.push('\n');
+            }
+        }
+        let c3 = parse3_circuit(&v3).unwrap();
+        let c2 = parse_circuit(&v2).unwrap();
+        prop_assert_eq!(c3.instructions(), c2.instructions());
+        let fidelity = simulate(&c3).fidelity(&simulate(&c2));
+        prop_assert!((fidelity - 1.0).abs() < 1e-9, "fidelity = {}", fidelity);
+    }
+}
+
+#[test]
+fn v3_golden_header_declarations_only_when_used() {
+    let mut c = Circuit::new(2);
+    c.push(Gate::Syc, &[0, 1]);
+    let text = emit_v3(&c);
+    // syc pulls fsim, which pulls rxx/ryy, which pull rzz — but not the
+    // iswap family.
+    for def in ["gate syc", "gate fsim", "gate rxx", "gate ryy", "gate rzz"] {
+        assert!(text.contains(def), "missing `{def}`:\n{text}");
+    }
+    assert!(
+        !text.contains("iswap"),
+        "unused defs must be omitted:\n{text}"
+    );
+    assert_eq!(parse3_circuit(&text).unwrap(), c);
+}
+
+#[test]
+fn v3_programs_reject_v2_only_surface_syntax() {
+    // The emitted v2 dialect header (opaque) must not leak into v3 input.
+    let err = parse3("OPENQASM 3.0;\nopaque siswap a,b;\n").unwrap_err();
+    assert!(err.message.contains("removed in OpenQASM 3"), "{err}");
+    // And a stray `->` measure still works (legacy form), but `creg` under a
+    // v3 header is also legal — the *version keywords* are what gate v2.
+    let ok = parse3("OPENQASM 3;\nqreg q[1];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\n");
+    assert!(ok.is_ok(), "{ok:?}");
+}

@@ -101,6 +101,24 @@ impl Workload {
         snailqc_qasm::emit(&self.generate(num_qubits, seed))
     }
 
+    /// Generates the workload circuit and serializes it as OpenQASM 3.0 —
+    /// the v3 twin of [`Workload::emit_qasm`], so every catalog workload is
+    /// expressible in both dialects.
+    pub fn emit_qasm_v3(&self, num_qubits: usize, seed: u64) -> String {
+        snailqc_qasm::emit_v3(&self.generate(num_qubits, seed))
+    }
+
+    /// Generates the workload circuit and serializes it in the given QASM
+    /// dialect.
+    pub fn emit_qasm_versioned(
+        &self,
+        num_qubits: usize,
+        seed: u64,
+        version: snailqc_qasm::QasmVersion,
+    ) -> String {
+        snailqc_qasm::emit_versioned(&self.generate(num_qubits, seed), version)
+    }
+
     /// Generates the workload circuit on (at most) `num_qubits` qubits.
     ///
     /// The adder uses the largest `2a + 2 ≤ num_qubits` register it can fit;
@@ -165,6 +183,24 @@ mod tests {
         assert_eq!(Workload::by_name("QV"), Some(Workload::QuantumVolume));
         assert_eq!(Workload::by_name("qaoa"), Some(Workload::QaoaVanilla));
         assert_eq!(Workload::by_name("unknown"), None);
+    }
+
+    #[test]
+    fn every_workload_exports_parseable_qasm_in_both_dialects() {
+        for w in Workload::all() {
+            for version in [snailqc_qasm::QasmVersion::V2, snailqc_qasm::QasmVersion::V3] {
+                let text = w.emit_qasm_versioned(8, 7, version);
+                let parsed = snailqc_qasm::parse_any(&text).unwrap_or_else(|e| {
+                    panic!(
+                        "{} ({version}): emitted QASM failed to parse: {e}",
+                        w.label()
+                    )
+                });
+                assert_eq!(parsed.version, version, "{}", w.label());
+                let direct = w.generate(8, 7);
+                assert_eq!(parsed.circuit, direct, "{} ({version})", w.label());
+            }
+        }
     }
 
     #[test]

@@ -2,16 +2,17 @@
 //!
 //! Exposes the topology catalog, the workload generators and the full Fig. 10
 //! staged pipeline (layout → routing → translation → analysis) over OpenQASM
-//! 2.0 files, with optional machine-readable JSON output. Every transpile
-//! flows through one `Device` (graph + noise + native basis) and one
-//! `Pipeline`:
+//! files — version 2.0 or 3.0, auto-detected from the `OPENQASM` header —
+//! with optional machine-readable JSON output. Every transpile flows through
+//! one `Device` (graph + noise + native basis) and one `Pipeline`:
 //!
 //! ```text
 //! snailqc transpile circuit.qasm --topology corral11-16 --basis sqrt-iswap --json
 //! snailqc transpile circuit.qasm --topology=corral11-16 --error-model=calibrated --json
-//! snailqc transpile qasm_dir/ --topology tree-84 --seed 7 --json   # batch mode
-//! snailqc emit qaoa-vanilla --qubits 12 --seed 7 -o qaoa12.qasm
-//! snailqc parse circuit.qasm
+//! snailqc transpile qasm_dir/ --topology tree-84 --seed 7 --store cache.jsonl --json
+//! snailqc emit qaoa-vanilla --qubits 12 --seed 7 --qasm3 -o qaoa12_v3.qasm
+//! snailqc convert circuit.qasm --qasm3
+//! snailqc parse circuit_v3.qasm
 //! snailqc topologies --json
 //! snailqc workloads
 //! ```
@@ -38,10 +39,11 @@ USAGE:
 Options take either `--flag value` or `--flag=value` form.
 
 COMMANDS:
-    transpile <file.qasm|dir>  Run the staged pipeline on an OpenQASM 2.0
-                            file, or on every .qasm file in a directory
-                            (batch mode: parallel, deterministic per-file
-                            seeds, one aggregated JSON report)
+    transpile <file.qasm|dir>  Run the staged pipeline on an OpenQASM 2.0 or
+                            3.0 file (dialect auto-detected from the header),
+                            or on every .qasm file under a directory,
+                            recursively (batch mode: parallel, deterministic
+                            per-file seeds, one aggregated JSON report)
         --topology <name>   Target device from the catalog (required)
         --basis <gate>      cnot | syc | sqrt-iswap | none   [default: none]
         --layout <strategy> dense | trivial                  [default: dense]
@@ -52,17 +54,27 @@ COMMANDS:
                             noise-aware routing + fidelity estimates
         --error-weight <w>  Fidelity weight of the SWAP scoring
                             [default: 1 with --error-model, else 0]
+        --store <file>      Batch mode: JSON-lines report cache; repeated
+                            runs replay cached cells instead of re-routing
+        --qasm3             Write -o output as OpenQASM 3.0
         -o, --out <file>    Write the transpiled circuit as QASM
                             (batch mode: write the aggregated JSON report)
         --json              Print the report as JSON
 
-    emit <workload>         Export a built-in workload as OpenQASM 2.0
+    emit <workload>         Export a built-in workload as OpenQASM
         --qubits <N>        Problem size in qubits (required)
         --seed <N>          Generator seed                   [default: 7]
+        --qasm3             Emit OpenQASM 3.0 instead of 2.0
         --measure-all       Append a full-register measurement
         -o, --out <file>    Write to a file instead of stdout
 
-    parse <file.qasm>       Parse a file and print circuit statistics
+    convert <file.qasm>     Re-emit a circuit in either dialect (input
+                            dialect auto-detected from the header)
+        --qasm3             Emit OpenQASM 3.0 instead of 2.0
+        -o, --out <file>    Write to a file instead of stdout
+
+    parse <file.qasm>       Parse a file (either dialect) and print circuit
+                            statistics
         --json              Print the statistics as JSON
 
     topologies              List the topology catalog with Table 1/2 metrics
@@ -84,6 +96,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "transpile" => cmd_transpile(rest),
         "emit" => cmd_emit(rest),
+        "convert" => cmd_convert(rest),
         "parse" => cmd_parse(rest),
         "topologies" => cmd_topologies(rest),
         "workloads" => cmd_workloads(rest),
@@ -205,6 +218,15 @@ fn parse_basis(name: &str) -> Result<Option<BasisGate>, String> {
     }))
 }
 
+/// The QASM dialect selected by the presence of `--qasm3`.
+fn output_version(opts: &Options) -> snailqc::qasm::QasmVersion {
+    if opts.has("qasm3") {
+        snailqc::qasm::QasmVersion::V3
+    } else {
+        snailqc::qasm::QasmVersion::V2
+    }
+}
+
 fn emit_output(text: &str, out: Option<&str>) -> Result<(), String> {
     match out {
         Some(path) => {
@@ -289,7 +311,7 @@ impl TranspileSetup {
     }
 
     fn parse_circuit(&self, name: &str, source: &str) -> Result<Circuit, String> {
-        let program = snailqc::qasm::parse(source).map_err(|e| e.to_string())?;
+        let program = snailqc::qasm::parse_any(source).map_err(|e| e.to_string())?;
         if !self.device.fits(&program.circuit) {
             return Err(format!(
                 "circuit `{name}` has {} qubits but `{}` only has {}",
@@ -342,9 +364,10 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
             "seed",
             "error-model",
             "error-weight",
+            "store",
             "out",
         ],
-        &["json"],
+        &["json", "qasm3"],
     )?;
     let [file] = opts.positional.as_slice() else {
         return Err("transpile needs exactly one <file.qasm | directory> argument".into());
@@ -399,7 +422,10 @@ fn transpile_one_file(file: &str, setup: &TranspileSetup, opts: &Options) -> Res
 
     if let Some(out) = opts.value("out") {
         let circuit = result.translated.as_ref().unwrap_or(&result.routed.circuit);
-        emit_output(&snailqc::qasm::emit(circuit), Some(out))?;
+        emit_output(
+            &snailqc::qasm::emit_versioned(circuit, output_version(opts)),
+            Some(out),
+        )?;
     }
 
     if opts.has("json") {
@@ -487,8 +513,12 @@ fn print_human_report(
 #[derive(serde::Serialize)]
 struct BatchFileOutput {
     file: String,
-    /// Router seed used for this file (base seed ⊕ FNV-1a of the file name).
+    /// Router seed used for this file (base seed ⊕ FNV-1a of the file's
+    /// directory-relative path).
     seed: u64,
+    /// True when the report was replayed from the `--store` cache instead of
+    /// being re-routed.
+    cached: bool,
     error: Option<String>,
     report: Option<TranspileReport>,
 }
@@ -498,6 +528,8 @@ struct BatchSummary {
     files: usize,
     transpiled: usize,
     failed: usize,
+    /// Cells replayed from the `--store` cache.
+    cache_hits: usize,
     total_swaps: usize,
     total_routed_two_qubit_gates: usize,
     total_basis_gates: usize,
@@ -517,59 +549,167 @@ struct BatchOutput {
     files: Vec<BatchFileOutput>,
 }
 
-/// Batch mode: transpile every `.qasm` file under `dir` in parallel and emit
-/// one aggregated report. Each file's router seed is derived from the base
-/// seed and the file's name alone, so results are independent of worker
-/// threads, directory enumeration order, and which other files are present.
+/// Recursively collects every `.qasm` file under `dir`.
+fn collect_qasm_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in
+        std::fs::read_dir(dir).map_err(|e| format!("reading directory `{}`: {e}", dir.display()))?
+    {
+        let path = entry
+            .map_err(|e| format!("reading directory `{}`: {e}", dir.display()))?
+            .path();
+        if path.is_dir() {
+            collect_qasm_files(&path, out)?;
+        } else if path.is_file() && path.extension().and_then(|e| e.to_str()) == Some("qasm") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The cache key of one batch cell: everything that determines its report —
+/// the file *contents* (so edits invalidate), the device (label, basis and
+/// calibration digest) and the full pipeline configuration (layout, seed,
+/// trials, error weight).
+fn batch_cell_key(source: &str, seed: u64, setup: &TranspileSetup) -> String {
+    format!(
+        "batch-v1|src={:016x}|{}|{:?}|layout={:?}|seed={}|trials={}|ew={:?}|noise={:016x}",
+        snailqc_util::fnv1a_64(source.as_bytes()),
+        setup.device.label(),
+        setup.device.basis(),
+        setup.layout(),
+        seed,
+        setup.trials(),
+        setup.error_weight(),
+        setup.device.noise_digest(),
+    )
+}
+
+/// Batch mode: transpile every `.qasm` file under `dir` — recursively — in
+/// parallel and emit one aggregated report. Each file's router seed is
+/// derived from the base seed and the file's directory-relative path alone,
+/// so results are independent of worker threads, directory enumeration
+/// order, and which other files are present. With `--store <file>`, reports
+/// are cached in a `SweepStore` keyed by file contents + device + routing
+/// config, and repeated runs replay cached cells instead of re-routing.
 fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Result<(), String> {
-    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| format!("reading directory `{dir}`: {e}"))?
-        .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some("qasm"))
-        .collect();
+    let root = Path::new(dir);
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_qasm_files(root, &mut paths)?;
     paths.sort();
     if paths.is_empty() {
-        return Err(format!("no .qasm files in `{dir}`"));
+        return Err(format!("no .qasm files under `{dir}`"));
     }
+    let mut store = opts.value("store").map(SweepStore::open);
 
-    let files: Vec<BatchFileOutput> = paths
-        .par_iter()
+    // Sequential cheap phase: read each file and probe the cache (the store
+    // is single-threaded); parsing and routing — the expensive part — run in
+    // parallel below for every cache miss.
+    enum Prepared {
+        Failed(String),
+        Cached(TranspileReport),
+        Work(String, String), // source, cache key
+    }
+    let prepared: Vec<(String, u64, Prepared)> = paths
+        .iter()
         .map(|path| {
             let name = path
-                .file_name()
-                .map(|n| n.to_string_lossy().into_owned())
-                .unwrap_or_else(|| path.display().to_string());
+                .strip_prefix(root)
+                .map(|p| p.to_string_lossy().into_owned())
+                .unwrap_or_else(|_| path.display().to_string());
             let seed = setup.seed() ^ snailqc_util::fnv1a_64(name.as_bytes());
             let outcome = std::fs::read_to_string(path)
-                .map_err(|e| format!("reading `{}`: {e}", path.display()))
-                .and_then(|source| setup.parse_circuit(&name, &source))
-                .map(|circuit| {
-                    let pipeline = setup.pipeline.to_builder().seed(seed).build();
-                    setup.device.transpile(&circuit, &pipeline).report
-                });
+                .map(|source| {
+                    let key = batch_cell_key(&source, seed, setup);
+                    match store.as_mut().and_then(|s| s.get(&key)) {
+                        Some(report) => Prepared::Cached(report),
+                        None => Prepared::Work(source, key),
+                    }
+                })
+                .map_err(|e| format!("reading `{}`: {e}", path.display()));
             match outcome {
-                Ok(report) => BatchFileOutput {
-                    file: name,
-                    seed,
-                    error: None,
-                    report: Some(report),
-                },
-                Err(error) => BatchFileOutput {
-                    file: name,
-                    seed,
-                    error: Some(error),
-                    report: None,
-                },
+                Ok(prepared) => (name, seed, prepared),
+                Err(error) => (name, seed, Prepared::Failed(error)),
             }
         })
         .collect();
 
+    let routed: Vec<(BatchFileOutput, Option<String>)> = prepared
+        .par_iter()
+        .map(|(name, seed, prepared)| {
+            let (name, seed) = (name.clone(), *seed);
+            match prepared {
+                Prepared::Failed(error) => (
+                    BatchFileOutput {
+                        file: name,
+                        seed,
+                        cached: false,
+                        error: Some(error.clone()),
+                        report: None,
+                    },
+                    None,
+                ),
+                Prepared::Cached(report) => (
+                    BatchFileOutput {
+                        file: name,
+                        seed,
+                        cached: true,
+                        error: None,
+                        report: Some(*report),
+                    },
+                    None,
+                ),
+                Prepared::Work(source, key) => {
+                    let outcome = setup.parse_circuit(&name, source).map(|circuit| {
+                        let pipeline = setup.pipeline.to_builder().seed(seed).build();
+                        setup.device.transpile(&circuit, &pipeline).report
+                    });
+                    match outcome {
+                        Ok(report) => (
+                            BatchFileOutput {
+                                file: name,
+                                seed,
+                                cached: false,
+                                error: None,
+                                report: Some(report),
+                            },
+                            Some(key.clone()),
+                        ),
+                        Err(error) => (
+                            BatchFileOutput {
+                                file: name,
+                                seed,
+                                cached: false,
+                                error: Some(error),
+                                report: None,
+                            },
+                            None,
+                        ),
+                    }
+                }
+            }
+        })
+        .collect();
+    let mut files = Vec::with_capacity(routed.len());
+    for (output, key) in routed {
+        if let (Some(store), Some(key), Some(report)) = (store.as_mut(), key, output.report) {
+            store.insert(key, report);
+        }
+        files.push(output);
+    }
+    if let Some(store) = &store {
+        store
+            .flush()
+            .map_err(|e| format!("writing store `{}`: {e}", store.path().display()))?;
+    }
+
+    let cache_hits = files.iter().filter(|f| f.cached).count();
     let transpiled: Vec<&TranspileReport> =
         files.iter().filter_map(|f| f.report.as_ref()).collect();
     let summary = BatchSummary {
         files: files.len(),
         transpiled: transpiled.len(),
         failed: files.len() - transpiled.len(),
+        cache_hits,
         total_swaps: transpiled.iter().map(|r| r.swap_count).sum(),
         total_routed_two_qubit_gates: transpiled.iter().map(|r| r.routed_two_qubit_gates).sum(),
         total_basis_gates: transpiled.iter().map(|r| r.basis_gate_count).sum(),
@@ -618,11 +758,12 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
             }
         }
         println!(
-            "  -- total: {} SWAPs, {} routed 2Q gates, {} basis gates; {} failed --",
+            "  -- total: {} SWAPs, {} routed 2Q gates, {} basis gates; {} failed, {} cached --",
             output.summary.total_swaps,
             output.summary.total_routed_two_qubit_gates,
             output.summary.total_basis_gates,
-            output.summary.failed
+            output.summary.failed,
+            output.summary.cache_hits
         );
     }
     if output.summary.failed > 0 && output.summary.transpiled == 0 {
@@ -636,7 +777,7 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
 // ---------------------------------------------------------------------------
 
 fn cmd_emit(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["qubits", "seed", "out"], &["measure-all"])?;
+    let opts = Options::parse(args, &["qubits", "seed", "out"], &["measure-all", "qasm3"])?;
     let [workload_name] = opts.positional.as_slice() else {
         return Err("emit needs exactly one <workload> argument (see `snailqc workloads`)".into());
     };
@@ -658,10 +799,57 @@ fn cmd_emit(args: &[String]) -> Result<(), String> {
     let circuit = workload.generate(qubits, seed);
     let emit_opts = snailqc::qasm::EmitOptions {
         measure_all: opts.has("measure-all"),
+        version: output_version(&opts),
         ..Default::default()
     };
     emit_output(
         &snailqc::qasm::emit_with(&circuit, &emit_opts),
+        opts.value("out"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// convert
+// ---------------------------------------------------------------------------
+
+/// Re-emits a parsed circuit in the selected dialect: the QASM version
+/// up/down-converter (`v2 → v3 → v2` is byte-identical, which the CI smoke
+/// job asserts).
+///
+/// The circuit IR is unitary-only, so a full-register measurement is
+/// re-emitted as `measure_all`; partial measurements (and barriers) cannot
+/// be represented and are dropped with a warning on stderr.
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["out"], &["qasm3"])?;
+    let [file] = opts.positional.as_slice() else {
+        return Err("convert needs exactly one <file.qasm> argument".into());
+    };
+    let source = read_source(file)?;
+    let program = snailqc::qasm::parse_any(&source).map_err(|e| e.to_string())?;
+    let measure_all =
+        program.measurements > 0 && program.measurements == program.circuit.num_qubits();
+    if program.measurements > 0 && !measure_all {
+        eprintln!(
+            "warning: `{file}` measures {} of {} qubits; partial measurements are not \
+             representable and were dropped",
+            program.measurements,
+            program.circuit.num_qubits()
+        );
+    }
+    if program.barriers > 0 {
+        eprintln!(
+            "warning: `{file}` contains {} barrier(s), which are not representable and \
+             were dropped",
+            program.barriers
+        );
+    }
+    let emit_opts = snailqc::qasm::EmitOptions {
+        measure_all,
+        version: output_version(&opts),
+        ..Default::default()
+    };
+    emit_output(
+        &snailqc::qasm::emit_with(&program.circuit, &emit_opts),
         opts.value("out"),
     )
 }
@@ -673,6 +861,8 @@ fn cmd_emit(args: &[String]) -> Result<(), String> {
 #[derive(serde::Serialize)]
 struct ParseOutput {
     file: String,
+    /// The dialect declared by the `OPENQASM` header (`"2.0"` or `"3.0"`).
+    version: &'static str,
     qubits: usize,
     gates: usize,
     two_qubit_gates: usize,
@@ -690,10 +880,11 @@ fn cmd_parse(args: &[String]) -> Result<(), String> {
         return Err("parse needs exactly one <file.qasm> argument".into());
     };
     let source = read_source(file)?;
-    let program = snailqc::qasm::parse(&source).map_err(|e| e.to_string())?;
+    let program = snailqc::qasm::parse_any(&source).map_err(|e| e.to_string())?;
     let c = &program.circuit;
     let output = ParseOutput {
         file: file.clone(),
+        version: program.version.header(),
         qubits: c.num_qubits(),
         gates: c.len(),
         two_qubit_gates: c.two_qubit_count(),
@@ -711,6 +902,7 @@ fn cmd_parse(args: &[String]) -> Result<(), String> {
         );
     } else {
         println!("== {file} ==");
+        println!("  OPENQASM        {}", output.version);
         println!("  qubits          {}", output.qubits);
         println!("  gates           {}", output.gates);
         println!("  2Q gates        {}", output.two_qubit_gates);

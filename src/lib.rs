@@ -18,7 +18,7 @@
 //! | [`workloads`] | `snailqc-workloads` | QV, QFT, QAOA, TIM, CDKM adder, GHZ generators |
 //! | [`transpiler`] | `snailqc-transpiler` | the staged `Pipeline`: dense layout, stochastic SWAP routing, basis translation, `PassTrace` |
 //! | [`decompose`] | `snailqc-decompose` | basis-gate counting, NuOp templates, decoherence model |
-//! | [`qasm`] | `snailqc-qasm` | OpenQASM 2.0 parser / emitter for external circuit interchange |
+//! | [`qasm`] | `snailqc-qasm` | version-aware OpenQASM 2.0 / 3.0 parsers and emitter for external circuit interchange |
 //! | [`core`] | `snailqc-core` | `Device`, machines, sweeps, the sweep store and headline ratios |
 //!
 //! ## Quick start
@@ -82,7 +82,11 @@ pub mod prelude {
     pub use snailqc_core::sweep::{run_sweep, run_sweep_with_store, SweepConfig, SweepPoint};
     pub use snailqc_decompose::{BasisGate, NuOpDecomposer, StudyConfig};
     pub use snailqc_math::{weyl_coordinates, Matrix2, Matrix4, WeylCoordinates};
-    pub use snailqc_qasm::{emit as emit_qasm, parse as parse_qasm, QasmProgram};
+    pub use snailqc_qasm::{
+        detect_version as detect_qasm_version, emit as emit_qasm, emit_v3 as emit_qasm_v3,
+        emit_versioned as emit_qasm_versioned, parse as parse_qasm, parse3 as parse_qasm3,
+        parse_any as parse_qasm_any, QasmProgram, QasmVersion,
+    };
     pub use snailqc_topology::{CouplingGraph, TopologyKind};
     #[allow(deprecated)]
     pub use snailqc_transpiler::transpile;

@@ -249,6 +249,289 @@ fn batch_mode_aggregates_a_directory_deterministically() {
 }
 
 #[test]
+fn transpile_auto_detects_the_qasm3_example_end_to_end() {
+    // The acceptance scenario: `snailqc transpile examples/qaoa12_v3.qasm`
+    // succeeds via header auto-detection, and produces the same report as
+    // the equivalent v2 file.
+    let run = |file: &str| {
+        let output = snailqc(&[
+            "transpile",
+            file,
+            "--topology=corral11-16",
+            "--basis=sqrt-iswap",
+            "--seed=7",
+            "--json",
+        ]);
+        assert!(
+            output.status.success(),
+            "{file} stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).expect("valid JSON")
+    };
+    let v2 = run("examples/qaoa12.qasm");
+    let v3 = run("examples/qaoa12_v3.qasm");
+    assert_eq!(
+        v2.get("report"),
+        v3.get("report"),
+        "both dialects of the same circuit must transpile identically"
+    );
+}
+
+#[test]
+fn parse_reports_the_detected_version() {
+    let output = snailqc(&["parse", "examples/qaoa12_v3.qasm", "--json"]);
+    assert!(output.status.success());
+    let json: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).unwrap();
+    assert_eq!(json.get("version").and_then(|v| v.as_str()), Some("3.0"));
+    assert_eq!(json.get("qubits").and_then(|v| v.as_u64()), Some(12));
+
+    let output = snailqc(&["parse", "examples/qaoa12.qasm", "--json"]);
+    let json: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).unwrap();
+    assert_eq!(json.get("version").and_then(|v| v.as_str()), Some("2.0"));
+}
+
+#[test]
+fn emit_qasm3_and_convert_round_trip_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("snailqc-v3-pipe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_str().unwrap().to_string();
+
+    // emit --qasm3 produces a v3 header + v3 declarations.
+    let output = snailqc(&[
+        "emit",
+        "qft",
+        "--qubits",
+        "6",
+        "--qasm3",
+        "--measure-all",
+        "-o",
+        &p("qft6_v3.qasm"),
+    ]);
+    assert!(output.status.success());
+    let text = std::fs::read_to_string(p("qft6_v3.qasm")).unwrap();
+    assert!(text.starts_with("OPENQASM 3.0;"), "{text}");
+    assert!(text.contains("qubit[6] q;"), "{text}");
+    assert!(text.contains("c = measure q;"), "{text}");
+
+    // v2 → v3 → v2 through `convert` is byte-identical (the CI smoke pipe).
+    assert!(
+        snailqc(&["emit", "qft", "--qubits", "6", "-o", &p("qft6.qasm")])
+            .status
+            .success()
+    );
+    assert!(snailqc(&[
+        "convert",
+        &p("qft6.qasm"),
+        "--qasm3",
+        "-o",
+        &p("pipe_v3.qasm")
+    ])
+    .status
+    .success());
+    assert!(
+        snailqc(&["convert", &p("pipe_v3.qasm"), "-o", &p("pipe_back.qasm")])
+            .status
+            .success()
+    );
+    assert_eq!(
+        std::fs::read_to_string(p("qft6.qasm")).unwrap(),
+        std::fs::read_to_string(p("pipe_back.qasm")).unwrap(),
+        "v2 → v3 → v2 must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn convert_preserves_full_register_measurement_and_warns_on_partial() {
+    let dir = std::env::temp_dir().join(format!("snailqc-convert-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = |name: &str| dir.join(name).to_str().unwrap().to_string();
+
+    // A full-register measurement survives conversion in both directions.
+    std::fs::write(
+        p("bell.qasm"),
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n\
+         h q[0];\ncx q[0],q[1];\nmeasure q -> c;\n",
+    )
+    .unwrap();
+    let output = snailqc(&["convert", &p("bell.qasm"), "--qasm3"]);
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("bit[2] c;"), "{text}");
+    assert!(text.contains("c = measure q;"), "{text}");
+    let back = snailqc(&["convert", &p("bell.qasm")]);
+    let text = String::from_utf8(back.stdout).unwrap();
+    assert!(text.contains("measure q -> c;"), "{text}");
+
+    // A partial measurement cannot be represented: dropped with a warning.
+    std::fs::write(
+        p("partial.qasm"),
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[1];\n\
+         h q[0];\nmeasure q[0] -> c[0];\n",
+    )
+    .unwrap();
+    let output = snailqc(&["convert", &p("partial.qasm"), "--qasm3"]);
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(!text.contains("measure"), "{text}");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("partial measurements"),
+        "stderr must warn: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_mode_walks_recursively_over_mixed_dialects() {
+    let dir = std::env::temp_dir().join(format!("snailqc-batch-mixed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("nested")).unwrap();
+    // One v2 file at the top level, one v3 file in a subdirectory.
+    std::fs::write(
+        dir.join("bell_v2.qasm"),
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("nested/bell_v3.qasm"),
+        "OPENQASM 3.0;\ninclude \"stdgates.inc\";\nqubit[2] q;\nh q[0];\nctrl @ x q[0],q[1];\n",
+    )
+    .unwrap();
+
+    let output = snailqc(&[
+        "transpile",
+        dir.to_str().unwrap(),
+        "--topology=tree-20",
+        "--seed=5",
+        "--json",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).unwrap();
+    let summary = json.get("summary").unwrap();
+    assert_eq!(summary.get("files").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(summary.get("transpiled").and_then(|v| v.as_u64()), Some(2));
+    let files = json.get("files").and_then(|v| v.as_array()).unwrap();
+    let names: Vec<&str> = files
+        .iter()
+        .map(|f| f.get("file").and_then(|v| v.as_str()).unwrap())
+        .collect();
+    assert_eq!(names, vec!["bell_v2.qasm", "nested/bell_v3.qasm"]);
+    // Identical circuits (the v3 `ctrl @ x` lowers to the same cx), so the
+    // reports differ only through their per-file seeds.
+    for f in files {
+        let report = f.get("report").expect("report present");
+        assert_eq!(
+            report.get("input_two_qubit_gates").and_then(|v| v.as_u64()),
+            Some(1)
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_store_replays_cached_cells_on_the_second_run() {
+    let dir = std::env::temp_dir().join(format!("snailqc-batch-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, qubits) in [("ghz5", 5), ("ghz8", 8)] {
+        let body: String = (1..qubits)
+            .map(|q| format!("cx q[{}], q[{}];\n", q - 1, q))
+            .collect();
+        std::fs::write(
+            dir.join(format!("{name}.qasm")),
+            format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{qubits}];\nh q[0];\n{body}"),
+        )
+        .unwrap();
+    }
+    let store = dir.join("cache.jsonl");
+
+    let run = || {
+        let output = snailqc(&[
+            "transpile",
+            dir.to_str().unwrap(),
+            "--topology=tree-20",
+            "--basis=sqrt-iswap",
+            "--seed=5",
+            &format!("--store={}", store.display()),
+            "--json",
+        ]);
+        assert!(
+            output.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).expect("valid JSON")
+    };
+    let first = run();
+    let second = run();
+
+    let hits = |json: &serde_json::Value| {
+        json.get("summary")
+            .and_then(|s| s.get("cache_hits"))
+            .and_then(|v| v.as_u64())
+            .expect("cache_hits in summary")
+    };
+    // `cache.jsonl` itself is not a .qasm file, so the walk skips it; the
+    // first run routes everything, the second replays every cell.
+    assert_eq!(hits(&first), 0);
+    assert_eq!(hits(&second), 2, "second run must replay both cells");
+    let cached_flags = |json: &serde_json::Value| -> Vec<bool> {
+        json.get("files")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .map(|f| f.get("cached") == Some(&serde_json::Value::Bool(true)))
+            .collect()
+    };
+    assert_eq!(cached_flags(&first), vec![false, false]);
+    assert_eq!(cached_flags(&second), vec![true, true]);
+    // Replayed reports are identical to the originally-routed ones.
+    let reports = |json: &serde_json::Value| -> Vec<(serde_json::Value, serde_json::Value)> {
+        json.get("files")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .map(|f| {
+                (
+                    f.get("file").expect("file name").clone(),
+                    f.get("report").expect("report").clone(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(reports(&first), reports(&second));
+
+    // Changing any pipeline knob — here the layout strategy — misses the
+    // cache instead of replaying stale reports.
+    let relayout = snailqc(&[
+        "transpile",
+        dir.to_str().unwrap(),
+        "--topology=tree-20",
+        "--basis=sqrt-iswap",
+        "--seed=5",
+        "--layout=trivial",
+        &format!("--store={}", store.display()),
+        "--json",
+    ]);
+    assert!(relayout.status.success());
+    let relayout: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(relayout.stdout).unwrap()).unwrap();
+    assert_eq!(hits(&relayout), 0, "a different layout must not replay");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn batch_mode_surfaces_per_file_errors_without_aborting() {
     let dir = std::env::temp_dir().join(format!("snailqc-batch-err-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

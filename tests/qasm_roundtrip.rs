@@ -135,6 +135,98 @@ fn every_workload_round_trips_through_qasm() {
 }
 
 #[test]
+fn every_workload_is_statevector_equivalent_across_dialects() {
+    // The acceptance criterion: every catalog workload emits valid QASM3
+    // that parses back to a circuit statevector-equivalent to its QASM2
+    // form.
+    for workload in Workload::all() {
+        for size in [4, 7, 10] {
+            let from_v2 = qasm::parse_circuit(&workload.emit_qasm(size, 11))
+                .unwrap_or_else(|e| panic!("{} @ {size} (v2): {e}", workload.label()));
+            let from_v3 = qasm::parse3_circuit(&workload.emit_qasm_v3(size, 11))
+                .unwrap_or_else(|e| panic!("{} @ {size} (v3): {e}", workload.label()));
+            assert_eq!(from_v2, from_v3, "{} @ {size}", workload.label());
+            let fidelity = simulate(&from_v2).fidelity(&simulate(&from_v3));
+            assert!(
+                (fidelity - 1.0).abs() < 1e-9,
+                "{} @ {size}: fidelity = {fidelity}",
+                workload.label()
+            );
+        }
+    }
+}
+
+/// Per-workload QASM3 golden files: emission is byte-stable, and every
+/// golden re-parses to the generator's circuit. Regenerate with
+/// `snailqc emit <w> --qubits 6 --seed 7 --qasm3 -o tests/data/<w>_6_v3.qasm`
+/// if the emitter format changes intentionally.
+#[test]
+fn v3_golden_files_match_emission_and_reparse() {
+    let goldens: [(Workload, &str); 6] = [
+        (
+            Workload::QuantumVolume,
+            include_str!("data/quantum_volume_6_v3.qasm"),
+        ),
+        (Workload::Qft, include_str!("data/qft_6_v3.qasm")),
+        (
+            Workload::QaoaVanilla,
+            include_str!("data/qaoa_vanilla_6_v3.qasm"),
+        ),
+        (
+            Workload::TimHamiltonian,
+            include_str!("data/tim_hamiltonian_6_v3.qasm"),
+        ),
+        (Workload::Adder, include_str!("data/adder_6_v3.qasm")),
+        (Workload::Ghz, include_str!("data/ghz_6_v3.qasm")),
+    ];
+    for (workload, golden) in goldens {
+        let emitted = workload.emit_qasm_v3(6, 7);
+        assert_eq!(
+            emitted,
+            golden,
+            "{} drifted from its golden",
+            workload.label()
+        );
+        let program =
+            qasm::parse_any(golden).unwrap_or_else(|e| panic!("{} golden: {e}", workload.label()));
+        assert_eq!(program.version, QasmVersion::V3, "{}", workload.label());
+        assert_eq!(
+            program.circuit,
+            workload.generate(6, 7),
+            "{}",
+            workload.label()
+        );
+    }
+}
+
+#[test]
+fn qaoa12_v3_example_matches_its_v2_source() {
+    let v2 = qasm::parse_any(include_str!("../examples/qaoa12.qasm")).unwrap();
+    let v3 = qasm::parse_any(include_str!("../examples/qaoa12_v3.qasm")).unwrap();
+    assert_eq!(v2.version, QasmVersion::V2);
+    assert_eq!(v3.version, QasmVersion::V3);
+    assert_eq!(v2.circuit, v3.circuit);
+}
+
+#[test]
+fn malformed_v3_reports_span_carrying_errors_through_the_facade() {
+    // Zero-width register.
+    let err =
+        qasm::parse_any("OPENQASM 3.0;\ninclude \"stdgates.inc\";\nqubit[0] q;\n").unwrap_err();
+    assert!(err.message.contains("at least one qubit"), "{err}");
+    assert!(err.line >= 3, "span must point into the body: {err}");
+
+    // Unterminated modifier chain.
+    let err = qasm::parse_any("OPENQASM 3;\nqubit[2] q;\nctrl @\n").unwrap_err();
+    assert!(err.message.contains("unterminated modifier chain"), "{err}");
+
+    // v3 syntax under a v2 header.
+    let err = qasm::parse_any("OPENQASM 2.0;\nqubit[2] q;\n").unwrap_err();
+    assert!(err.message.contains("OpenQASM 3 syntax"), "{err}");
+    assert_eq!((err.line, err.col), (2, 1));
+}
+
+#[test]
 fn golden_file_parses_to_the_expected_program() {
     let source = include_str!("data/golden.qasm");
     let program = qasm::parse(source).expect("golden file must parse");
