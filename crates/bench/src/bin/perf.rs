@@ -1,0 +1,280 @@
+//! Router hot-path performance harness.
+//!
+//! Times the three stages that dominate sweep turnaround — dense layout,
+//! SWAP routing (the hot kernel), and the full pipeline — on a fixed grid of
+//! representative (workload × topology × size) cells, prints a table, and
+//! writes `BENCH_router.json` at the repository root with per-cell median
+//! wall-µs, SWAP counts, and the speedup against the recorded pre-overhaul
+//! baseline.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p snailqc-bench --bin perf
+//! ```
+//!
+//! Set `SNAILQC_PERF_REDUCED=1` (the CI smoke configuration) to run one
+//! repetition per cell instead of the full median-of-N measurement; the JSON
+//! is still produced, with `"reduced": true` so consumers can ignore the
+//! noisier numbers.
+
+use serde::Serialize;
+use snailqc_bench::print_table;
+use snailqc_topology::{builders, catalog};
+use snailqc_transpiler::{LayoutStrategy, Pipeline, RouterConfig};
+use snailqc_workloads::Workload;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One measured grid cell.
+struct Cell {
+    workload: Workload,
+    topology: &'static str,
+    size: usize,
+    /// Noise-aware cells route with this fidelity weight on a calibrated
+    /// (heterogeneous) copy of the topology; `0.0` is the noise-blind router.
+    error_weight: f64,
+}
+
+const fn cell(workload: Workload, topology: &'static str, size: usize, error_weight: f64) -> Cell {
+    Cell {
+        workload,
+        topology,
+        size,
+        error_weight,
+    }
+}
+
+/// The measurement grid: every 84-qubit catalog family (the paper-scale
+/// cells the acceptance speedup is judged on), two 16/20-qubit cells, and
+/// two noise-aware cells exercising the weighted-Dijkstra scoring path.
+const CELLS: [Cell; 12] = [
+    cell(Workload::QaoaVanilla, "heavy-hex-84", 24, 0.0),
+    cell(Workload::QuantumVolume, "heavy-hex-84", 24, 0.0),
+    cell(Workload::QaoaVanilla, "square-lattice-84", 24, 0.0),
+    cell(Workload::QuantumVolume, "hypercube-84", 24, 0.0),
+    cell(Workload::Qft, "tree-84", 24, 0.0),
+    cell(Workload::QuantumVolume, "hex-lattice-84", 24, 0.0),
+    cell(Workload::QaoaVanilla, "lattice-alt-diagonals-84", 24, 0.0),
+    cell(Workload::Qft, "tree-rr-84", 24, 0.0),
+    cell(Workload::QaoaVanilla, "corral11-16", 12, 0.0),
+    cell(Workload::QuantumVolume, "heavy-hex-20", 12, 0.0),
+    cell(Workload::QaoaVanilla, "heavy-hex-84", 24, 1.0),
+    cell(Workload::QuantumVolume, "square-lattice-84", 24, 1.0),
+];
+
+/// Median routing wall-µs per cell recorded from the pre-overhaul router
+/// (commit 7cd796e, BTreeMap coupling graph + per-trial DAG rebuild +
+/// O(total²) lookahead rescan + sequential trials), measured by this same
+/// harness with `REPS` repetitions. Keys: (workload label, topology, size,
+/// error-weight bits).
+const BASELINE_ROUTE_MICROS: [(&str, &str, usize, u64, f64); 12] = [
+    ("QAOA Vanilla", "heavy-hex-84", 24, 0, 16972.2),
+    ("Quantum Volume", "heavy-hex-84", 24, 0, 18171.8),
+    ("QAOA Vanilla", "square-lattice-84", 24, 0, 6051.6),
+    ("Quantum Volume", "hypercube-84", 24, 0, 9172.8),
+    ("QFT", "tree-84", 24, 0, 4458.2),
+    ("Quantum Volume", "hex-lattice-84", 24, 0, 17221.0),
+    ("QAOA Vanilla", "lattice-alt-diagonals-84", 24, 0, 6484.8),
+    ("QFT", "tree-rr-84", 24, 0, 7431.4),
+    ("QAOA Vanilla", "corral11-16", 12, 0, 449.0),
+    ("Quantum Volume", "heavy-hex-20", 12, 0, 1312.0),
+    (
+        "QAOA Vanilla",
+        "heavy-hex-84",
+        24,
+        0x3FF0000000000000,
+        12759.2,
+    ),
+    (
+        "Quantum Volume",
+        "square-lattice-84",
+        24,
+        0x3FF0000000000000,
+        11515.6,
+    ),
+];
+
+/// Full-measurement repetitions per cell (median taken); reduced mode uses 1.
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct CellResult {
+    workload: &'static str,
+    topology: &'static str,
+    size: usize,
+    error_weight: f64,
+    swaps: usize,
+    layout_micros: f64,
+    route_micros: f64,
+    pipeline_micros: f64,
+    baseline_route_micros: Option<f64>,
+    speedup: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct PerfReport {
+    generated_by: &'static str,
+    baseline: &'static str,
+    reduced: bool,
+    reps: usize,
+    cells: Vec<CellResult>,
+    /// Median routing speedup across the 84-qubit cells (the acceptance
+    /// number; `null` until every such cell has a recorded baseline).
+    median_speedup_84q: Option<f64>,
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+fn time_micros<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let started = Instant::now();
+    let value = f();
+    (started.elapsed().as_secs_f64() * 1e6, value)
+}
+
+fn baseline_for(cell: &Cell) -> Option<f64> {
+    BASELINE_ROUTE_MICROS
+        .iter()
+        .find(|&&(w, t, s, ew, _)| {
+            w == cell.workload.label()
+                && t == cell.topology
+                && s == cell.size
+                && ew == cell.error_weight.to_bits()
+        })
+        .map(|&(_, _, _, _, micros)| micros)
+}
+
+fn main() {
+    let reduced = std::env::var("SNAILQC_PERF_REDUCED")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let reps = if reduced { 1 } else { REPS };
+
+    let mut results: Vec<CellResult> = Vec::with_capacity(CELLS.len());
+    for cell in &CELLS {
+        let graph = catalog::by_name(cell.topology).expect("catalog cell");
+        let graph = if cell.error_weight > 0.0 {
+            builders::calibrated(&graph, 1e-3, 1.2, 17)
+        } else {
+            graph
+        };
+        let circuit = cell.workload.generate(cell.size, 7);
+        let router = RouterConfig {
+            error_weight: cell.error_weight,
+            ..RouterConfig::default()
+        };
+        let pipeline = Pipeline::builder()
+            .layout(LayoutStrategy::Dense)
+            .router(router)
+            .build();
+
+        let mut layout_samples = Vec::with_capacity(reps);
+        let mut route_samples = Vec::with_capacity(reps);
+        let mut pipeline_samples = Vec::with_capacity(reps);
+        let mut swaps = 0usize;
+        let layout = LayoutStrategy::Dense.compute(&circuit, &graph);
+        for _ in 0..reps {
+            let (micros, _) = time_micros(|| LayoutStrategy::Dense.compute(&circuit, &graph));
+            layout_samples.push(micros);
+            let (micros, routed) =
+                time_micros(|| snailqc_transpiler::route(&circuit, &graph, &layout, &router));
+            route_samples.push(micros);
+            swaps = routed.swap_count;
+            let (micros, _) = time_micros(|| pipeline.run(&circuit, &graph));
+            pipeline_samples.push(micros);
+        }
+
+        let route_micros = median(route_samples);
+        let baseline_route_micros = baseline_for(cell);
+        results.push(CellResult {
+            workload: cell.workload.label(),
+            topology: cell.topology,
+            size: cell.size,
+            error_weight: cell.error_weight,
+            swaps,
+            layout_micros: median(layout_samples),
+            route_micros,
+            pipeline_micros: median(pipeline_samples),
+            baseline_route_micros,
+            speedup: baseline_route_micros.map(|b| b / route_micros),
+        });
+    }
+
+    let speedups_84q: Vec<f64> = results
+        .iter()
+        .filter(|r| r.topology.ends_with("-84"))
+        .filter_map(|r| r.speedup)
+        .collect();
+    let expected_84q = results
+        .iter()
+        .filter(|r| r.topology.ends_with("-84"))
+        .count();
+    let median_speedup_84q = (!speedups_84q.is_empty() && speedups_84q.len() == expected_84q)
+        .then(|| median(speedups_84q));
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_string(),
+                r.topology.to_string(),
+                r.size.to_string(),
+                format!("{:.1}", r.error_weight),
+                r.swaps.to_string(),
+                format!("{:.1}", r.layout_micros),
+                format!("{:.1}", r.route_micros),
+                format!("{:.1}", r.pipeline_micros),
+                r.speedup
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "router perf ({} reps{})",
+            reps,
+            if reduced { ", reduced" } else { "" }
+        ),
+        &[
+            "workload",
+            "topology",
+            "size",
+            "ew",
+            "swaps",
+            "layout µs",
+            "route µs",
+            "pipeline µs",
+            "speedup",
+        ],
+        &rows,
+    );
+    if let Some(m) = median_speedup_84q {
+        println!("\nmedian routing speedup on 84-qubit cells: {m:.2}x");
+    }
+
+    let report = PerfReport {
+        generated_by: "cargo run --release -p snailqc-bench --bin perf",
+        baseline: "pre-overhaul router (commit 7cd796e), recorded by this harness",
+        reduced,
+        reps,
+        cells: results,
+        median_speedup_84q,
+    };
+    let path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_router.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(body) => match std::fs::write(&path, body + "\n") {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        },
+        Err(err) => eprintln!("warning: could not serialize perf report: {err}"),
+    }
+}

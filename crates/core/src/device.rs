@@ -33,17 +33,41 @@ use crate::noise::ErrorModelSpec;
 use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
 use snailqc_topology::{catalog, CouplingGraph};
-use snailqc_transpiler::{Pipeline, TranspileResult};
+use snailqc_transpiler::{Pipeline, RoutingCache, TranspileResult};
+use std::sync::Arc;
 
 /// A co-designed quantum device: a coupling graph carrying per-edge error
 /// rates, an optional native two-qubit basis gate, and a display label.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every device also owns a [`RoutingCache`]: the all-pairs hop matrix and
+/// any error-weighted scoring matrices are computed once on first transpile
+/// and shared by every later transpile on the same device (clones share the
+/// cache too) — the reason a sweep over (workload × size × seed) cells no
+/// longer recomputes all-pairs BFS per cell. The cache never changes
+/// results; it only remembers what an uncached run would recompute.
+#[derive(Debug, Clone)]
 pub struct Device {
     label: String,
     graph: CouplingGraph,
     basis: Option<BasisGate>,
     error_model: Option<ErrorModelSpec>,
     machine: Option<Machine>,
+    /// Lazily filled distance matrices keyed to `graph`; rebuilt whenever
+    /// the graph's noise changes ([`Device::with_error_model`]).
+    routing_cache: Arc<RoutingCache>,
+}
+
+/// Cache-blind equality: two devices are equal when their observable state
+/// (label, graph, basis, error model, machine) agrees, regardless of which
+/// distance matrices each has materialized so far.
+impl PartialEq for Device {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.graph == other.graph
+            && self.basis == other.basis
+            && self.error_model == other.error_model
+            && self.machine == other.machine
+    }
 }
 
 impl Device {
@@ -56,6 +80,7 @@ impl Device {
             basis: None,
             error_model: None,
             machine: None,
+            routing_cache: Arc::new(RoutingCache::new()),
         }
     }
 
@@ -69,6 +94,7 @@ impl Device {
             basis: Some(machine.basis),
             error_model: None,
             machine: Some(machine),
+            routing_cache: Arc::new(RoutingCache::new()),
         }
     }
 
@@ -91,6 +117,10 @@ impl Device {
     pub fn with_error_model(mut self, spec: ErrorModelSpec) -> Result<Self, String> {
         spec.apply(&mut self.graph)?;
         self.error_model = Some(spec);
+        // The graph's noise changed, so any materialized scoring matrices
+        // are stale; start a fresh cache (shared clones keep the old one,
+        // which still matches *their* graph).
+        self.routing_cache = Arc::new(RoutingCache::new());
         Ok(self)
     }
 
@@ -147,7 +177,7 @@ impl Device {
     /// `BasisChoice::Device` translation stage resolves to this device's
     /// native basis (no translation when the device has none).
     pub fn transpile(&self, circuit: &Circuit, pipeline: &Pipeline) -> TranspileResult {
-        pipeline.run_with_native_basis(circuit, &self.graph, self.basis)
+        pipeline.run_with_native_basis_cached(circuit, &self.graph, self.basis, &self.routing_cache)
     }
 
     /// A stable fingerprint of the device's per-edge error rates, mixed into
@@ -241,6 +271,39 @@ mod tests {
         assert_eq!(
             uniform.noise_digest(),
             Device::from_catalog("tree-20").unwrap().noise_digest()
+        );
+    }
+
+    #[test]
+    fn repeated_transpiles_reuse_the_cache_without_changing_results() {
+        let circuit = snailqc_workloads::quantum_volume(10, 5, 3);
+        let device = Device::from_catalog("square-lattice-16")
+            .unwrap()
+            .with_error_model(ErrorModelSpec::preset("calibrated").unwrap())
+            .unwrap();
+        let pipeline = Pipeline::builder().error_weight(1.0).build();
+        let cold = device.transpile(&circuit, &pipeline);
+        for _ in 0..2 {
+            let warm = device.transpile(&circuit, &pipeline);
+            assert_eq!(cold.report, warm.report);
+            assert_eq!(
+                cold.routed.circuit.instructions(),
+                warm.routed.circuit.instructions(),
+                "device cache changed routed output"
+            );
+        }
+        // Clones share the cache and still match; equality ignores cache
+        // state entirely.
+        let clone = device.clone();
+        let via_clone = clone.transpile(&circuit, &pipeline);
+        assert_eq!(cold.report, via_clone.report);
+        assert_eq!(device, clone);
+        assert_eq!(
+            device,
+            Device::from_catalog("square-lattice-16")
+                .unwrap()
+                .with_error_model(ErrorModelSpec::preset("calibrated").unwrap())
+                .unwrap()
         );
     }
 

@@ -7,8 +7,18 @@
 //! count, diameter, average pairwise distance and average connectivity
 //! (degree) — all of which are provided here, along with the shortest-path
 //! machinery (hop-count BFS and error-weighted Dijkstra) the router needs.
+//!
+//! Internally the graph is stored in CSR (compressed sparse row) form: one
+//! flat `offsets` array and one flat sorted neighbor slice, so the router's
+//! hot loops (`neighbors`, `has_edge`, BFS/Dijkstra relaxation) are
+//! cache-friendly array scans instead of tree walks. Every edge additionally
+//! carries a stable **edge index** — its rank in the lexicographic `(min,
+//! max)` edge order — which lets per-edge data (error rates, router
+//! penalties, candidate bitmaps) live in plain `Vec`s indexed by
+//! [`CouplingGraph::edge_index`].
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// The uniform per-edge two-qubit error rate every graph starts with. It
 /// matches the paper's running example of a 99.9%-fidelity basis pulse (the
@@ -16,15 +26,28 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// fidelity estimates agree on an uncalibrated device.
 pub const DEFAULT_EDGE_ERROR: f64 = 1e-3;
 
-/// An undirected graph over qubits `0..num_qubits`.
+/// An undirected graph over qubits `0..num_qubits`, stored as a CSR
+/// adjacency plus a lexicographically ordered edge list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CouplingGraph {
     name: String,
-    adjacency: Vec<BTreeSet<usize>>,
+    /// CSR row offsets: the neighbors of `q` are
+    /// `csr_neighbors[offsets[q]..offsets[q + 1]]`, ascending.
+    offsets: Vec<usize>,
+    /// Flat neighbor array (each undirected edge appears twice).
+    csr_neighbors: Vec<usize>,
+    /// Edge index of `(q, neighbor)`, parallel to `csr_neighbors`.
+    csr_edge_ids: Vec<usize>,
+    /// Edges as `(min, max)` pairs in lexicographic order; the position of
+    /// an edge in this list is its stable edge index.
+    edge_list: Vec<(usize, usize)>,
     /// Error rate applied to every edge without an explicit override.
     default_edge_error: f64,
-    /// Per-edge overrides, keyed by `(min, max)` qubit pairs.
-    edge_error_overrides: BTreeMap<(usize, usize), f64>,
+    /// Resolved per-edge error rates, indexed by edge index.
+    edge_rates: Vec<f64>,
+    /// True where [`CouplingGraph::set_edge_error`] recorded an explicit
+    /// override (distinguishes a calibrated edge from the uniform default).
+    edge_overridden: Vec<bool>,
 }
 
 /// The structural summary reported in the paper's Tables 1 and 2.
@@ -46,9 +69,13 @@ impl CouplingGraph {
     pub fn new(name: impl Into<String>, num_qubits: usize) -> Self {
         Self {
             name: name.into(),
-            adjacency: vec![BTreeSet::new(); num_qubits],
+            offsets: vec![0; num_qubits + 1],
+            csr_neighbors: Vec::new(),
+            csr_edge_ids: Vec::new(),
+            edge_list: Vec::new(),
             default_edge_error: DEFAULT_EDGE_ERROR,
-            edge_error_overrides: BTreeMap::new(),
+            edge_rates: Vec::new(),
+            edge_overridden: Vec::new(),
         }
     }
 
@@ -77,7 +104,13 @@ impl CouplingGraph {
 
     /// Number of qubits.
     pub fn num_qubits(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
+    }
+
+    /// The sorted neighbor slice of `q`.
+    #[inline]
+    fn neighbor_slice(&self, q: usize) -> &[usize] {
+        &self.csr_neighbors[self.offsets[q]..self.offsets[q + 1]]
     }
 
     /// Adds an undirected edge; self-loops and duplicates are ignored.
@@ -86,41 +119,94 @@ impl CouplingGraph {
             a < self.num_qubits() && b < self.num_qubits(),
             "edge ({a},{b}) out of range"
         );
-        if a == b {
+        if a == b || self.has_edge(a, b) {
             return;
         }
-        self.adjacency[a].insert(b);
-        self.adjacency[b].insert(a);
+        let edge = (a.min(b), a.max(b));
+        // Lexicographic rank of the new edge = its stable index; every
+        // existing id at or above it shifts up by one.
+        let id = self.edge_list.binary_search(&edge).unwrap_err();
+        for slot in &mut self.csr_edge_ids {
+            if *slot >= id {
+                *slot += 1;
+            }
+        }
+        self.edge_list.insert(id, edge);
+        self.edge_rates.insert(id, self.default_edge_error);
+        self.edge_overridden.insert(id, false);
+        // Insert each endpoint into the other's sorted CSR row. The second
+        // insertion recomputes its position from the already-shifted offsets.
+        for (u, v) in [(a, b), (b, a)] {
+            let row = self.neighbor_slice(u);
+            let pos = self.offsets[u] + row.binary_search(&v).unwrap_err();
+            self.csr_neighbors.insert(pos, v);
+            self.csr_edge_ids.insert(pos, id);
+            for offset in &mut self.offsets[u + 1..] {
+                *offset += 1;
+            }
+        }
     }
 
     /// True when `(a, b)` is an edge.
     pub fn has_edge(&self, a: usize, b: usize) -> bool {
-        self.adjacency.get(a).is_some_and(|s| s.contains(&b))
+        a < self.num_qubits() && self.neighbor_slice(a).binary_search(&b).is_ok()
     }
 
     /// Neighbors of `q` in ascending order.
     pub fn neighbors(&self, q: usize) -> impl Iterator<Item = usize> + '_ {
-        self.adjacency[q].iter().copied()
+        self.neighbor_slice(q).iter().copied()
+    }
+
+    /// Neighbors of `q` in ascending order, each paired with the index of
+    /// the connecting edge — the hot-path iterator that lets callers keep
+    /// per-edge data in edge-indexed `Vec`s.
+    pub fn neighbors_with_edge_ids(&self, q: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let range = self.offsets[q]..self.offsets[q + 1];
+        self.csr_neighbors[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.csr_edge_ids[range].iter().copied())
     }
 
     /// Degree of `q`.
     pub fn degree(&self, q: usize) -> usize {
-        self.adjacency[q].len()
+        self.offsets[q + 1] - self.offsets[q]
     }
 
-    /// All edges as `(min, max)` pairs in lexicographic order. Iterates over
-    /// the stored adjacency sets without allocating, so it is safe to call
-    /// inside hot loops (layout seeding, router cost models).
+    /// All edges as `(min, max)` pairs in lexicographic order — i.e. in
+    /// edge-index order. Iterates the stored edge list without allocating,
+    /// so it is safe to call inside hot loops (layout seeding, router cost
+    /// models).
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.adjacency
-            .iter()
-            .enumerate()
-            .flat_map(|(a, nbrs)| nbrs.range(a + 1..).map(move |&b| (a, b)))
+        self.edge_list.iter().copied()
     }
 
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
-        self.adjacency.iter().map(|s| s.len()).sum::<usize>() / 2
+        self.edge_list.len()
+    }
+
+    // -----------------------------------------------------------------------
+    // Edge index
+    // -----------------------------------------------------------------------
+
+    /// The stable index of edge `(a, b)` (order-insensitive): its rank in
+    /// the lexicographic `(min, max)` edge order, i.e. its position in
+    /// [`CouplingGraph::edges`]. `None` when `(a, b)` is not an edge.
+    pub fn edge_index(&self, a: usize, b: usize) -> Option<usize> {
+        if a >= self.num_qubits() {
+            return None;
+        }
+        let pos = self.neighbor_slice(a).binary_search(&b).ok()?;
+        Some(self.csr_edge_ids[self.offsets[a] + pos])
+    }
+
+    /// The `(min, max)` endpoints of the edge with index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= num_edges()`.
+    pub fn edge_endpoints(&self, idx: usize) -> (usize, usize) {
+        self.edge_list[idx]
     }
 
     // -----------------------------------------------------------------------
@@ -133,11 +219,19 @@ impl CouplingGraph {
     /// # Panics
     /// Panics if `(a, b)` is not an edge.
     pub fn edge_error(&self, a: usize, b: usize) -> f64 {
-        assert!(self.has_edge(a, b), "({a},{b}) is not an edge");
-        self.edge_error_overrides
-            .get(&(a.min(b), a.max(b)))
-            .copied()
-            .unwrap_or(self.default_edge_error)
+        let idx = self
+            .edge_index(a, b)
+            .unwrap_or_else(|| panic!("({a},{b}) is not an edge"));
+        self.edge_rates[idx]
+    }
+
+    /// The error rate of the edge with index `idx` — the allocation-free
+    /// edge-indexed read the router's cost models use.
+    ///
+    /// # Panics
+    /// Panics if `idx >= num_edges()`.
+    pub fn edge_error_at(&self, idx: usize) -> f64 {
+        self.edge_rates[idx]
     }
 
     /// Sets the error rate of edge `(a, b)`.
@@ -145,9 +239,12 @@ impl CouplingGraph {
     /// # Panics
     /// Panics if `(a, b)` is not an edge or `rate` is outside `[0, 1)`.
     pub fn set_edge_error(&mut self, a: usize, b: usize, rate: f64) {
-        assert!(self.has_edge(a, b), "({a},{b}) is not an edge");
+        let idx = self
+            .edge_index(a, b)
+            .unwrap_or_else(|| panic!("({a},{b}) is not an edge"));
         assert!((0.0..1.0).contains(&rate), "edge error {rate} not in [0,1)");
-        self.edge_error_overrides.insert((a.min(b), a.max(b)), rate);
+        self.edge_rates[idx] = rate;
+        self.edge_overridden[idx] = true;
     }
 
     /// Multiplies the error rate of edge `(a, b)` by `factor` (clamped below
@@ -164,7 +261,8 @@ impl CouplingGraph {
     pub fn set_uniform_edge_error(&mut self, rate: f64) {
         assert!((0.0..1.0).contains(&rate), "edge error {rate} not in [0,1)");
         self.default_edge_error = rate;
-        self.edge_error_overrides.clear();
+        self.edge_rates.iter_mut().for_each(|r| *r = rate);
+        self.edge_overridden.iter_mut().for_each(|o| *o = false);
     }
 
     /// The uniform error rate edges fall back to without an override.
@@ -178,19 +276,28 @@ impl CouplingGraph {
     pub fn edge_errors_uniform(&self) -> bool {
         // Overrides only make the device heterogeneous if one differs from
         // another, or from the default while some edge still uses the default.
-        let mut overrides = self.edge_error_overrides.values();
-        let Some(&first) = overrides.next() else {
+        let mut overrides = self
+            .edge_rates
+            .iter()
+            .zip(&self.edge_overridden)
+            .filter(|(_, &o)| o)
+            .map(|(&r, _)| r);
+        let Some(first) = overrides.next() else {
             return true;
         };
-        if !overrides.all(|&r| r == first) {
+        if !overrides.all(|r| r == first) {
             return false;
         }
-        first == self.default_edge_error || self.edge_error_overrides.len() == self.num_edges()
+        first == self.default_edge_error
+            || self.edge_overridden.iter().filter(|&&o| o).count() == self.num_edges()
     }
 
     /// Every edge with its error rate, in lexicographic edge order.
     pub fn edge_errors(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
-        self.edges().map(|(a, b)| ((a, b), self.edge_error(a, b)))
+        self.edge_list
+            .iter()
+            .copied()
+            .zip(self.edge_rates.iter().copied())
     }
 
     /// Breadth-first distances from `source`; unreachable nodes get
@@ -202,7 +309,7 @@ impl CouplingGraph {
         dist[source] = 0;
         queue.push_back(source);
         while let Some(u) = queue.pop_front() {
-            for &v in &self.adjacency[u] {
+            for v in self.neighbors(u) {
                 if dist[v] == usize::MAX {
                     dist[v] = dist[u] + 1;
                     queue.push_back(v);
@@ -220,9 +327,12 @@ impl CouplingGraph {
     }
 
     /// Single-source shortest-path distances under a per-edge cost function
-    /// (Dijkstra; costs must be non-negative). Unreachable nodes get
-    /// `f64::INFINITY`. The O(n²) selection loop is deterministic and fast
-    /// enough for the ≤ 84-qubit devices of the study.
+    /// (Dijkstra with a binary heap, O(E log V); costs must be
+    /// non-negative). Unreachable nodes get `f64::INFINITY`.
+    ///
+    /// The computed distances are bitwise-identical to a selection-loop
+    /// Dijkstra: each distance is the minimum over paths of a left-to-right
+    /// cost sum, and both algorithms evaluate exactly those sums.
     pub fn weighted_distances(
         &self,
         source: usize,
@@ -231,24 +341,22 @@ impl CouplingGraph {
         let n = self.num_qubits();
         let mut dist = vec![f64::INFINITY; n];
         let mut done = vec![false; n];
+        // Reverse (max-heap → min-heap) over (cost bits, node): non-negative
+        // f64 bit patterns order like the floats, and the node index breaks
+        // exact ties deterministically.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
         dist[source] = 0.0;
-        for _ in 0..n {
-            let mut u = usize::MAX;
-            let mut best = f64::INFINITY;
-            for q in 0..n {
-                if !done[q] && dist[q] < best {
-                    best = dist[q];
-                    u = q;
-                }
-            }
-            if u == usize::MAX {
-                break; // remaining nodes unreachable
+        heap.push(Reverse((0.0f64.to_bits(), source)));
+        while let Some(Reverse((_, u))) = heap.pop() {
+            if done[u] {
+                continue; // stale entry, already settled at a lower cost
             }
             done[u] = true;
             for v in self.neighbors(u) {
                 let next = dist[u] + cost(u, v);
                 if next < dist[v] {
                     dist[v] = next;
+                    heap.push(Reverse((next.to_bits(), v)));
                 }
             }
         }
@@ -278,7 +386,7 @@ impl CouplingGraph {
             if u == b {
                 break;
             }
-            for &v in &self.adjacency[u] {
+            for v in self.neighbors(u) {
                 if !visited[v] {
                     visited[v] = true;
                     prev[v] = u;
@@ -359,9 +467,9 @@ impl CouplingGraph {
                 g.add_edge(a, b);
             }
         }
-        for (&(a, b), &rate) in &self.edge_error_overrides {
-            if a < n && b < n {
-                g.set_edge_error(a, b, rate);
+        for (idx, &(a, b)) in self.edge_list.iter().enumerate() {
+            if self.edge_overridden[idx] && a < n && b < n {
+                g.set_edge_error(a, b, self.edge_rates[idx]);
             }
         }
         g
@@ -384,7 +492,7 @@ impl CouplingGraph {
             let mut candidates: Vec<usize> =
                 (0..self.num_qubits()).filter(|&q| !removed[q]).collect();
             candidates.sort_by_key(|&q| {
-                let live_degree = self.adjacency[q].iter().filter(|&&n| !removed[n]).count();
+                let live_degree = self.neighbors(q).filter(|&n| !removed[n]).count();
                 (live_degree, usize::MAX - q)
             });
             let mut removed_one = false;
@@ -418,9 +526,9 @@ impl CouplingGraph {
                 g.add_edge(mapping[a], mapping[b]);
             }
         }
-        for (&(a, b), &rate) in &self.edge_error_overrides {
-            if !removed[a] && !removed[b] {
-                g.set_edge_error(mapping[a], mapping[b], rate);
+        for (idx, &(a, b)) in self.edge_list.iter().enumerate() {
+            if self.edge_overridden[idx] && !removed[a] && !removed[b] {
+                g.set_edge_error(mapping[a], mapping[b], self.edge_rates[idx]);
             }
         }
         g
@@ -438,7 +546,7 @@ impl CouplingGraph {
         queue.push_back(live[0]);
         let mut count = 1;
         while let Some(u) = queue.pop_front() {
-            for &v in &self.adjacency[u] {
+            for v in self.neighbors(u) {
                 if !removed[v] && !seen[v] {
                     seen[v] = true;
                     count += 1;
@@ -566,6 +674,48 @@ mod tests {
     }
 
     #[test]
+    fn edge_index_is_the_lexicographic_rank() {
+        let g = cycle(5);
+        for (rank, (a, b)) in g.edges().enumerate() {
+            assert_eq!(g.edge_index(a, b), Some(rank));
+            assert_eq!(g.edge_index(b, a), Some(rank), "order-insensitive");
+            assert_eq!(g.edge_endpoints(rank), (a, b));
+        }
+        assert_eq!(g.edge_index(0, 2), None);
+        assert_eq!(g.edge_index(99, 0), None);
+    }
+
+    #[test]
+    fn edge_indices_stay_lexicographic_under_out_of_order_insertion() {
+        // Insert edges in reverse order; the index must still be the rank in
+        // the (min, max) lexicographic order, not insertion order.
+        let g = CouplingGraph::from_edges("rev", 4, &[(2, 3), (1, 2), (0, 3), (0, 1)]);
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+        for (rank, &(a, b)) in edges.iter().enumerate() {
+            assert_eq!(g.edge_index(a, b), Some(rank));
+        }
+    }
+
+    #[test]
+    fn neighbors_with_edge_ids_agree_with_edge_index() {
+        let g = complete(5);
+        for q in 0..5 {
+            let pairs: Vec<(usize, usize)> = g.neighbors_with_edge_ids(q).collect();
+            let plain: Vec<usize> = g.neighbors(q).collect();
+            assert_eq!(
+                pairs.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+                plain,
+                "same neighbor order"
+            );
+            for (v, id) in pairs {
+                assert_eq!(g.edge_index(q, v), Some(id));
+                assert_eq!(g.edge_error_at(id), g.edge_error(q, v));
+            }
+        }
+    }
+
+    #[test]
     fn edge_errors_default_to_uniform() {
         let g = path(4);
         assert!(g.edge_errors_uniform());
@@ -613,6 +763,20 @@ mod tests {
         assert!((g.edge_error(0, 1) - 10.0 * DEFAULT_EDGE_ERROR).abs() < 1e-15);
         g.scale_edge_error(0, 1, 1e9);
         assert!(g.edge_error(0, 1) < 1.0);
+    }
+
+    #[test]
+    fn overrides_keep_their_edges_when_later_insertions_shift_indices() {
+        // Setting an override and then adding a lexicographically smaller
+        // edge shifts the override's edge index; the rate must follow.
+        let mut g = CouplingGraph::new("shift", 4);
+        g.add_edge(2, 3);
+        g.set_edge_error(2, 3, 0.07);
+        g.add_edge(0, 1); // takes index 0, shifting (2,3) to index 1
+        assert_eq!(g.edge_error(2, 3), 0.07);
+        assert_eq!(g.edge_error(0, 1), DEFAULT_EDGE_ERROR);
+        assert_eq!(g.edge_index(0, 1), Some(0));
+        assert_eq!(g.edge_index(2, 3), Some(1));
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Pins the heap-based Dijkstra against the retired O(n²) selection-loop
+//! algorithm: on every catalog topology — uniform and calibrated — the two
+//! must produce *bitwise-identical* distances (`f64 ==`, not tolerance),
+//! because the router's weighted-distance matrix feeds SWAP scoring and any
+//! drift would change routed circuits.
+
+use snailqc_topology::{builders, catalog, CouplingGraph};
+
+/// The selection-loop Dijkstra `CouplingGraph::weighted_distances` shipped
+/// before the heap rewrite, kept verbatim as the reference semantics.
+fn reference_weighted_distances(
+    graph: &CouplingGraph,
+    source: usize,
+    cost: impl Fn(usize, usize) -> f64,
+) -> Vec<f64> {
+    let n = graph.num_qubits();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    dist[source] = 0.0;
+    for _ in 0..n {
+        let mut u = usize::MAX;
+        let mut best = f64::INFINITY;
+        for q in 0..n {
+            if !done[q] && dist[q] < best {
+                best = dist[q];
+                u = q;
+            }
+        }
+        if u == usize::MAX {
+            break; // remaining nodes unreachable
+        }
+        done[u] = true;
+        for v in graph.neighbors(u) {
+            let next = dist[u] + cost(u, v);
+            if next < dist[v] {
+                dist[v] = next;
+            }
+        }
+    }
+    dist
+}
+
+fn assert_bitwise_equal(graph: &CouplingGraph, cost: impl Fn(usize, usize) -> f64 + Copy) {
+    for source in 0..graph.num_qubits() {
+        let heap = graph.weighted_distances(source, cost);
+        let reference = reference_weighted_distances(graph, source, cost);
+        for (q, (h, r)) in heap.iter().zip(&reference).enumerate() {
+            assert!(
+                h.to_bits() == r.to_bits(),
+                "{}: dist[{source}][{q}] drifted: heap {h:?} vs reference {r:?}",
+                graph.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn heap_dijkstra_matches_selection_loop_on_the_full_catalog() {
+    for name in catalog::names() {
+        let graph = catalog::by_name(name).unwrap();
+        // Unit costs (hop distances) …
+        assert_bitwise_equal(&graph, |_, _| 1.0);
+        // … and the router's noise-weighted costs on a calibrated copy.
+        let calibrated = builders::calibrated(&graph, 1e-3, 1.2, 17);
+        let weighted =
+            |a: usize, b: usize| 1.0 + 0.5 * (-(1.0 - calibrated.edge_error(a, b)).ln()) / 1e-3;
+        assert_bitwise_equal(&calibrated, weighted);
+    }
+}
+
+#[test]
+fn heap_dijkstra_matches_selection_loop_on_disconnected_graphs() {
+    let g = CouplingGraph::from_edges("islands", 6, &[(0, 1), (1, 2), (4, 5)]);
+    assert_bitwise_equal(&g, |_, _| 1.0);
+    assert_bitwise_equal(&g, |a, b| (a + b) as f64 * 0.25 + 1.0);
+}

@@ -32,5 +32,7 @@ pub use pipeline::{
     BasisChoice, PassTrace, Pipeline, PipelineBuilder, StageTrace, TranspileOptions,
     TranspileReport, TranspileResult,
 };
-pub use routing::{route, EdgeErrorSource, RoutedCircuit, RouterConfig};
+pub use routing::{
+    route, route_with_cache, EdgeErrorSource, RoutedCircuit, RouterConfig, RoutingCache,
+};
 pub use translate::{count_basis_gates, critical_path_basis_gates, translate_to_basis};

@@ -31,7 +31,7 @@
 //! shim; it delegates to a [`Pipeline`] and its output is bitwise-identical.
 
 use crate::layout::LayoutStrategy;
-use crate::routing::{route, RoutedCircuit, RouterConfig};
+use crate::routing::{route_with_cache, RoutedCircuit, RouterConfig, RoutingCache};
 use crate::translate::translate_to_basis;
 use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
@@ -195,6 +195,21 @@ impl Pipeline {
         graph: &CouplingGraph,
         native_basis: Option<BasisGate>,
     ) -> TranspileResult {
+        self.run_with_native_basis_cached(circuit, graph, native_basis, &RoutingCache::new())
+    }
+
+    /// [`Pipeline::run_with_native_basis`], reusing `cache`'s distance
+    /// matrices across runs on the same graph. `snailqc_core::device::Device`
+    /// owns one cache per device and threads it through here, so sweeps stop
+    /// recomputing all-pairs BFS for every cell; output is bitwise-identical
+    /// to the uncached path.
+    pub fn run_with_native_basis_cached(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        native_basis: Option<BasisGate>,
+        cache: &RoutingCache,
+    ) -> TranspileResult {
         let basis = self.translation.resolve(native_basis);
         let mut trace = PassTrace::default();
 
@@ -210,7 +225,7 @@ impl Pipeline {
 
         // Stage 2 — routing: insert SWAPs until every 2Q gate is adjacent.
         let started = Instant::now();
-        let routed = route(circuit, graph, &layout, &self.router);
+        let routed = route_with_cache(circuit, graph, &layout, &self.router, cache);
         trace.push(
             "routing",
             started,

@@ -6,30 +6,72 @@
 //! granularity the study measures: the number of SWAP gates induced by a
 //! topology, in total and on the critical path.
 //!
+//! # Hot-path architecture
+//!
+//! Routing is the inner kernel of every sweep in the reproduction, so the
+//! implementation is organised around what is shared, what is incremental,
+//! and what is parallel:
+//!
+//! * **Shared across trials** ([`route`]): the dependency DAG (per-qubit
+//!   predecessor chains), the initial front, the program-order pending-2Q
+//!   list, the hop-distance matrix and (in noise-aware mode) the
+//!   error-weighted Dijkstra matrix are all layout-independent — they are
+//!   built once per `route` call and borrowed by every trial. With a
+//!   [`RoutingCache`] (see [`route_with_cache`]) the distance matrices are
+//!   further shared across *calls* on the same graph, so a sweep stops
+//!   recomputing all-pairs BFS for every (workload, size, seed) cell.
+//! * **Incremental within a trial** (`route_once`): the lookahead window
+//!   is read from an intrusive linked list over pending two-qubit gates
+//!   (O(lookahead) per SWAP decision, where a full rescan of the
+//!   instruction stream — the previous implementation — was O(total²) per
+//!   routed circuit); candidate SWAPs are deduplicated with an edge-indexed
+//!   bitmap instead of a linear `Vec::contains`; and candidates are scored
+//!   through one scratch swap/unswap of the live layout instead of a
+//!   `Layout` clone per candidate. Adjacency tests on the blocked front use
+//!   a flat `n × n` boolean matrix.
+//! * **Parallel across trials**: the best-of-`trials` loop fans out with
+//!   rayon — each trial derives its own RNG seed from the trial index — and
+//!   the winner is selected by a deterministic trial-index-ordered
+//!   reduction, so the routed output is independent of thread scheduling
+//!   and bitwise-identical to the sequential loop.
+//!
+//! Per SWAP decision the work is O(front + lookahead + candidates·front),
+//! and per routed circuit O(swaps · front-window) — independent of the
+//! total instruction count, which only enters through the one-time DAG
+//! build. The `crates/transpiler/tests/router_equivalence.rs` digests and
+//! the frozen baselines in `noise_regression.rs` pin the output of this
+//! implementation gate-for-gate to the pre-overhaul router.
+//!
+//! # Noise-aware mode
+//!
 //! The router can additionally be made *noise-aware*: when the coupling
 //! graph carries heterogeneous per-edge error rates and
 //! [`RouterConfig::error_weight`] is positive, SWAP candidates are scored
 //! against an error-weighted distance matrix (Dijkstra over
 //! `1 + w · penalty(e)` edge costs, with `penalty` the edge's log infidelity
 //! normalized by the device's default rate) plus a direct penalty for
-//! executing the SWAP itself on a noisy link. Three safeguards keep the
-//! heuristic stable on the continuous cost landscape: candidates are pruned
-//! to SWAPs that make hop progress on the front layer (the weighted score
-//! chooses *which* route, not *whether* to converge), a small relative
-//! jitter keeps trials diverse where exact score ties are measure-zero, and
-//! the best-of-`trials` winner is picked by a total-infidelity proxy
-//! (summed edge penalties + depth) instead of raw SWAP count. With a uniform
-//! error model — `error_weight = 0` or all edges equal — the scoring
-//! degenerates to plain hop distances and the routed output is
-//! bitwise-identical to the noise-blind router.
+//! executing the SWAP itself on a noisy link. Per-edge penalties live in an
+//! edge-indexed `Vec<f64>` (see [`CouplingGraph::edge_index`]) so every
+//! cost-model read is an array access. Three safeguards keep the heuristic
+//! stable on the continuous cost landscape: candidates are pruned to SWAPs
+//! that make hop progress on the front layer (the weighted score chooses
+//! *which* route, not *whether* to converge), a small relative jitter keeps
+//! trials diverse where exact score ties are measure-zero, and the
+//! best-of-`trials` winner is picked by a total-infidelity proxy (summed
+//! edge penalties + depth) instead of raw SWAP count. With a uniform error
+//! model — `error_weight = 0` or all edges equal — the scoring degenerates
+//! to plain hop distances and the routed output is bitwise-identical to the
+//! noise-blind router.
 
 use crate::layout::Layout;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use snailqc_circuit::{Circuit, Gate, Instruction};
 use snailqc_topology::CouplingGraph;
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of basis pulses a SWAP costs on the edge that executes it (three
 /// CNOT-equivalents); scales the direct noise penalty of a SWAP candidate.
@@ -92,7 +134,9 @@ impl EdgeErrorSource {
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct RouterConfig {
     /// Number of independent randomized routing attempts; the attempt with
-    /// the fewest SWAPs wins (mirrors `StochasticSwap`'s trials).
+    /// the fewest SWAPs wins (mirrors `StochasticSwap`'s trials). Trials run
+    /// in parallel; the winner is reduced in trial-index order, so the
+    /// result never depends on scheduling.
     pub trials: usize,
     /// Size of the lookahead window used in the SWAP scoring heuristic.
     pub lookahead: usize,
@@ -145,14 +189,31 @@ impl RouterConfig {
         self.error_weight = error_weight;
         self
     }
+
+    /// The distance-matrix cache key of this configuration: the fields that
+    /// change which weighted matrix the router scores against.
+    fn matrix_key(&self) -> MatrixKey {
+        let (tag, rate) = match self.edge_errors {
+            EdgeErrorSource::Device => (0u64, 0u64),
+            EdgeErrorSource::Uniform(r) => (1u64, r.to_bits()),
+        };
+        (self.error_weight.to_bits(), tag, rate)
+    }
 }
+
+/// Cache key of one scoring matrix: `(error_weight bits, edge-source tag,
+/// uniform-rate bits)` — see [`RouterConfig::matrix_key`].
+type MatrixKey = (u64, u64, u64);
 
 /// Precomputed noise data for one routing run: normalized per-edge penalties
 /// used both for the weighted distance matrix and the direct SWAP penalty.
+/// Penalties are indexed by the graph's stable lexicographic
+/// [`edge index`](CouplingGraph::edge_index), so every read in the scoring
+/// hot loop is a plain array access.
 struct NoiseContext {
     /// `-ln(1 − err_e)` divided by the reference (default-rate) penalty,
-    /// keyed by `(min, max)` edge; a typical edge sits near 1.0.
-    penalties: BTreeMap<(usize, usize), f64>,
+    /// indexed by edge index; a typical edge sits near 1.0.
+    penalties: Vec<f64>,
     /// `error_weight` echoed from the config.
     weight: f64,
 }
@@ -173,47 +234,46 @@ impl NoiseContext {
         }
         let rate = |a: usize, b: usize| config.edge_errors.rate(graph, a, b);
         let penalty_of = |r: f64| -(1.0 - r.clamp(0.0, 0.999_999)).ln();
-        let raw: BTreeMap<(usize, usize), f64> = graph
-            .edges()
-            .map(|(a, b)| ((a, b), penalty_of(rate(a, b))))
-            .collect();
-        let first = raw.values().next().copied()?;
-        if raw.values().all(|&p| p == first) {
+        let raw: Vec<f64> = graph.edges().map(|(a, b)| penalty_of(rate(a, b))).collect();
+        let first = raw.first().copied()?;
+        if raw.iter().all(|&p| p == first) {
             return None; // homogeneous noise cannot change SWAP choices
         }
         let mut reference = penalty_of(graph.default_edge_error());
         if reference <= 0.0 {
-            reference = raw.values().sum::<f64>() / raw.len() as f64;
+            reference = raw.iter().sum::<f64>() / raw.len() as f64;
         }
-        let penalties = raw.into_iter().map(|(e, p)| (e, p / reference)).collect();
+        let penalties = raw.into_iter().map(|p| p / reference).collect();
         Some(Self {
             penalties,
             weight: config.error_weight,
         })
     }
 
-    /// Distance cost of traversing edge `(a, b)`: one hop plus the weighted
-    /// normalized infidelity.
-    fn edge_cost(&self, a: usize, b: usize) -> f64 {
-        1.0 + self.weight * self.penalties[&(a.min(b), a.max(b))]
+    /// Distance cost of traversing the edge with index `id`: one hop plus
+    /// the weighted normalized infidelity.
+    fn edge_cost(&self, id: usize) -> f64 {
+        1.0 + self.weight * self.penalties[id]
     }
 
-    /// Direct penalty for executing a SWAP on edge `(p, q)`.
-    fn swap_penalty(&self, p: usize, q: usize) -> f64 {
-        SWAP_PULSES * self.weight * self.penalties[&(p.min(q), p.max(q))]
+    /// Direct penalty for executing a SWAP on the edge with index `id`.
+    fn swap_penalty(&self, id: usize) -> f64 {
+        SWAP_PULSES * self.weight * self.penalties[id]
     }
 
     /// Total normalized penalty of a routed circuit: `Σ penalty(e)` over its
     /// two-qubit gates, with SWAPs weighted by their pulse count. Used to
     /// pick the winning trial in noise-aware mode.
-    fn circuit_penalty(&self, circuit: &Circuit) -> f64 {
+    fn circuit_penalty(&self, circuit: &Circuit, graph: &CouplingGraph) -> f64 {
         circuit
             .instructions()
             .iter()
             .filter(|inst| inst.is_two_qubit())
             .map(|inst| {
-                let (a, b) = (inst.qubits[0], inst.qubits[1]);
-                let p = self.penalties[&(a.min(b), a.max(b))];
+                let id = graph
+                    .edge_index(inst.qubits[0], inst.qubits[1])
+                    .expect("routed gate sits on an edge");
+                let p = self.penalties[id];
                 if inst.gate.is_swap() {
                     SWAP_PULSES * p
                 } else {
@@ -223,6 +283,153 @@ impl NoiseContext {
             .sum()
     }
 }
+
+// ---------------------------------------------------------------------------
+// Distance-matrix cache
+// ---------------------------------------------------------------------------
+
+/// Shareable cache of the per-graph distance matrices routing needs: the
+/// hop-count BFS matrix, plus one scoring matrix per (error weight, edge
+/// source) configuration.
+///
+/// One cache belongs to one graph — `snailqc_core::device::Device` owns one
+/// per device and threads it through every transpile, so sweeps and batch
+/// runs compute all-pairs BFS once per device instead of once per cell. The
+/// cached matrices are exactly what an uncached [`route`] would compute, so
+/// routed output is bitwise-identical either way.
+#[derive(Debug, Default)]
+pub struct RoutingCache {
+    hops: OnceLock<Arc<Vec<Vec<usize>>>>,
+    scoring: Mutex<BTreeMap<MatrixKey, Arc<Vec<Vec<f64>>>>>,
+}
+
+impl RoutingCache {
+    /// An empty cache (matrices are computed and retained on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The hop-count all-pairs matrix of `graph`, computed on first use.
+    fn hops(&self, graph: &CouplingGraph) -> Arc<Vec<Vec<usize>>> {
+        self.hops
+            .get_or_init(|| Arc::new(graph.distance_matrix()))
+            .clone()
+    }
+
+    /// The scoring matrix for `config` — the error-weighted Dijkstra matrix
+    /// in noise-aware mode, the hop matrix as `f64` otherwise.
+    fn scoring(
+        &self,
+        graph: &CouplingGraph,
+        config: &RouterConfig,
+        noise: Option<&NoiseContext>,
+        hops: &[Vec<usize>],
+    ) -> Arc<Vec<Vec<f64>>> {
+        let key = match noise {
+            Some(_) => config.matrix_key(),
+            // Every noise-blind configuration shares the hop-derived matrix.
+            None => (0, 0, 0),
+        };
+        let mut cache = self.scoring.lock().expect("routing cache poisoned");
+        cache
+            .entry(key)
+            .or_insert_with(|| Arc::new(scoring_matrix(graph, noise, hops)))
+            .clone()
+    }
+}
+
+/// The matrix SWAP candidates are scored against (see [`RoutingCache::scoring`]).
+fn scoring_matrix(
+    graph: &CouplingGraph,
+    noise: Option<&NoiseContext>,
+    hops: &[Vec<usize>],
+) -> Vec<Vec<f64>> {
+    match noise {
+        Some(n) => graph.weighted_distance_matrix(|a, b| {
+            n.edge_cost(graph.edge_index(a, b).expect("cost of an edge"))
+        }),
+        None => hops
+            .iter()
+            .map(|row| row.iter().map(|&d| d as f64).collect())
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Layout-independent per-circuit state
+// ---------------------------------------------------------------------------
+
+/// Everything about one (circuit, graph, config) routing problem that does
+/// not depend on the evolving layout: built once in [`route`], borrowed by
+/// every trial.
+struct TrialTemplate {
+    /// Remaining-predecessor count per instruction (cloned per trial).
+    in_degree: Vec<usize>,
+    /// Dependency-DAG successor lists.
+    successors: Vec<Vec<usize>>,
+    /// Instructions with no predecessors — the initial front.
+    initial_front: Vec<usize>,
+    /// Intrusive linked list over pending two-qubit instructions in program
+    /// order (`total` is the end sentinel); cloned per trial and pruned as
+    /// gates execute, so the lookahead window is read in O(lookahead)
+    /// instead of rescanning the whole instruction stream.
+    head2q: usize,
+    next2q: Vec<usize>,
+    prev2q: Vec<usize>,
+}
+
+impl TrialTemplate {
+    fn build(circuit: &Circuit) -> Self {
+        let instructions = circuit.instructions();
+        let total = instructions.len();
+
+        // Dependency DAG via per-qubit predecessor chains.
+        let mut in_degree = vec![0usize; total];
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); total];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (idx, inst) in instructions.iter().enumerate() {
+            for &q in &inst.qubits {
+                if let Some(prev) = last_on_qubit[q] {
+                    successors[prev].push(idx);
+                    in_degree[idx] += 1;
+                }
+                last_on_qubit[q] = Some(idx);
+            }
+        }
+        let initial_front: Vec<usize> = (0..total).filter(|&i| in_degree[i] == 0).collect();
+
+        // Program-order chain over two-qubit instructions.
+        let mut next2q = vec![total; total];
+        let mut prev2q = vec![total; total];
+        let mut head2q = total;
+        let mut last = total;
+        for (idx, inst) in instructions.iter().enumerate() {
+            if inst.qubits.len() != 2 {
+                continue;
+            }
+            if last == total {
+                head2q = idx;
+            } else {
+                next2q[last] = idx;
+                prev2q[idx] = last;
+            }
+            last = idx;
+        }
+
+        Self {
+            in_degree,
+            successors,
+            initial_front,
+            head2q,
+            next2q,
+            prev2q,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
 
 /// Routes `circuit` onto `graph` starting from `initial_layout`, inserting
 /// SWAP gates wherever a two-qubit gate acts on non-adjacent physical qubits.
@@ -236,39 +443,74 @@ pub fn route(
     initial_layout: &Layout,
     config: &RouterConfig,
 ) -> RoutedCircuit {
+    route_with_cache(circuit, graph, initial_layout, config, &RoutingCache::new())
+}
+
+/// [`route`], reusing `cache`'s distance matrices. The cache must belong to
+/// `graph` (same structure and edge errors); `snailqc_core::device::Device`
+/// maintains that pairing. Output is bitwise-identical to [`route`].
+pub fn route_with_cache(
+    circuit: &Circuit,
+    graph: &CouplingGraph,
+    initial_layout: &Layout,
+    config: &RouterConfig,
+    cache: &RoutingCache,
+) -> RoutedCircuit {
     assert!(
         circuit.num_qubits() <= graph.num_qubits(),
         "device too small"
     );
     assert!(graph.is_connected(), "coupling graph must be connected");
     let noise = NoiseContext::build(graph, config);
-    let hops = graph.distance_matrix();
+    let hops = cache.hops(graph);
     // Hop distances exactly match the noise-blind router; error-weighted
     // Dijkstra distances steer lookahead cost away from noisy links.
-    let dist: Vec<Vec<f64>> = match &noise {
-        Some(n) => graph.weighted_distance_matrix(|a, b| n.edge_cost(a, b)),
-        None => hops
-            .iter()
-            .map(|row| row.iter().map(|&d| d as f64).collect())
-            .collect(),
+    let dist = cache.scoring(graph, config, noise.as_ref(), &hops);
+
+    // Flat adjacency matrix for the O(1) executability test in the trial
+    // inner loop.
+    let n = graph.num_qubits();
+    let mut adjacent = vec![false; n * n];
+    for (a, b) in graph.edges() {
+        adjacent[a * n + b] = true;
+        adjacent[b * n + a] = true;
+    }
+
+    let template = TrialTemplate::build(circuit);
+    let shared = TrialShared {
+        circuit,
+        graph,
+        initial_layout,
+        dist: &dist,
+        hops: &hops,
+        adjacent: &adjacent,
+        noise: noise.as_ref(),
+        config,
+        template: &template,
+    };
+
+    // Every trial derives its seed from the trial index alone, so trials
+    // are independent and safe to fan out; the winner is reduced in trial
+    // order below, making the result identical to a sequential loop.
+    let seeds: Vec<u64> = (0..config.trials.max(1))
+        .map(|trial| {
+            config
+                .seed
+                .wrapping_add(trial as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        })
+        .collect();
+    let candidates: Vec<RoutedCircuit> = if seeds.len() == 1 {
+        vec![route_once(&shared, seeds[0])]
+    } else {
+        seeds
+            .par_iter()
+            .map(|&seed| route_once(&shared, seed))
+            .collect()
     };
 
     let mut best: Option<RoutedCircuit> = None;
-    for trial in 0..config.trials.max(1) {
-        let seed = config
-            .seed
-            .wrapping_add(trial as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let candidate = route_once(
-            circuit,
-            graph,
-            initial_layout,
-            &dist,
-            &hops,
-            noise.as_ref(),
-            config,
-            seed,
-        );
+    for candidate in candidates {
         let better = match &best {
             None => true,
             // Noise-blind trials compete on SWAP count (StochasticSwap);
@@ -278,9 +520,9 @@ pub fn route(
             // count as the tiebreak.
             Some(b) => match &noise {
                 None => candidate.swap_count < b.swap_count,
-                Some(n) => {
+                Some(noise) => {
                     let metric = |c: &RoutedCircuit| {
-                        n.circuit_penalty(&c.circuit)
+                        noise.circuit_penalty(&c.circuit, graph)
                             + DEPTH_PENALTY * c.circuit.two_qubit_depth() as f64
                     };
                     let (cand, best_so_far) = (metric(&candidate), metric(b));
@@ -296,45 +538,69 @@ pub fn route(
     best.expect("at least one routing trial")
 }
 
-#[allow(clippy::too_many_arguments)]
-fn route_once(
-    circuit: &Circuit,
-    graph: &CouplingGraph,
-    initial_layout: &Layout,
-    dist: &[Vec<f64>],
-    hops: &[Vec<usize>],
-    noise: Option<&NoiseContext>,
-    config: &RouterConfig,
-    seed: u64,
-) -> RoutedCircuit {
+/// The read-only state one trial borrows.
+struct TrialShared<'a> {
+    circuit: &'a Circuit,
+    graph: &'a CouplingGraph,
+    initial_layout: &'a Layout,
+    dist: &'a [Vec<f64>],
+    hops: &'a [Vec<usize>],
+    adjacent: &'a [bool],
+    noise: Option<&'a NoiseContext>,
+    config: &'a RouterConfig,
+    template: &'a TrialTemplate,
+}
+
+fn route_once(shared: &TrialShared<'_>, seed: u64) -> RoutedCircuit {
+    let TrialShared {
+        circuit,
+        graph,
+        initial_layout,
+        dist,
+        hops,
+        adjacent,
+        noise,
+        config,
+        template,
+    } = *shared;
     let mut rng = StdRng::seed_from_u64(seed);
     let instructions = circuit.instructions();
     let total = instructions.len();
+    let n = graph.num_qubits();
 
-    // Dependency DAG via per-qubit predecessor chains.
-    let mut in_degree = vec![0usize; total];
-    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); total];
-    {
-        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
-        for (idx, inst) in instructions.iter().enumerate() {
-            for &q in &inst.qubits {
-                if let Some(prev) = last_on_qubit[q] {
-                    successors[prev].push(idx);
-                    in_degree[idx] += 1;
-                }
-                last_on_qubit[q] = Some(idx);
-            }
-        }
+    let mut in_degree = template.in_degree.clone();
+    let mut front = template.initial_front.clone();
+    let mut in_front = vec![false; total];
+    for &idx in &front {
+        in_front[idx] = true;
     }
+    // Pending-2Q chain (pruned as gates execute).
+    let mut head2q = template.head2q;
+    let mut next2q = template.next2q.clone();
+    let mut prev2q = template.prev2q.clone();
+    let unlink2q = |idx: usize, head2q: &mut usize, next2q: &mut [usize], prev2q: &mut [usize]| {
+        let (prev, next) = (prev2q[idx], next2q[idx]);
+        if prev == total {
+            *head2q = next;
+        } else {
+            next2q[prev] = next;
+        }
+        if next != total {
+            prev2q[next] = prev;
+        }
+    };
 
-    let mut front: Vec<usize> = (0..total).filter(|&i| in_degree[i] == 0).collect();
     let mut layout = initial_layout.clone();
-    let mut out = Circuit::new(graph.num_qubits());
-    let mut executed = vec![false; total];
+    let mut out = Circuit::new(n);
     let mut executed_count = 0usize;
     let mut swap_count = 0usize;
-    let mut decay = vec![1.0f64; graph.num_qubits()];
+    let mut decay = vec![1.0f64; n];
     let mut swaps_since_progress = 0usize;
+    // Per-decision scratch, reused across iterations.
+    let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+    let mut candidate_seen = vec![false; graph.num_edges()];
+    let mut lookahead: Vec<(usize, usize)> = Vec::with_capacity(config.lookahead);
+    let mut front_pairs: Vec<(usize, usize)> = Vec::new();
 
     while executed_count < total {
         // 1. Execute every front instruction that is currently executable.
@@ -349,19 +615,23 @@ fn route_once(
                     _ => {
                         let a = layout.physical(inst.qubits[0]);
                         let b = layout.physical(inst.qubits[1]);
-                        graph.has_edge(a, b)
+                        adjacent[a * n + b]
                     }
                 };
                 if executable {
                     emit_mapped(&mut out, inst, &layout);
-                    executed[idx] = true;
+                    in_front[idx] = false;
+                    if inst.qubits.len() == 2 {
+                        unlink2q(idx, &mut head2q, &mut next2q, &mut prev2q);
+                    }
                     executed_count += 1;
                     progressed = true;
                     swaps_since_progress = 0;
-                    for &succ in &successors[idx] {
+                    for &succ in &template.successors[idx] {
                         in_degree[succ] -= 1;
                         if in_degree[succ] == 0 {
                             next_front.push(succ);
+                            in_front[succ] = true;
                         }
                     }
                 } else {
@@ -378,59 +648,61 @@ fn route_once(
         }
 
         // 2. No front gate is executable: insert the best-scoring SWAP.
-        let blocked: Vec<(usize, usize)> = front
-            .iter()
-            .filter(|&&i| instructions[i].qubits.len() == 2)
-            .map(|&i| {
-                (
-                    layout.physical(instructions[i].qubits[0]),
-                    layout.physical(instructions[i].qubits[1]),
-                )
-            })
-            .collect();
+        // After phase 1 the front holds only blocked two-qubit gates.
+        front_pairs.clear();
+        front_pairs.extend(
+            front
+                .iter()
+                .filter(|&&i| instructions[i].qubits.len() == 2)
+                .map(|&i| (instructions[i].qubits[0], instructions[i].qubits[1])),
+        );
         debug_assert!(
-            !blocked.is_empty(),
+            !front_pairs.is_empty(),
             "router stalled with no blocked 2Q gate"
         );
 
-        // Lookahead set: the next pending two-qubit gates in program order.
-        let lookahead: Vec<(usize, usize)> = instructions
-            .iter()
-            .enumerate()
-            .filter(|(i, inst)| !executed[*i] && inst.qubits.len() == 2 && !front.contains(i))
-            .take(config.lookahead)
-            .map(|(_, inst)| (inst.qubits[0], inst.qubits[1]))
-            .collect();
+        // Lookahead set: the next pending two-qubit gates in program order —
+        // a walk of the pending-2Q chain, skipping the front.
+        lookahead.clear();
+        let mut cursor = head2q;
+        while cursor != total && lookahead.len() < config.lookahead {
+            if !in_front[cursor] {
+                let inst = &instructions[cursor];
+                lookahead.push((inst.qubits[0], inst.qubits[1]));
+            }
+            cursor = next2q[cursor];
+        }
 
-        // Candidate SWAPs: every edge touching a physical qubit involved in a
-        // blocked front gate.
-        let mut candidates: Vec<(usize, usize)> = Vec::new();
-        for &(a, b) in &blocked {
+        // Candidate SWAPs: every edge touching a physical qubit involved in
+        // a blocked front gate, first-occurrence order, deduplicated with an
+        // edge-indexed bitmap.
+        candidates.clear();
+        for &(la, lb) in &front_pairs {
+            let (a, b) = (layout.physical(la), layout.physical(lb));
             for p in [a, b] {
-                for q in graph.neighbors(p) {
-                    let e = (p.min(q), p.max(q));
-                    if !candidates.contains(&e) {
-                        candidates.push(e);
+                for (q, id) in graph.neighbors_with_edge_ids(p) {
+                    if !candidate_seen[id] {
+                        candidate_seen[id] = true;
+                        candidates.push((p.min(q), p.max(q), id));
                     }
                 }
             }
         }
+        for &(_, _, id) in &candidates {
+            candidate_seen[id] = false;
+        }
 
-        let score_layout = |layout: &Layout| -> (f64, f64) {
-            let front_cost: f64 = front
-                .iter()
-                .filter(|&&i| instructions[i].qubits.len() == 2)
-                .map(|&i| {
-                    let a = layout.physical(instructions[i].qubits[0]);
-                    let b = layout.physical(instructions[i].qubits[1]);
-                    dist[a][b]
-                })
-                .sum();
-            let look_cost: f64 = lookahead
+        let front_cost_of = |layout: &Layout| -> f64 {
+            front_pairs
                 .iter()
                 .map(|&(la, lb)| dist[layout.physical(la)][layout.physical(lb)])
-                .sum();
-            (front_cost, look_cost)
+                .sum()
+        };
+        let look_cost_of = |layout: &Layout| -> f64 {
+            lookahead
+                .iter()
+                .map(|&(la, lb)| dist[layout.physical(la)][layout.physical(lb)])
+                .sum()
         };
 
         // Noise-aware mode only: the continuous weighted-distance landscape
@@ -440,53 +712,41 @@ fn route_once(
         // SWAPs that strictly reduce the front's total hop distance (falling
         // back to the full set when none does), and let the noise-weighted
         // score choose *which* progressing SWAP — i.e. which route — to take.
-        let candidates = match noise {
-            None => candidates,
-            Some(_) => {
-                let front_hops = |layout: &Layout| -> usize {
-                    front
-                        .iter()
-                        .filter(|&&i| instructions[i].qubits.len() == 2)
-                        .map(|&i| {
-                            let a = layout.physical(instructions[i].qubits[0]);
-                            let b = layout.physical(instructions[i].qubits[1]);
-                            hops[a][b]
-                        })
-                        .sum()
-                };
-                let current = front_hops(&layout);
-                // `swap_physical` is an involution, so one scratch layout
-                // serves every candidate without per-candidate clones.
-                let mut scratch = layout.clone();
-                let progressing: Vec<(usize, usize)> = candidates
+        if noise.is_some() {
+            let front_hops = |layout: &Layout| -> usize {
+                front_pairs
                     .iter()
-                    .copied()
-                    .filter(|&(p, q)| {
-                        scratch.swap_physical(p, q);
-                        let after = front_hops(&scratch);
-                        scratch.swap_physical(p, q);
-                        after < current
-                    })
-                    .collect();
-                if progressing.is_empty() {
-                    candidates
-                } else {
-                    progressing
+                    .map(|&(la, lb)| hops[layout.physical(la)][layout.physical(lb)])
+                    .sum()
+            };
+            let current = front_hops(&layout);
+            // `swap_physical` is an involution, so the live layout serves as
+            // its own scratch: swap, measure, swap back.
+            let mut progressing: Vec<(usize, usize, usize)> = Vec::with_capacity(candidates.len());
+            for &(p, q, id) in &candidates {
+                layout.swap_physical(p, q);
+                let after = front_hops(&layout);
+                layout.swap_physical(p, q);
+                if after < current {
+                    progressing.push((p, q, id));
                 }
             }
-        };
+            if !progressing.is_empty() {
+                candidates = progressing;
+            }
+        }
 
-        let mut best_swap = candidates[0];
+        let mut best_swap = (candidates[0].0, candidates[0].1);
         let mut best_score = f64::INFINITY;
-        for &(p, q) in &candidates {
-            let mut trial_layout = layout.clone();
-            trial_layout.swap_physical(p, q);
-            let (front_cost, look_cost) = score_layout(&trial_layout);
+        for &(p, q, id) in &candidates {
+            layout.swap_physical(p, q);
+            let (front_cost, look_cost) = (front_cost_of(&layout), look_cost_of(&layout));
+            layout.swap_physical(p, q);
             let mut score = front_cost + config.lookahead_weight * look_cost;
             // Executing the SWAP itself burns pulses on edge (p, q); bias
             // away from noisy links even when the distances tie.
             if let Some(n) = noise {
-                score += n.swap_penalty(p, q);
+                score += n.swap_penalty(id);
             }
             score *= decay[p].max(decay[q]);
             // Randomized tie-breaking keeps trials diverse (StochasticSwap).
@@ -507,8 +767,9 @@ fn route_once(
         // Fallback: if the heuristic has stalled for too long, walk the first
         // blocked gate together along a shortest path (guarantees progress).
         swaps_since_progress += 1;
-        if swaps_since_progress > 4 * graph.num_qubits() {
-            let (a, b) = blocked[0];
+        if swaps_since_progress > 4 * n {
+            let (la, lb) = front_pairs[0];
+            let (a, b) = (layout.physical(la), layout.physical(lb));
             let path = graph.shortest_path(a, b).expect("connected graph");
             best_swap = (path[0], path[1]);
         }
@@ -730,5 +991,67 @@ mod tests {
         let b = route_with(&c, &graph, LayoutStrategy::Dense, 42);
         assert_eq!(a.swap_count, b.swap_count);
         assert_eq!(a.circuit.len(), b.circuit.len());
+    }
+
+    #[test]
+    fn cached_routing_is_bitwise_identical_to_uncached() {
+        let graph = builders::calibrated(&builders::square_lattice(4, 4), 1e-3, 1.2, 17);
+        let c = quantum_volume(12, 6, 8);
+        let layout = LayoutStrategy::Dense.compute(&c, &graph);
+        for config in [
+            RouterConfig::default(),
+            RouterConfig::noise_aware(1.0),
+            RouterConfig {
+                edge_errors: EdgeErrorSource::Uniform(0.01),
+                ..RouterConfig::noise_aware(0.5)
+            },
+        ] {
+            let fresh = route(&c, &graph, &layout, &config);
+            let cache = RoutingCache::new();
+            let cold = route_with_cache(&c, &graph, &layout, &config, &cache);
+            let warm = route_with_cache(&c, &graph, &layout, &config, &cache);
+            for routed in [&cold, &warm] {
+                assert_eq!(fresh.swap_count, routed.swap_count);
+                assert_eq!(
+                    fresh.circuit.instructions(),
+                    routed.circuit.instructions(),
+                    "cache changed routed output"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_trials_are_schedule_independent() {
+        // The trial fan-out runs on however many worker threads the machine
+        // offers, with a different interleaving every run; the trial-index-
+        // ordered reduction must make every repetition bitwise-identical.
+        let graph = builders::square_lattice(4, 4);
+        let c = quantum_volume(14, 7, 21);
+        let layout = LayoutStrategy::Dense.compute(&c, &graph);
+        for config in [
+            RouterConfig {
+                trials: 6,
+                seed: 5,
+                ..RouterConfig::default()
+            },
+            RouterConfig {
+                trials: 6,
+                seed: 5,
+                ..RouterConfig::noise_aware(1.0)
+            },
+        ] {
+            let graph = builders::calibrated(&graph, 1e-3, 1.2, 17);
+            let first = route(&c, &graph, &layout, &config);
+            for _ in 0..3 {
+                let again = route(&c, &graph, &layout, &config);
+                assert_eq!(first.swap_count, again.swap_count);
+                assert_eq!(
+                    first.circuit.instructions(),
+                    again.circuit.instructions(),
+                    "parallel trial reduction must not depend on scheduling"
+                );
+            }
+        }
     }
 }

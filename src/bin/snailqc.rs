@@ -56,6 +56,11 @@ COMMANDS:
                             [default: 1 with --error-model, else 0]
         --store <file>      Batch mode: JSON-lines report cache; repeated
                             runs replay cached cells instead of re-routing
+        --emit-dir <dir>    Batch mode: write each file's routed (and
+                            basis-translated, if any) circuit as QASM under
+                            <dir>, mirroring the input directory layout;
+                            implies re-routing every file (bypasses --store
+                            reads)
         --qasm3             Write -o output as OpenQASM 3.0
         -o, --out <file>    Write the transpiled circuit as QASM
                             (batch mode: write the aggregated JSON report)
@@ -365,6 +370,7 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
             "error-model",
             "error-weight",
             "store",
+            "emit-dir",
             "out",
         ],
         &["json", "qasm3"],
@@ -519,6 +525,8 @@ struct BatchFileOutput {
     /// True when the report was replayed from the `--store` cache instead of
     /// being re-routed.
     cached: bool,
+    /// Path the routed QASM was written to (`--emit-dir` runs only).
+    emitted: Option<String>,
     error: Option<String>,
     report: Option<TranspileReport>,
 }
@@ -600,10 +608,13 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
         return Err(format!("no .qasm files under `{dir}`"));
     }
     let mut store = opts.value("store").map(SweepStore::open);
+    let emit_dir = opts.value("emit-dir").map(PathBuf::from);
 
     // Sequential cheap phase: read each file and probe the cache (the store
     // is single-threaded); parsing and routing — the expensive part — run in
-    // parallel below for every cache miss.
+    // parallel below for every cache miss. An `--emit-dir` run needs the
+    // routed circuit, which the store does not keep, so it transpiles every
+    // file (cache writes still happen).
     enum Prepared {
         Failed(String),
         Cached(TranspileReport),
@@ -620,7 +631,12 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
             let outcome = std::fs::read_to_string(path)
                 .map(|source| {
                     let key = batch_cell_key(&source, seed, setup);
-                    match store.as_mut().and_then(|s| s.get(&key)) {
+                    let cached = if emit_dir.is_some() {
+                        None
+                    } else {
+                        store.as_mut().and_then(|s| s.get(&key))
+                    };
+                    match cached {
                         Some(report) => Prepared::Cached(report),
                         None => Prepared::Work(source, key),
                     }
@@ -643,6 +659,7 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
                         file: name,
                         seed,
                         cached: false,
+                        emitted: None,
                         error: Some(error.clone()),
                         report: None,
                     },
@@ -653,22 +670,43 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
                         file: name,
                         seed,
                         cached: true,
+                        emitted: None,
                         error: None,
                         report: Some(*report),
                     },
                     None,
                 ),
                 Prepared::Work(source, key) => {
-                    let outcome = setup.parse_circuit(&name, source).map(|circuit| {
+                    let outcome = setup.parse_circuit(&name, source).and_then(|circuit| {
                         let pipeline = setup.pipeline.to_builder().seed(seed).build();
-                        setup.device.transpile(&circuit, &pipeline).report
+                        let result = setup.device.transpile(&circuit, &pipeline);
+                        let emitted = match &emit_dir {
+                            None => None,
+                            Some(dir) => {
+                                let target = dir.join(&name);
+                                let circuit =
+                                    result.translated.as_ref().unwrap_or(&result.routed.circuit);
+                                let qasm =
+                                    snailqc::qasm::emit_versioned(circuit, output_version(opts));
+                                if let Some(parent) = target.parent() {
+                                    std::fs::create_dir_all(parent).map_err(|e| {
+                                        format!("creating `{}`: {e}", parent.display())
+                                    })?;
+                                }
+                                std::fs::write(&target, qasm)
+                                    .map_err(|e| format!("writing `{}`: {e}", target.display()))?;
+                                Some(target.display().to_string())
+                            }
+                        };
+                        Ok((result.report, emitted))
                     });
                     match outcome {
-                        Ok(report) => (
+                        Ok((report, emitted)) => (
                             BatchFileOutput {
                                 file: name,
                                 seed,
                                 cached: false,
+                                emitted,
                                 error: None,
                                 report: Some(report),
                             },
@@ -679,6 +717,7 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
                                 file: name,
                                 seed,
                                 cached: false,
+                                emitted: None,
                                 error: Some(error),
                                 report: None,
                             },
@@ -765,6 +804,13 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
             output.summary.failed,
             output.summary.cache_hits
         );
+        if let Some(dir) = &emit_dir {
+            let emitted = output.files.iter().filter(|f| f.emitted.is_some()).count();
+            println!(
+                "  wrote {emitted} routed QASM file(s) under {}",
+                dir.display()
+            );
+        }
     }
     if output.summary.failed > 0 && output.summary.transpiled == 0 {
         return Err("every file in the batch failed".into());

@@ -561,3 +561,64 @@ fn batch_mode_surfaces_per_file_errors_without_aborting() {
     assert_eq!(summary.get("failed").and_then(|v| v.as_u64()), Some(1));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn batch_mode_emit_dir_mirrors_routed_qasm_next_to_the_report() {
+    // `snailqc transpile <dir> --emit-dir <out>`: every file's routed
+    // circuit lands under <out> at its directory-relative path, parseable
+    // and device-respecting, alongside the aggregated JSON report.
+    let dir = std::env::temp_dir().join(format!("snailqc-batch-emit-{}", std::process::id()));
+    let out = std::env::temp_dir().join(format!("snailqc-batch-emit-out-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&out);
+    std::fs::create_dir_all(dir.join("sub")).unwrap();
+    let circuit = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[6];\nh q[0];\ncx q[0], q[5];\ncx q[1], q[4];\n";
+    std::fs::write(dir.join("top.qasm"), circuit).unwrap();
+    std::fs::write(dir.join("sub").join("nested.qasm"), circuit).unwrap();
+
+    let output = snailqc(&[
+        "transpile",
+        dir.to_str().unwrap(),
+        "--topology=square-lattice-16",
+        "--emit-dir",
+        out.to_str().unwrap(),
+        "--seed=9",
+        "--json",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let json =
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).expect("valid JSON");
+    let files = json.get("files").and_then(|v| v.as_array()).expect("files");
+    assert_eq!(files.len(), 2);
+    for f in files {
+        let emitted = f
+            .get("emitted")
+            .and_then(|v| v.as_str())
+            .expect("emitted path");
+        assert!(std::path::Path::new(emitted).exists(), "{emitted} missing");
+    }
+
+    // The mirrored layout: top.qasm and sub/nested.qasm under <out>. (Their
+    // contents may differ — per-file router seeds key on the relative path.)
+    let top = std::fs::read_to_string(out.join("top.qasm")).expect("top.qasm emitted");
+    std::fs::read_to_string(out.join("sub").join("nested.qasm")).expect("nested emitted");
+
+    // Emitted QASM is parseable and every 2Q gate sits on a device edge.
+    let program = snailqc::qasm::parse(&top).expect("emitted QASM parses");
+    let graph = snailqc::topology::catalog::by_name("square-lattice-16").unwrap();
+    for inst in program.circuit.instructions() {
+        if inst.is_two_qubit() {
+            assert!(
+                graph.has_edge(inst.qubits[0], inst.qubits[1]),
+                "emitted gate on non-adjacent qubits {:?}",
+                inst.qubits
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&out);
+}
