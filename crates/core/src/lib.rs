@@ -78,6 +78,4 @@ pub use headline::{headline_ratios, quantum_volume_headline, HeadlineConfig, Hea
 pub use machine::{Machine, SizeClass};
 pub use noise::{EdgeNoise, ErrorModelSpec};
 pub use store::SweepStore;
-#[allow(deprecated)]
-pub use sweep::{run_codesign_sweep, run_swap_sweep};
 pub use sweep::{run_sweep, run_sweep_with_store, SweepConfig, SweepPoint};

@@ -8,7 +8,9 @@
 //! the device's per-edge calibration — so repeated runs replay cached cells
 //! instead of re-routing (the ROADMAP's sweep-store item). The file format
 //! is append-friendly plain JSON-lines under `target/paper-results/` and
-//! corrupt lines are skipped, so a killed run never poisons the cache.
+//! corrupt lines are skipped — but counted and surfaced via
+//! [`SweepStore::skipped_corrupt`] — so a killed run never poisons the
+//! cache and never hides that it damaged it either.
 //!
 //! Wire the store into a sweep with
 //! [`run_sweep_with_store`](crate::sweep::run_sweep_with_store).
@@ -16,6 +18,7 @@
 use crate::device::Device;
 use crate::sweep::SweepConfig;
 use snailqc_decompose::BasisGate;
+use snailqc_obs as obs;
 use snailqc_transpiler::TranspileReport;
 use snailqc_workloads::Workload;
 use std::collections::BTreeMap;
@@ -30,16 +33,22 @@ pub struct SweepStore {
     entries: BTreeMap<String, TranspileReport>,
     /// Cells answered from the cache since opening.
     hits: usize,
+    /// Lookups not answered from the cache since opening.
+    misses: usize,
     /// New cells inserted since opening (pending and flushed).
     inserted: usize,
+    /// Non-empty lines the loader could not parse and skipped.
+    skipped_corrupt: usize,
 }
 
 impl SweepStore {
     /// Opens the store at `path`, loading any existing entries. A missing
-    /// file is an empty store; unparseable lines are skipped.
+    /// file is an empty store; unparseable lines are skipped and counted
+    /// in [`SweepStore::skipped_corrupt`].
     pub fn open(path: impl Into<PathBuf>) -> Self {
         let path = path.into();
         let mut entries = BTreeMap::new();
+        let mut skipped_corrupt = 0usize;
         if let Ok(text) = fs::read_to_string(&path) {
             for line in text.lines() {
                 let line = line.trim();
@@ -48,14 +57,19 @@ impl SweepStore {
                 }
                 if let Some((key, report)) = parse_line(line) {
                     entries.insert(key, report);
+                } else {
+                    skipped_corrupt += 1;
                 }
             }
         }
+        obs::counter_add("sweep_store.skipped_corrupt", skipped_corrupt as u64);
         Self {
             path,
             entries,
             hits: 0,
+            misses: 0,
             inserted: 0,
+            skipped_corrupt,
         }
     }
 
@@ -79,16 +93,32 @@ impl SweepStore {
         self.hits
     }
 
+    /// Lookups that were not in the cache since opening.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
     /// New cells inserted since opening.
     pub fn inserted(&self) -> usize {
         self.inserted
     }
 
-    /// Looks up a cell, counting a hit when present.
+    /// Non-empty lines the loader could not parse when opening. A non-zero
+    /// value means the backing file was partially corrupted (e.g. a killed
+    /// run mid-append) and those cells will be re-routed and re-written.
+    pub fn skipped_corrupt(&self) -> usize {
+        self.skipped_corrupt
+    }
+
+    /// Looks up a cell, counting a hit when present and a miss otherwise.
     pub fn get(&mut self, key: &str) -> Option<TranspileReport> {
         let report = self.entries.get(key).copied();
         if report.is_some() {
             self.hits += 1;
+            obs::counter_add("sweep_store.hits", 1);
+        } else {
+            self.misses += 1;
+            obs::counter_add("sweep_store.misses", 1);
         }
         report
     }
@@ -245,7 +275,24 @@ mod tests {
 
         let reopened = SweepStore::open(&path);
         assert_eq!(reopened.len(), 1);
+        // Both bad lines ("not json at all" and the report-less object) are
+        // counted, not silently dropped.
+        assert_eq!(reopened.skipped_corrupt(), 2);
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted_separately() {
+        let path = store_path("hit-miss");
+        let _ = fs::remove_file(&path);
+        let mut store = SweepStore::open(&path);
+        store.insert("present".into(), sample_report(None));
+        assert!(store.get("present").is_some());
+        assert!(store.get("absent").is_none());
+        assert!(store.get("also-absent").is_none());
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 2);
+        assert_eq!(store.skipped_corrupt(), 0);
     }
 
     #[test]

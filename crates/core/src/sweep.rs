@@ -16,7 +16,7 @@ use rayon::prelude::*;
 use serde::Serialize;
 use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
-use snailqc_topology::CouplingGraph;
+use snailqc_obs as obs;
 use snailqc_transpiler::{LayoutStrategy, Pipeline, RouterConfig, TranspileReport};
 use snailqc_workloads::Workload;
 
@@ -188,6 +188,7 @@ pub fn run_sweep_with_store(
     config: &SweepConfig,
     store: Option<&mut SweepStore>,
 ) -> Vec<SweepPoint> {
+    let _sweep_span = obs::span("sweep.run");
     let circuits = generate_circuits(config);
     let cells = build_cells(&circuits, devices);
     let Some(store) = store else {
@@ -227,31 +228,6 @@ pub fn run_sweep_with_store(
         .collect()
 }
 
-/// Runs a gate-agnostic sweep (routing only, no basis translation) over a
-/// set of named coupling graphs — the old engine of Figs. 4, 11 and 12.
-#[deprecated(
-    since = "0.2.0",
-    note = "wrap the graphs in `Device::from_graph` and call `run_sweep`"
-)]
-pub fn run_swap_sweep(graphs: &[CouplingGraph], config: &SweepConfig) -> Vec<SweepPoint> {
-    let devices: Vec<Device> = graphs.iter().cloned().map(Device::from_graph).collect();
-    run_sweep(&devices, config)
-}
-
-/// Runs a co-designed sweep (routing plus basis translation) over a set of
-/// machines — the old engine of Figs. 13 and 14.
-#[deprecated(
-    since = "0.2.0",
-    note = "wrap the machines in `Device::from_machine` and call `run_sweep`"
-)]
-pub fn run_codesign_sweep(
-    machines: &[crate::machine::Machine],
-    config: &SweepConfig,
-) -> Vec<SweepPoint> {
-    let devices: Vec<Device> = machines.iter().copied().map(Device::from_machine).collect();
-    run_sweep(&devices, config)
-}
-
 /// Aggregates sweep points: average of `metric` over all points matching a
 /// topology label, grouped by workload. Returns `(workload, topology, mean)`
 /// sorted by workload then topology.
@@ -278,7 +254,7 @@ where
 mod tests {
     use super::*;
     use crate::machine::{Machine, SizeClass};
-    use snailqc_topology::catalog;
+    use snailqc_topology::{catalog, CouplingGraph};
 
     fn graph_devices(graphs: Vec<CouplingGraph>) -> Vec<Device> {
         graphs.into_iter().map(Device::from_graph).collect()
@@ -404,30 +380,6 @@ mod tests {
             "warm store must not change results"
         );
         let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_device_sweep() {
-        let graphs = vec![catalog::hypercube_16(), catalog::tree_20()];
-        let machines = vec![
-            Machine::ibm_baseline(SizeClass::Small),
-            Machine::google_baseline(SizeClass::Small),
-        ];
-        let config = SweepConfig::smoke();
-        let legacy_swap = run_swap_sweep(&graphs, &config);
-        let new_swap = run_sweep(&graph_devices(graphs), &config);
-        assert!(points_equal(&legacy_swap, &new_swap));
-        let legacy_codesign = run_codesign_sweep(&machines, &config);
-        let new_codesign = run_sweep(
-            &machines
-                .iter()
-                .copied()
-                .map(Device::from_machine)
-                .collect::<Vec<_>>(),
-            &config,
-        );
-        assert!(points_equal(&legacy_codesign, &new_codesign));
     }
 
     #[test]

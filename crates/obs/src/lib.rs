@@ -1,0 +1,121 @@
+//! # snailqc-obs
+//!
+//! Hand-rolled, zero-dependency observability for the snailqc workspace:
+//! RAII tracing spans with parent/child nesting, a registry of named
+//! counters / gauges / histograms, and exporters for Chrome trace-event
+//! JSON (loadable in Perfetto or `chrome://tracing`), a flat metrics JSON
+//! snapshot, and a human-readable summary table.
+//!
+//! ## Design
+//!
+//! The whole layer is gated on one process-global [`AtomicBool`]. Every
+//! entry point — [`span()`], [`Counter::add`], [`histogram_record`] — checks
+//! [`is_enabled`] first with a relaxed load behind an `#[inline]` fast
+//! path, so instrumentation left in hot loops costs a single predicted
+//! branch when observability is off. Because enabling instrumentation only
+//! *records* what the code already did, it can never change computed
+//! results; `crates/transpiler/tests/router_equivalence.rs` pins that
+//! property against frozen output digests.
+//!
+//! ### Per-thread span buffers
+//!
+//! Spans are recorded into a `thread_local!` buffer (see [`mod@span`]), so the
+//! rayon-style worker threads used by the router's best-of-trials fan-out
+//! never contend on a lock while tracing: each open-span stack push, pop,
+//! and finished-event append touches only thread-local memory. A thread's
+//! buffer is drained into the global collector when the thread exits (the
+//! buffer's `Drop` impl flushes it) or when [`take_spans`] is called on
+//! that thread. The workspace's scoped-thread `rayon` stand-in joins all
+//! workers before `collect` returns, so by the time a parallel region's
+//! caller asks for spans, every worker buffer has already been flushed —
+//! no explicit coordination needed.
+//!
+//! ### Metrics
+//!
+//! Counters and gauges are plain atomics interned by `&'static str` name
+//! in a global registry; handles ([`Counter`], [`Histogram`]) clone an
+//! `Arc` so hot loops can bypass the registry lock entirely. Histograms
+//! use fixed log₂ buckets (see [`metrics`] module docs) giving p50/p90/p99
+//! estimates that are at most one power of two above the true quantile.
+//!
+//! ## Quick start
+//!
+//! ```
+//! snailqc_obs::enable();
+//! {
+//!     let _outer = snailqc_obs::span("outer");
+//!     let _inner = snailqc_obs::span_with("inner", "detail");
+//!     snailqc_obs::counter_add("work.items", 3);
+//! }
+//! let spans = snailqc_obs::take_spans();
+//! let trace_json = snailqc_obs::chrome_trace(&spans);
+//! let snapshot = snailqc_obs::snapshot();
+//! assert_eq!(snapshot.counter("work.items"), Some(3));
+//! assert!(trace_json.contains("traceEvents"));
+//! snailqc_obs::disable();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use export::{chrome_trace, metrics_json, metrics_to_value, summary_table};
+pub use metrics::{
+    counter, counter_add, gauge_set, histogram, histogram_record, reset_metrics, snapshot, Counter,
+    Histogram, HistogramSummary, MetricsSnapshot,
+};
+pub use span::{span, span_with, take_spans, SpanEvent, SpanGuard};
+
+/// Process-global switch; all recording entry points check it first.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when instrumentation is recording. Relaxed load — this is the
+/// disabled-path fast check and must stay as close to free as possible.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn recording on. Idempotent.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn recording off. Already-buffered spans and counter values are kept
+/// until drained or reset.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// True when the `SNAILQC_TRACE` environment variable requests tracing
+/// (any value other than empty or `0`).
+pub fn env_requests_tracing() -> bool {
+    match std::env::var("SNAILQC_TRACE") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Drop all buffered spans and zero every registered metric. Mainly for
+/// tests and long-lived processes that emit periodic snapshots.
+pub fn reset() {
+    let _ = span::take_spans();
+    metrics::reset_metrics();
+}
+
+#[cfg(test)]
+mod tests {
+    // Behavioural tests that toggle the global ENABLED flag live in
+    // tests/obs.rs behind a serialization lock; unit tests here stay
+    // enablement-independent.
+    #[test]
+    fn env_flag_parsing_ignores_zero_and_empty() {
+        // Can't set the env var safely in a parallel test run; just make
+        // sure the function is callable and returns a bool.
+        let _ = super::env_requests_tracing();
+    }
+}

@@ -1,0 +1,177 @@
+//! Behavioural tests for the global span/metrics machinery.
+//!
+//! These tests toggle the process-global enabled flag and drain the global
+//! collectors, so they serialize on one mutex — `cargo test` runs tests in
+//! the same binary concurrently and the flag is shared state.
+
+use std::sync::{Mutex, MutexGuard};
+
+use snailqc_obs as obs;
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::disable();
+    obs::reset();
+    guard
+}
+
+#[test]
+fn disabled_instrumentation_records_nothing() {
+    let _guard = exclusive();
+    {
+        let _span = obs::span("never.recorded");
+        obs::counter_add("never.counted", 5);
+        obs::counter("never.counted_handle").add(7);
+        obs::histogram_record("never.sampled", 9);
+        obs::gauge_set("never.gauged", 1.0);
+    }
+    assert!(obs::take_spans().is_empty());
+    let snapshot = obs::snapshot();
+    assert_eq!(snapshot.counter("never.counted"), None);
+    // The handle interned the name, but the add was dropped.
+    assert_eq!(snapshot.counter("never.counted_handle"), Some(0));
+    assert!(snapshot.histogram("never.sampled").is_none());
+}
+
+#[test]
+fn spans_nest_and_drain_with_parent_links() {
+    let _guard = exclusive();
+    obs::enable();
+    {
+        let _outer = obs::span("outer");
+        {
+            let _inner = obs::span_with("inner", "detail-text");
+        }
+        let _sibling = obs::span("sibling");
+    }
+    obs::disable();
+    let spans = obs::take_spans();
+    assert_eq!(spans.len(), 3);
+    let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+    let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+    let sibling = spans.iter().find(|s| s.name == "sibling").unwrap();
+    assert_eq!(outer.parent, 0);
+    assert_eq!(inner.parent, outer.id);
+    assert_eq!(sibling.parent, outer.id);
+    assert_eq!(inner.detail.as_deref(), Some("detail-text"));
+    assert!(inner.start_ns >= outer.start_ns);
+    assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+    // Drained means gone.
+    assert!(obs::take_spans().is_empty());
+}
+
+#[test]
+fn worker_thread_spans_flush_when_the_thread_exits() {
+    let _guard = exclusive();
+    obs::enable();
+    {
+        let _span = obs::span("main.thread");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let _span = obs::span("worker.thread");
+                });
+            }
+        });
+    }
+    obs::disable();
+    let spans = obs::take_spans();
+    let workers: Vec<_> = spans.iter().filter(|s| s.name == "worker.thread").collect();
+    let main = spans.iter().find(|s| s.name == "main.thread").unwrap();
+    assert_eq!(workers.len(), 4);
+    // Worker spans are roots on their own threads, with distinct tids.
+    for worker in &workers {
+        assert_eq!(worker.parent, 0);
+        assert_ne!(worker.tid, main.tid);
+    }
+}
+
+#[test]
+fn counters_and_histograms_accumulate_and_reset() {
+    let _guard = exclusive();
+    obs::enable();
+    let counter = obs::counter("test.counter");
+    counter.add(10);
+    counter.incr();
+    obs::counter_add("test.counter", 4);
+    let histogram = obs::histogram("test.hist");
+    for value in [1u64, 2, 3, 100, 1000] {
+        histogram.record(value);
+    }
+    obs::gauge_set("test.gauge", 2.5);
+    obs::disable();
+
+    let snapshot = obs::snapshot();
+    assert_eq!(snapshot.counter("test.counter"), Some(15));
+    assert_eq!(counter.value(), 15);
+    let summary = snapshot.histogram("test.hist").unwrap();
+    assert_eq!(summary.count, 5);
+    assert_eq!(summary.sum, 1106);
+    assert_eq!(summary.min, 1);
+    assert_eq!(summary.max, 1000);
+    assert!(summary.p50 <= summary.p90 && summary.p90 <= summary.p99);
+    assert!(summary.p99 >= 1000 && summary.p99 <= 1023);
+    assert!(snapshot
+        .gauges
+        .iter()
+        .any(|(name, value)| name == "test.gauge" && *value == 2.5));
+
+    obs::reset();
+    let cleared = obs::snapshot();
+    assert_eq!(cleared.counter("test.counter"), Some(0));
+    assert_eq!(cleared.histogram("test.hist").unwrap().count, 0);
+    // Cached handles survive a reset and keep recording.
+    obs::enable();
+    counter.incr();
+    obs::disable();
+    assert_eq!(obs::snapshot().counter("test.counter"), Some(1));
+}
+
+#[test]
+fn counter_deltas_since_reports_only_increases() {
+    let _guard = exclusive();
+    obs::enable();
+    obs::counter_add("delta.a", 2);
+    let before = obs::snapshot();
+    obs::counter_add("delta.a", 3);
+    obs::counter_add("delta.b", 1);
+    let after = obs::snapshot();
+    obs::disable();
+    let deltas = after.counter_deltas_since(&before);
+    assert!(deltas.contains(&("delta.a".to_string(), 3)));
+    assert!(deltas.contains(&("delta.b".to_string(), 1)));
+    assert!(!deltas.iter().any(|(name, _)| name == "delta.a_missing"));
+}
+
+#[test]
+fn chrome_trace_of_a_real_run_parses_and_nests() {
+    let _guard = exclusive();
+    obs::enable();
+    {
+        let _outer = obs::span("trace.outer");
+        let _inner = obs::span("trace.inner");
+    }
+    obs::disable();
+    let spans = obs::take_spans();
+    let json = obs::chrome_trace(&spans);
+    let value = serde_json::from_str(&json).expect("trace is valid JSON");
+    let events = match value.get("traceEvents").unwrap() {
+        serde::Value::Array(events) => events.clone(),
+        other => panic!("traceEvents is {other:?}"),
+    };
+    assert_eq!(events.len(), 2);
+    let find = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name") == Some(&serde::Value::String(name.to_string())))
+            .unwrap()
+            .clone()
+    };
+    let outer = find("trace.outer");
+    let inner = find("trace.inner");
+    assert_eq!(
+        inner.get("args").unwrap().get("parent"),
+        outer.get("args").unwrap().get("id")
+    );
+}

@@ -15,8 +15,9 @@
 //!   total 2Q gates and critical-path 2Q gates — plus a [`PassTrace`] with
 //!   per-stage timings and gate/SWAP deltas.
 //!
-//! The legacy one-shot [`transpile()`](pipeline::transpile) entry point is
-//! deprecated; it delegates to a [`Pipeline`] with bitwise-identical output.
+//! Every stage is instrumented with `snailqc-obs` spans and counters; the
+//! instrumentation records only (routed output is bitwise-identical with
+//! recording on or off) and costs one atomic flag read per site when off.
 
 #![warn(missing_docs)]
 
@@ -26,10 +27,8 @@ pub mod routing;
 pub mod translate;
 
 pub use layout::{dense_layout, Layout, LayoutStrategy};
-#[allow(deprecated)]
-pub use pipeline::transpile;
 pub use pipeline::{
-    BasisChoice, PassTrace, Pipeline, PipelineBuilder, StageTrace, TranspileOptions,
+    BasisChoice, PassTrace, Pipeline, PipelineBuilder, StageCounters, StageTrace, TranspileOptions,
     TranspileReport, TranspileResult,
 };
 pub use routing::{

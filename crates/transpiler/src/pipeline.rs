@@ -27,22 +27,27 @@
 //! [`PassTrace`] recording per-stage wall time and gate/SWAP deltas for
 //! observability.
 //!
-//! The legacy one-shot [`transpile`] entry point survives as a deprecated
-//! shim; it delegates to a [`Pipeline`] and its output is bitwise-identical.
+//! When `snailqc-obs` recording is on (see [`snailqc_obs::enable`]), every
+//! stage additionally runs inside a tracing span (`pipeline.layout`,
+//! `pipeline.routing`, …) nested under a `pipeline.run` root, and the
+//! [`PassTrace`] captures each stage's counter deltas (router work counters,
+//! cache hits) in [`PassTrace::stage_counters`]. Instrumentation only
+//! records — routed output is bitwise-identical with recording on or off.
 
 use crate::layout::LayoutStrategy;
 use crate::routing::{route_with_cache, RoutedCircuit, RouterConfig, RoutingCache};
 use crate::translate::translate_to_basis;
 use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
+use snailqc_obs as obs;
 use snailqc_topology::CouplingGraph;
 use std::time::Instant;
 
 /// Options controlling the transpilation pipeline.
 ///
-/// This is the configuration carrier of the legacy [`transpile`] entry
-/// point; new code builds a [`Pipeline`] instead, which takes the same three
-/// per-stage configurations through its builder.
+/// A plain-data configuration carrier, kept for callers that assemble
+/// options field by field; [`Pipeline::from_options`] converts it into the
+/// equivalent staged [`Pipeline`], which is what new code builds directly.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
 pub struct TranspileOptions {
     /// Initial-placement strategy (the paper uses dense placement).
@@ -147,9 +152,9 @@ impl Pipeline {
         }
     }
 
-    /// Converts legacy [`TranspileOptions`] into the equivalent pipeline
-    /// (`basis: None` maps to [`BasisChoice::Skip`], preserving the old
-    /// semantics exactly).
+    /// Converts [`TranspileOptions`] into the equivalent pipeline
+    /// (`basis: None` maps to [`BasisChoice::Skip`], preserving the
+    /// options' semantics exactly).
     pub fn from_options(options: &TranspileOptions) -> Self {
         Self {
             layout: options.layout,
@@ -211,43 +216,60 @@ impl Pipeline {
         cache: &RoutingCache,
     ) -> TranspileResult {
         let basis = self.translation.resolve(native_basis);
+        let _run_span = obs::span("pipeline.run");
+        // One flag read for the whole run: per-stage counter snapshots cost
+        // a registry copy each, so they are taken only while recording.
+        let recording = obs::is_enabled();
         let mut trace = PassTrace::default();
 
         // Stage 1 — layout: pick the initial logical→physical placement.
         let started = Instant::now();
+        let before = recording.then(obs::snapshot);
+        let stage_span = obs::span("pipeline.layout");
         let layout = self.layout.compute(circuit, graph);
+        drop(stage_span);
         trace.push(
             "layout",
             started,
             (circuit.len(), circuit.two_qubit_count()),
             (circuit.len(), circuit.two_qubit_count()),
         );
+        trace.capture_stage_counters("layout", before);
 
         // Stage 2 — routing: insert SWAPs until every 2Q gate is adjacent.
         let started = Instant::now();
+        let before = recording.then(obs::snapshot);
+        let stage_span = obs::span("pipeline.routing");
         let routed = route_with_cache(circuit, graph, &layout, &self.router, cache);
+        drop(stage_span);
         trace.push(
             "routing",
             started,
             (circuit.len(), circuit.two_qubit_count()),
             (routed.circuit.len(), routed.circuit.two_qubit_count()),
         );
+        trace.capture_stage_counters("routing", before);
 
         // Stage 3 — translation: rewrite into the native basis, if any.
         let translated = basis.map(|basis| {
             let started = Instant::now();
+            let before = recording.then(obs::snapshot);
+            let stage_span = obs::span("pipeline.translation");
             let (translated, _) = translate_to_basis(&routed.circuit, basis);
+            drop(stage_span);
             trace.push(
                 "translation",
                 started,
                 (routed.circuit.len(), routed.circuit.two_qubit_count()),
                 (translated.len(), translated.two_qubit_count()),
             );
+            trace.capture_stage_counters("translation", before);
             translated
         });
 
         // Stage 4 — analysis: collect the paper's metrics.
         let started = Instant::now();
+        let stage_span = obs::span("pipeline.analysis");
         let edge_rate = |a: usize, b: usize| self.router.edge_errors.rate(graph, a, b);
         let mut report = TranspileReport {
             logical_qubits: circuit.num_qubits(),
@@ -273,6 +295,7 @@ impl Pipeline {
             .as_ref()
             .map(|t| (t.len(), t.two_qubit_count()))
             .unwrap_or((routed.circuit.len(), routed.circuit.two_qubit_count()));
+        drop(stage_span);
         trace.push("analysis", started, final_gates, final_gates);
 
         TranspileResult {
@@ -384,15 +407,46 @@ pub struct StageTrace {
     pub two_qubit_out: usize,
 }
 
+/// Counter deltas attributed to one pipeline stage, captured from the
+/// `snailqc-obs` registry while recording is enabled.
+///
+/// Counters are process-global, so when several pipelines run concurrently
+/// (batch mode, parallel sweeps) a stage's deltas include work other threads
+/// did in the same interval — read them as "what the process did during this
+/// stage", exact only for single-threaded runs.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct StageCounters {
+    /// Stage name, matching [`StageTrace::stage`].
+    pub stage: &'static str,
+    /// `(counter name, increase during the stage)`, name-sorted; counters
+    /// that did not move are omitted.
+    pub counters: Vec<(String, u64)>,
+}
+
 /// Per-stage observability record of one pipeline run: which stages ran, how
 /// long each took, and how each changed the circuit's gate counts.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
 pub struct PassTrace {
     /// The stages that ran, in execution order.
     pub stages: Vec<StageTrace>,
+    /// Per-stage metric deltas; empty unless `snailqc-obs` recording was on
+    /// during the run (see [`StageCounters`]).
+    pub stage_counters: Vec<StageCounters>,
 }
 
 impl PassTrace {
+    fn capture_stage_counters(
+        &mut self,
+        stage: &'static str,
+        before: Option<obs::MetricsSnapshot>,
+    ) {
+        let Some(before) = before else { return };
+        let counters = obs::snapshot().counter_deltas_since(&before);
+        if !counters.is_empty() {
+            self.stage_counters.push(StageCounters { stage, counters });
+        }
+    }
+
     fn push(
         &mut self,
         stage: &'static str,
@@ -413,6 +467,12 @@ impl PassTrace {
     /// The trace of one stage by name, if it ran.
     pub fn stage(&self, name: &str) -> Option<&StageTrace> {
         self.stages.iter().find(|s| s.stage == name)
+    }
+
+    /// The captured counter deltas of one stage by name, if recording was
+    /// on and any counter moved during the stage.
+    pub fn stage_counter_deltas(&self, name: &str) -> Option<&StageCounters> {
+        self.stage_counters.iter().find(|s| s.stage == name)
     }
 
     /// Total wall time across all stages, in microseconds.
@@ -473,20 +533,6 @@ pub struct TranspileResult {
     pub report: TranspileReport,
     /// Per-stage timings and gate deltas.
     pub trace: PassTrace,
-}
-
-/// Runs placement, routing and (optionally) basis translation of `circuit`
-/// onto `graph`, collecting the paper's metrics.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a staged `Pipeline` instead: `Pipeline::builder().layout(..).router(..).build().run(circuit, graph)`"
-)]
-pub fn transpile(
-    circuit: &Circuit,
-    graph: &CouplingGraph,
-    options: &TranspileOptions,
-) -> TranspileResult {
-    Pipeline::from_options(options).run(circuit, graph)
 }
 
 /// `Σ ln(1 − err_e)` over every two-qubit gate of `circuit`, the log of the
@@ -635,8 +681,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_transpile_shim_matches_the_pipeline_bitwise() {
+    fn from_options_matches_the_explicitly_built_pipeline_bitwise() {
         let c = qft(10, true);
         let graph = catalog::tree_20();
         for options in [
@@ -644,12 +689,21 @@ mod tests {
             TranspileOptions::with_basis(BasisGate::SqrtISwap).with_seed(7),
             TranspileOptions::with_basis(BasisGate::Cnot).with_error_weight(1.0),
         ] {
-            let legacy = transpile(&c, &graph, &options);
-            let staged = Pipeline::from_options(&options).run(&c, &graph);
-            assert_eq!(legacy.report, staged.report);
+            let mut builder = Pipeline::builder()
+                .layout(options.layout)
+                .router(options.router);
+            builder = match options.basis {
+                Some(basis) => builder.translate_to(basis),
+                None => builder.routing_only(),
+            };
+            let by_hand = builder.build();
+            assert_eq!(Pipeline::from_options(&options), by_hand);
+            let converted = Pipeline::from_options(&options).run(&c, &graph);
+            let explicit = by_hand.run(&c, &graph);
+            assert_eq!(converted.report, explicit.report);
             assert_eq!(
-                legacy.routed.circuit.instructions(),
-                staged.routed.circuit.instructions()
+                converted.routed.circuit.instructions(),
+                explicit.routed.circuit.instructions()
             );
         }
     }

@@ -69,6 +69,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use snailqc_circuit::{Circuit, Gate, Instruction};
+use snailqc_obs as obs;
 use snailqc_topology::CouplingGraph;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -311,6 +312,16 @@ impl RoutingCache {
 
     /// The hop-count all-pairs matrix of `graph`, computed on first use.
     fn hops(&self, graph: &CouplingGraph) -> Arc<Vec<Vec<usize>>> {
+        // Hit/miss accounting is approximate under concurrent first use
+        // (two threads may both count a miss); the matrices themselves are
+        // still computed once.
+        if obs::is_enabled() {
+            if self.hops.get().is_some() {
+                obs::counter_add("routing_cache.hits", 1);
+            } else {
+                obs::counter_add("routing_cache.misses", 1);
+            }
+        }
         self.hops
             .get_or_init(|| Arc::new(graph.distance_matrix()))
             .clone()
@@ -331,6 +342,13 @@ impl RoutingCache {
             None => (0, 0, 0),
         };
         let mut cache = self.scoring.lock().expect("routing cache poisoned");
+        if obs::is_enabled() {
+            if cache.contains_key(&key) {
+                obs::counter_add("routing_cache.hits", 1);
+            } else {
+                obs::counter_add("routing_cache.misses", 1);
+            }
+        }
         cache
             .entry(key)
             .or_insert_with(|| Arc::new(scoring_matrix(graph, noise, hops)))
@@ -456,6 +474,7 @@ pub fn route_with_cache(
     config: &RouterConfig,
     cache: &RoutingCache,
 ) -> RoutedCircuit {
+    let _route_span = obs::span("router.route");
     assert!(
         circuit.num_qubits() <= graph.num_qubits(),
         "device too small"
@@ -500,7 +519,7 @@ pub fn route_with_cache(
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         })
         .collect();
-    let candidates: Vec<RoutedCircuit> = if seeds.len() == 1 {
+    let trials: Vec<(RoutedCircuit, TrialStats)> = if seeds.len() == 1 {
         vec![route_once(&shared, seeds[0])]
     } else {
         seeds
@@ -509,8 +528,10 @@ pub fn route_with_cache(
             .collect()
     };
 
+    let mut work = TrialStats::default();
     let mut best: Option<RoutedCircuit> = None;
-    for candidate in candidates {
+    for (candidate, trial_stats) in trials {
+        work.accumulate(&trial_stats);
         let better = match &best {
             None => true,
             // Noise-blind trials compete on SWAP count (StochasticSwap);
@@ -535,7 +556,54 @@ pub fn route_with_cache(
             best = Some(candidate);
         }
     }
-    best.expect("at least one routing trial")
+    let best = best.expect("at least one routing trial");
+
+    // One registry flush per route call, far off the inner loop. The
+    // counters feed `--metrics-json` / the perf bench's metrics block.
+    if obs::is_enabled() {
+        obs::counter_add("router.calls", 1);
+        obs::counter_add("router.trials_run", seeds.len() as u64);
+        obs::counter_add("router.swap_decisions", work.swap_decisions);
+        obs::counter_add("router.swap_candidates_scored", work.candidates_scored);
+        obs::counter_add("router.scratch_score_calls", work.scratch_score_calls);
+        obs::counter_add(
+            "router.lookahead_gates_examined",
+            work.lookahead_gates_examined,
+        );
+        obs::counter_add("router.fallback_paths", work.fallback_paths);
+        obs::counter_add("router.swaps_inserted", best.swap_count as u64);
+    }
+    best
+}
+
+/// Inner-loop work counters accumulated by one routing trial. Plain `u64`
+/// locals in the trial loop — always collected (the adds are free next to
+/// the scoring work) and flushed to the `snailqc-obs` registry once per
+/// [`route_with_cache`] call, so instrumentation never touches the hot path
+/// and never perturbs routed output.
+#[derive(Debug, Default, Clone, Copy)]
+struct TrialStats {
+    /// SWAP decisions taken (equals SWAPs inserted by the trial).
+    swap_decisions: u64,
+    /// Candidate SWAPs evaluated by the scoring loop.
+    candidates_scored: u64,
+    /// Scratch swap/unswap score measurements of the live layout (scoring
+    /// loop plus the noise-aware hop-progress filter).
+    scratch_score_calls: u64,
+    /// Pending two-qubit gates examined by lookahead-window walks.
+    lookahead_gates_examined: u64,
+    /// Times the shortest-path stall fallback overrode the heuristic.
+    fallback_paths: u64,
+}
+
+impl TrialStats {
+    fn accumulate(&mut self, other: &TrialStats) {
+        self.swap_decisions += other.swap_decisions;
+        self.candidates_scored += other.candidates_scored;
+        self.scratch_score_calls += other.scratch_score_calls;
+        self.lookahead_gates_examined += other.lookahead_gates_examined;
+        self.fallback_paths += other.fallback_paths;
+    }
 }
 
 /// The read-only state one trial borrows.
@@ -551,7 +619,9 @@ struct TrialShared<'a> {
     template: &'a TrialTemplate,
 }
 
-fn route_once(shared: &TrialShared<'_>, seed: u64) -> RoutedCircuit {
+fn route_once(shared: &TrialShared<'_>, seed: u64) -> (RoutedCircuit, TrialStats) {
+    let _trial_span = obs::span("router.trial");
+    let mut stats = TrialStats::default();
     let TrialShared {
         circuit,
         graph,
@@ -672,6 +742,7 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> RoutedCircuit {
             }
             cursor = next2q[cursor];
         }
+        stats.lookahead_gates_examined += lookahead.len() as u64;
 
         // Candidate SWAPs: every edge touching a physical qubit involved in
         // a blocked front gate, first-occurrence order, deduplicated with an
@@ -723,6 +794,7 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> RoutedCircuit {
             // `swap_physical` is an involution, so the live layout serves as
             // its own scratch: swap, measure, swap back.
             let mut progressing: Vec<(usize, usize, usize)> = Vec::with_capacity(candidates.len());
+            stats.scratch_score_calls += candidates.len() as u64;
             for &(p, q, id) in &candidates {
                 layout.swap_physical(p, q);
                 let after = front_hops(&layout);
@@ -738,6 +810,8 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> RoutedCircuit {
 
         let mut best_swap = (candidates[0].0, candidates[0].1);
         let mut best_score = f64::INFINITY;
+        stats.candidates_scored += candidates.len() as u64;
+        stats.scratch_score_calls += candidates.len() as u64;
         for &(p, q, id) in &candidates {
             layout.swap_physical(p, q);
             let (front_cost, look_cost) = (front_cost_of(&layout), look_cost_of(&layout));
@@ -772,22 +846,27 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> RoutedCircuit {
             let (a, b) = (layout.physical(la), layout.physical(lb));
             let path = graph.shortest_path(a, b).expect("connected graph");
             best_swap = (path[0], path[1]);
+            stats.fallback_paths += 1;
         }
 
         let (p, q) = best_swap;
         out.push(Gate::Swap, &[p, q]);
         layout.swap_physical(p, q);
         swap_count += 1;
+        stats.swap_decisions += 1;
         decay[p] += 0.001;
         decay[q] += 0.001;
     }
 
-    RoutedCircuit {
-        circuit: out,
-        initial_layout: initial_layout.clone(),
-        final_layout: layout,
-        swap_count,
-    }
+    (
+        RoutedCircuit {
+            circuit: out,
+            initial_layout: initial_layout.clone(),
+            final_layout: layout,
+            swap_count,
+        },
+        stats,
+    )
 }
 
 fn emit_mapped(out: &mut Circuit, inst: &Instruction, layout: &Layout) {

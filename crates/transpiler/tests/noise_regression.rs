@@ -83,13 +83,14 @@ fn noise_blind_router_matches_frozen_baseline_on_every_catalog_topology() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn staged_pipeline_matches_legacy_transpile_bitwise_on_every_catalog_topology() {
-    // The PR-3 acceptance regression: for any (graph, options) the Pipeline
-    // output is bitwise-identical to the legacy transpile() across all 16
-    // catalog topologies — same routed instructions, same report.
+fn cached_pipeline_matches_the_uncached_run_bitwise_on_every_catalog_topology() {
+    // Successor of the PR-3 acceptance regression (which compared the
+    // Pipeline against the since-removed transpile() shim): for any
+    // (graph, options) the Pipeline run with a shared, reused RoutingCache
+    // is bitwise-identical to the fresh uncached run across all 16 catalog
+    // topologies — same routed instructions, same report.
     use snailqc_decompose::BasisGate;
-    use snailqc_transpiler::transpile;
+    use snailqc_transpiler::RoutingCache;
     let option_sets = [
         TranspileOptions::default(),
         TranspileOptions::with_basis(BasisGate::SqrtISwap).with_seed(23),
@@ -100,18 +101,22 @@ fn staged_pipeline_matches_legacy_transpile_bitwise_on_every_catalog_topology() 
     for name in names {
         let graph = catalog::by_name(name).unwrap();
         let circuit = Workload::QuantumVolume.generate(12, 7);
+        // One cache per graph, shared across every option set — the Device
+        // ownership pattern, with warm matrices by the second iteration.
+        let cache = RoutingCache::new();
         for options in &option_sets {
-            let legacy = transpile(&circuit, &graph, options);
-            let staged = Pipeline::from_options(options).run(&circuit, &graph);
+            let pipeline = Pipeline::from_options(options);
+            let fresh = pipeline.run(&circuit, &graph);
+            let cached = pipeline.run_with_native_basis_cached(&circuit, &graph, None, &cache);
             assert_eq!(
-                legacy.report, staged.report,
-                "{name}: pipeline report drifted from legacy transpile"
+                fresh.report, cached.report,
+                "{name}: cached pipeline report drifted from the uncached run"
             );
             assert!(
-                same_instructions(&legacy.routed.circuit, &staged.routed.circuit),
-                "{name}: pipeline routed circuit drifted from legacy transpile"
+                same_instructions(&fresh.routed.circuit, &cached.routed.circuit),
+                "{name}: cached pipeline routed circuit drifted from the uncached run"
             );
-            match (&legacy.translated, &staged.translated) {
+            match (&fresh.translated, &cached.translated) {
                 (None, None) => {}
                 (Some(a), Some(b)) => assert!(same_instructions(a, b), "{name}"),
                 _ => panic!("{name}: translation presence diverged"),

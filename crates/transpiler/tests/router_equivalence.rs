@@ -119,3 +119,45 @@ fn routed_output_is_bitwise_identical_to_the_pre_overhaul_router() {
         println!("];");
     }
 }
+
+#[test]
+fn tracing_enabled_routing_is_bitwise_identical_to_the_frozen_digests() {
+    // The observability acceptance criterion: with spans and counters
+    // recording, every catalog topology routes to the exact same frozen
+    // digests as the uninstrumented baseline — instrumentation observes,
+    // it never steers. (Skipped under SNAILQC_BLESS so blessing prints one
+    // table.)
+    if std::env::var("SNAILQC_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        return;
+    }
+    snailqc_obs::enable();
+    for &(name, frozen_blind, frozen_aware) in &FROZEN {
+        assert_eq!(
+            digest(&route_cell(name, false)),
+            frozen_blind,
+            "{name}: noise-blind routed output drifted with tracing enabled"
+        );
+        assert_eq!(
+            digest(&route_cell(name, true)),
+            frozen_aware,
+            "{name}: noise-aware routed output drifted with tracing enabled"
+        );
+    }
+    // And the run really was recorded: trial spans and router counters.
+    let spans = snailqc_obs::take_spans();
+    assert!(
+        spans.iter().any(|s| s.name == "router.trial"),
+        "no router.trial spans recorded"
+    );
+    let snapshot = snailqc_obs::snapshot();
+    let trials = snapshot.counter("router.trials_run").unwrap_or(0);
+    let scored = snapshot
+        .counter("router.swap_candidates_scored")
+        .unwrap_or(0);
+    assert!(trials >= 2 * FROZEN.len() as u64, "trials_run = {trials}");
+    assert!(scored > 0, "swap_candidates_scored = {scored}");
+    snailqc_obs::disable();
+}

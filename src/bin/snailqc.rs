@@ -61,6 +61,11 @@ COMMANDS:
                             <dir>, mirroring the input directory layout;
                             implies re-routing every file (bypasses --store
                             reads)
+        --trace-out <file>  Write a Chrome trace-event JSON of the run's
+                            pipeline/router spans (open in Perfetto or
+                            chrome://tracing)
+        --metrics-json <f>  Write the metrics snapshot (counters, gauges,
+                            histogram quantiles) as JSON
         --qasm3             Write -o output as OpenQASM 3.0
         -o, --out <file>    Write the transpiled circuit as QASM
                             (batch mode: write the aggregated JSON report)
@@ -89,7 +94,11 @@ COMMANDS:
 
     help                    Show this message
 
-Use `-` as <file.qasm> to read from stdin.";
+Use `-` as <file.qasm> to read from stdin.
+
+Setting SNAILQC_TRACE=1 enables the observability layer for any transpile
+run; without --trace-out/--metrics-json the metrics summary table is
+printed to stderr.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -372,6 +381,8 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
             "store",
             "emit-dir",
             "out",
+            "trace-out",
+            "metrics-json",
         ],
         &["json", "qasm3"],
     )?;
@@ -379,10 +390,50 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
         return Err("transpile needs exactly one <file.qasm | directory> argument".into());
     };
     let setup = TranspileSetup::from_options(&opts)?;
+    let observed = obs_setup(&opts);
     if file != "-" && Path::new(file).is_dir() {
-        return transpile_directory(file, &setup, &opts);
+        transpile_directory(file, &setup, &opts)?;
+    } else {
+        transpile_one_file(file, &setup, &opts)?;
     }
-    transpile_one_file(file, &setup, &opts)
+    if observed {
+        obs_finish(&opts)?;
+    }
+    Ok(())
+}
+
+/// Turns on the workspace observability layer when the run asked for it —
+/// via `--trace-out`, `--metrics-json`, or the `SNAILQC_TRACE` environment
+/// variable. Returns whether it was enabled, so the caller knows to drain.
+fn obs_setup(opts: &Options) -> bool {
+    let wanted = opts.value("trace-out").is_some()
+        || opts.value("metrics-json").is_some()
+        || snailqc::obs::env_requests_tracing();
+    if wanted {
+        snailqc::obs::enable();
+    }
+    wanted
+}
+
+/// Drains the spans and metrics collected during the run: writes the Chrome
+/// trace-event JSON and/or the metrics snapshot where requested, and falls
+/// back to a human-readable summary table on stderr for env-only runs so
+/// `SNAILQC_TRACE=1` alone still shows something.
+fn obs_finish(opts: &Options) -> Result<(), String> {
+    let spans = snailqc::obs::take_spans();
+    let metrics = snailqc::obs::snapshot();
+    if let Some(path) = opts.value("trace-out") {
+        std::fs::write(path, snailqc::obs::chrome_trace(&spans))
+            .map_err(|e| format!("writing trace `{path}`: {e}"))?;
+    }
+    if let Some(path) = opts.value("metrics-json") {
+        std::fs::write(path, snailqc::obs::metrics_json(&metrics))
+            .map_err(|e| format!("writing metrics `{path}`: {e}"))?;
+    }
+    if opts.value("trace-out").is_none() && opts.value("metrics-json").is_none() {
+        eprint!("{}", snailqc::obs::summary_table(&metrics));
+    }
+    Ok(())
 }
 
 fn transpile_one_file(file: &str, setup: &TranspileSetup, opts: &Options) -> Result<(), String> {
@@ -538,6 +589,9 @@ struct BatchSummary {
     failed: usize,
     /// Cells replayed from the `--store` cache.
     cache_hits: usize,
+    /// Corrupt lines skipped while loading the `--store` cache (typically
+    /// a tail truncated by a killed run); 0 without `--store`.
+    store_skipped_corrupt: usize,
     total_swaps: usize,
     total_routed_two_qubit_gates: usize,
     total_basis_gates: usize,
@@ -652,8 +706,14 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
     let routed: Vec<(BatchFileOutput, Option<String>)> = prepared
         .par_iter()
         .map(|(name, seed, prepared)| {
+            let _file_span = if snailqc::obs::is_enabled() {
+                Some(snailqc::obs::span_with("batch.file", name.clone()))
+            } else {
+                None
+            };
+            let timer = snailqc::obs::is_enabled().then(std::time::Instant::now);
             let (name, seed) = (name.clone(), *seed);
-            match prepared {
+            let outcome = match prepared {
                 Prepared::Failed(error) => (
                     BatchFileOutput {
                         file: name,
@@ -725,7 +785,14 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
                         ),
                     }
                 }
+            };
+            if let Some(timer) = timer {
+                snailqc::obs::histogram_record(
+                    "batch.file_micros",
+                    timer.elapsed().as_micros() as u64,
+                );
             }
+            outcome
         })
         .collect();
     let mut files = Vec::with_capacity(routed.len());
@@ -749,6 +816,7 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
         transpiled: transpiled.len(),
         failed: files.len() - transpiled.len(),
         cache_hits,
+        store_skipped_corrupt: store.as_ref().map_or(0, |s| s.skipped_corrupt()),
         total_swaps: transpiled.iter().map(|r| r.swap_count).sum(),
         total_routed_two_qubit_gates: transpiled.iter().map(|r| r.routed_two_qubit_gates).sum(),
         total_basis_gates: transpiled.iter().map(|r| r.basis_gate_count).sum(),
@@ -804,6 +872,12 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
             output.summary.failed,
             output.summary.cache_hits
         );
+        if output.summary.store_skipped_corrupt > 0 {
+            println!(
+                "  warning: skipped {} corrupt line(s) in the --store cache",
+                output.summary.store_skipped_corrupt
+            );
+        }
         if let Some(dir) = &emit_dir {
             let emitted = output.files.iter().filter(|f| f.emitted.is_some()).count();
             println!(

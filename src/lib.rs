@@ -20,6 +20,7 @@
 //! | [`decompose`] | `snailqc-decompose` | basis-gate counting, NuOp templates, decoherence model |
 //! | [`qasm`] | `snailqc-qasm` | version-aware OpenQASM 2.0 / 3.0 parsers and emitter for external circuit interchange |
 //! | [`core`] | `snailqc-core` | `Device`, machines, sweeps, the sweep store and headline ratios |
+//! | [`obs`] | `snailqc-obs` | tracing spans, metrics registry, Chrome-trace/JSON exporters |
 //!
 //! ## Quick start
 //!
@@ -51,10 +52,13 @@
 //!
 //! Sweeps take a slice of devices ([`run_sweep`](core::sweep::run_sweep)),
 //! and every run carries a [`PassTrace`](transpiler::PassTrace) with
-//! per-stage timings and gate/SWAP deltas. The legacy free-function
-//! `transpile(circuit, graph, options)` and the old
-//! `run_swap_sweep`/`run_codesign_sweep` signatures survive one more
-//! release as `#[deprecated]` shims that delegate to the pipeline.
+//! per-stage timings and gate/SWAP deltas. For deeper introspection,
+//! [`obs::enable`] turns on the workspace-wide observability layer: nested
+//! tracing spans around every pipeline stage and routing trial, plus router
+//! work counters and cache hit/miss metrics, exportable as Chrome
+//! trace-event JSON ([`obs::chrome_trace`]) or a flat metrics snapshot
+//! ([`obs::snapshot`]) — see the CLI's `--trace-out` / `--metrics-json`
+//! flags and the README's Observability section.
 
 #![warn(missing_docs)]
 
@@ -62,6 +66,7 @@ pub use snailqc_circuit as circuit;
 pub use snailqc_core as core;
 pub use snailqc_decompose as decompose;
 pub use snailqc_math as math;
+pub use snailqc_obs as obs;
 pub use snailqc_qasm as qasm;
 pub use snailqc_topology as topology;
 pub use snailqc_transpiler as transpiler;
@@ -77,8 +82,6 @@ pub mod prelude {
     pub use snailqc_core::machine::{Machine, SizeClass};
     pub use snailqc_core::noise::ErrorModelSpec;
     pub use snailqc_core::store::SweepStore;
-    #[allow(deprecated)]
-    pub use snailqc_core::sweep::{run_codesign_sweep, run_swap_sweep};
     pub use snailqc_core::sweep::{run_sweep, run_sweep_with_store, SweepConfig, SweepPoint};
     pub use snailqc_decompose::{BasisGate, NuOpDecomposer, StudyConfig};
     pub use snailqc_math::{weyl_coordinates, Matrix2, Matrix4, WeylCoordinates};
@@ -88,11 +91,9 @@ pub mod prelude {
         parse_any as parse_qasm_any, QasmProgram, QasmVersion,
     };
     pub use snailqc_topology::{CouplingGraph, TopologyKind};
-    #[allow(deprecated)]
-    pub use snailqc_transpiler::transpile;
     pub use snailqc_transpiler::{
         BasisChoice, EdgeErrorSource, LayoutStrategy, PassTrace, Pipeline, RouterConfig,
-        TranspileOptions,
+        StageCounters, TranspileOptions,
     };
     pub use snailqc_workloads::Workload;
 }

@@ -1,9 +1,10 @@
 //! PR-3 API-redesign equivalence suite, exercised through the façade crate:
 //!
-//! * the staged `Pipeline` is bitwise-identical to the legacy `transpile()`
-//!   shim on every catalog topology (frozen-baseline regression);
+//! * the option-driven `Pipeline::from_options` path is bitwise-identical
+//!   to the `Device`-driven path on every catalog topology (frozen-baseline
+//!   regression, formerly pinned against the since-removed `transpile()`
+//!   shim);
 //! * `Device::from_machine` round-trips with `Machine`;
-//! * the deprecated sweep shims delegate to `run_sweep` without drift;
 //! * the sweep store replays cells bitwise.
 
 use snailqc::prelude::*;
@@ -18,11 +19,11 @@ fn same_instructions(a: &Circuit, b: &Circuit) -> bool {
 }
 
 #[test]
-#[allow(deprecated)]
-fn device_pipeline_matches_legacy_transpile_on_every_catalog_topology() {
-    // Acceptance criterion: for any (graph, options) the new Pipeline output
-    // is bitwise-identical to the old transpile() across all 16 catalog
-    // topologies — here driven through Device, the way consumers now call it.
+fn device_pipeline_matches_the_options_pipeline_on_every_catalog_topology() {
+    // Acceptance criterion: for any (graph, options) the Device-driven
+    // Pipeline output is bitwise-identical to the plain option-driven run
+    // across all 16 catalog topologies — the two ways consumers reach the
+    // same staged flow.
     let names = catalog::names();
     assert_eq!(names.len(), 16);
     let circuit = Workload::Qft.generate(12, 7);
@@ -34,7 +35,7 @@ fn device_pipeline_matches_legacy_transpile_on_every_catalog_topology() {
                 ..TranspileOptions::default()
             }
             .with_seed(19);
-            let legacy = transpile(&circuit, &graph, &options);
+            let from_options = Pipeline::from_options(&options).run(&circuit, &graph);
 
             let mut device = Device::from_catalog(name).unwrap();
             if let Some(basis) = basis {
@@ -43,11 +44,11 @@ fn device_pipeline_matches_legacy_transpile_on_every_catalog_topology() {
             let staged = device.transpile(&circuit, &Pipeline::builder().seed(19).build());
 
             assert_eq!(
-                legacy.report, staged.report,
+                from_options.report, staged.report,
                 "{name} basis {basis:?}: report drifted"
             );
             assert!(
-                same_instructions(&legacy.routed.circuit, &staged.routed.circuit),
+                same_instructions(&from_options.routed.circuit, &staged.routed.circuit),
                 "{name} basis {basis:?}: routed circuit drifted"
             );
         }
@@ -68,37 +69,6 @@ fn device_round_trips_with_machine_for_both_lineups() {
         // And back: the recorded machine rebuilds the identical device.
         let rebuilt = Device::from_machine(device.machine().unwrap());
         assert_eq!(rebuilt, device);
-    }
-}
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_sweep_shims_smoke() {
-    let config = SweepConfig::smoke();
-    let graphs = vec![catalog::hypercube_16(), catalog::tree_20()];
-    let machines = vec![Machine::ibm_baseline(SizeClass::Small)];
-
-    let via_shim = run_swap_sweep(&graphs, &config);
-    let via_devices = run_sweep(
-        &graphs
-            .iter()
-            .cloned()
-            .map(Device::from_graph)
-            .collect::<Vec<_>>(),
-        &config,
-    );
-    assert_eq!(via_shim.len(), via_devices.len());
-    for (a, b) in via_shim.iter().zip(&via_devices) {
-        assert_eq!(a.topology, b.topology);
-        assert_eq!(a.report, b.report);
-    }
-
-    let codesign_shim = run_codesign_sweep(&machines, &config);
-    let codesign_devices = run_sweep(&[Device::from_machine(machines[0])], &config);
-    assert_eq!(codesign_shim.len(), codesign_devices.len());
-    for (a, b) in codesign_shim.iter().zip(&codesign_devices) {
-        assert_eq!(a.basis, b.basis);
-        assert_eq!(a.report, b.report);
     }
 }
 

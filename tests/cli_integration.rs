@@ -1,6 +1,7 @@
 //! End-to-end tests of the `snailqc` binary's noise-aware transpile path:
-//! golden JSON output for a preset error model, and the degraded-edge
-//! improvement scenario through a JSON error-model file.
+//! golden JSON output for a preset error model, the degraded-edge
+//! improvement scenario through a JSON error-model file, and the
+//! observability exports (`--trace-out` / `--metrics-json`).
 
 use std::process::Command;
 
@@ -621,4 +622,141 @@ fn batch_mode_emit_dir_mirrors_routed_qasm_next_to_the_report() {
     }
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn trace_out_and_metrics_json_capture_the_pipeline_run() {
+    // `--trace-out` writes a Chrome trace-event JSON with the pipeline-stage
+    // spans nested under `pipeline.run`, and `--metrics-json` a snapshot
+    // whose counters include the router work and cache statistics.
+    let dir = std::env::temp_dir().join(format!("snailqc-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let metrics_path = dir.join("metrics.json");
+
+    let output = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology=corral11-16",
+        "--basis=sqrt-iswap",
+        &format!("--trace-out={}", trace_path.display()),
+        &format!("--metrics-json={}", metrics_path.display()),
+        "--json",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // The transpile report itself is unchanged by the observability flags.
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8(output.stdout).unwrap()).expect("valid JSON");
+    assert!(report.get("report").is_some());
+
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap())
+            .expect("trace file is valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain spans");
+    let span_id = |event: &serde_json::Value, field: &str| {
+        event
+            .get("args")
+            .and_then(|a| a.get(field))
+            .and_then(|v| v.as_u64())
+            .expect("span ids in args")
+    };
+    let by_name = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.get("name").and_then(|v| v.as_str()) == Some(name))
+            .unwrap_or_else(|| panic!("span `{name}` missing from trace"))
+    };
+    let run = by_name("pipeline.run");
+    for stage in [
+        "pipeline.layout",
+        "pipeline.routing",
+        "pipeline.translation",
+    ] {
+        assert_eq!(
+            span_id(by_name(stage), "parent"),
+            span_id(run, "id"),
+            "{stage} must nest under pipeline.run"
+        );
+    }
+    by_name("router.trial");
+
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap())
+            .expect("metrics file is valid JSON");
+    let counters = metrics.get("counters").expect("counters block");
+    let counter = |name: &str| {
+        counters
+            .get(name)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("counter `{name}` missing"))
+    };
+    assert!(counter("router.trials_run") >= 4, "default 4 trials");
+    assert!(counter("router.swap_candidates_scored") > 0);
+    assert!(counter("routing_cache.misses") > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_mode_records_per_file_latency_histograms() {
+    let dir = std::env::temp_dir().join(format!("snailqc-obs-batch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, qubits) in [("ghz4", 4), ("ghz7", 7)] {
+        let body: String = (1..qubits)
+            .map(|q| format!("cx q[{}], q[{}];\n", q - 1, q))
+            .collect();
+        std::fs::write(
+            dir.join(format!("{name}.qasm")),
+            format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{qubits}];\nh q[0];\n{body}"),
+        )
+        .unwrap();
+    }
+    let metrics_path = dir.join("metrics.json");
+    let trace_path = dir.join("trace.json");
+
+    let output = snailqc(&[
+        "transpile",
+        dir.to_str().unwrap(),
+        "--topology=tree-20",
+        "--seed=5",
+        &format!("--trace-out={}", trace_path.display()),
+        &format!("--metrics-json={}", metrics_path.display()),
+        "--json",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let metrics: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics_path).unwrap()).unwrap();
+    let latency = metrics
+        .get("histograms")
+        .and_then(|h| h.get("batch.file_micros"))
+        .expect("per-file latency histogram");
+    assert_eq!(latency.get("count").and_then(|v| v.as_u64()), Some(2));
+    assert!(latency.get("p99").and_then(|v| v.as_u64()).is_some());
+
+    // One `batch.file` span per input, annotated with the file name.
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace_path).unwrap()).unwrap();
+    let file_spans: Vec<&serde_json::Value> = trace
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .unwrap()
+        .iter()
+        .filter(|e| e.get("name").and_then(|v| v.as_str()) == Some("batch.file"))
+        .collect();
+    assert_eq!(file_spans.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
 }
