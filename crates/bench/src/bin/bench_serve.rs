@@ -1,0 +1,273 @@
+//! Load generator for the `snailqc serve` daemon.
+//!
+//! Spawns an in-process server on an ephemeral TCP port, drives it through
+//! the real wire protocol with a corpus of workload circuits, and writes
+//! `BENCH_serve.json` at the repository root:
+//!
+//! * **cold phase** — every distinct request once, on a fresh daemon: the
+//!   cost of a cache-miss transpile including device warm-up;
+//! * **warm phase** — concurrent client threads replaying the corpus: the
+//!   steady-state the daemon exists for, where devices, routing caches and
+//!   the response cache are all hot;
+//! * the daemon's own `stats` RPC snapshot (queue, cache hit rates, its
+//!   latency histogram) embedded for cross-checking.
+//!
+//! The harness also *verifies* the serving contract while it measures:
+//! every response's `routed_digest` must match the cold phase's digest for
+//! that request (bitwise reproducibility under concurrency), and `busy`
+//! rejections are retried and counted rather than dropped.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p snailqc-bench --bin bench_serve
+//! ```
+//!
+//! Set `SNAILQC_PERF_REDUCED=1` (the CI smoke configuration) for a smaller
+//! corpus and fewer repetitions; the JSON is still produced, with
+//! `"reduced": true`.
+
+use serde::Serialize;
+use serde_json::Value;
+use snailqc::serve::protocol::{object, Client};
+use snailqc::serve::{Bind, BoundAddr, ServeConfig, Server};
+use snailqc_workloads::Workload;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// One distinct transpile request in the corpus.
+struct Case {
+    name: String,
+    params: Value,
+}
+
+/// The corpus: (workload × size × topology × seed) cells emitted as QASM,
+/// sized to finish in seconds while exercising several warm devices.
+fn corpus(reduced: bool) -> Vec<Case> {
+    let cells: &[(Workload, usize, &str, u64)] = if reduced {
+        &[
+            (Workload::QaoaVanilla, 12, "corral11-16", 7),
+            (Workload::Qft, 12, "tree-20", 7),
+        ]
+    } else {
+        &[
+            (Workload::QaoaVanilla, 12, "corral11-16", 7),
+            (Workload::QaoaVanilla, 12, "corral11-16", 8),
+            (Workload::Qft, 12, "tree-20", 7),
+            (Workload::QuantumVolume, 12, "heavy-hex-20", 7),
+            (Workload::QuantumVolume, 16, "heavy-hex-20", 7),
+            (Workload::TimHamiltonian, 12, "tree-20", 7),
+        ]
+    };
+    cells
+        .iter()
+        .map(|&(workload, size, topology, seed)| {
+            let qasm = snailqc::qasm::emit(&workload.generate(size, seed));
+            Case {
+                name: format!("{}-{size}@{topology}/s{seed}", workload.label()),
+                params: object(vec![
+                    ("source", Value::String(qasm)),
+                    ("topology", Value::String(topology.to_string())),
+                    ("basis", Value::String("sqrt-iswap".to_string())),
+                    ("seed", Value::UInt(seed)),
+                ]),
+            }
+        })
+        .collect()
+}
+
+/// One request over an open client, retrying `busy` rejections (counted).
+fn call_transpile(client: &mut Client, case: &Case, busy_retries: &mut u64) -> (f64, String) {
+    loop {
+        let started = Instant::now();
+        match client.call("transpile", case.params.clone()) {
+            Ok(result) => {
+                let micros = started.elapsed().as_secs_f64() * 1e6;
+                let digest = result
+                    .get("routed_digest")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                return (micros, digest);
+            }
+            Err(failure) if failure.code == "busy" => {
+                *busy_retries += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(failure) => panic!("{}: {failure}", case.name),
+        }
+    }
+}
+
+/// Exact percentile of a sorted sample (nearest-rank on the closed index).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+#[derive(Serialize)]
+struct PhaseSummary {
+    requests: usize,
+    p50_micros: f64,
+    p90_micros: f64,
+    p99_micros: f64,
+    max_micros: f64,
+    mean_micros: f64,
+}
+
+fn summarize(mut micros: Vec<f64>) -> PhaseSummary {
+    micros.sort_by(|a, b| a.total_cmp(b));
+    let mean = micros.iter().sum::<f64>() / micros.len().max(1) as f64;
+    PhaseSummary {
+        requests: micros.len(),
+        p50_micros: percentile(&micros, 50.0),
+        p90_micros: percentile(&micros, 90.0),
+        p99_micros: percentile(&micros, 99.0),
+        max_micros: micros.last().copied().unwrap_or(0.0),
+        mean_micros: mean,
+    }
+}
+
+#[derive(Serialize)]
+struct ServeReport {
+    generated_by: &'static str,
+    reduced: bool,
+    corpus: Vec<String>,
+    clients: usize,
+    rounds_per_client: usize,
+    cold: PhaseSummary,
+    warm: PhaseSummary,
+    warm_wall_secs: f64,
+    warm_throughput_rps: f64,
+    busy_retries: u64,
+    digests_verified: usize,
+    /// The daemon's own `stats` RPC at the end of the run.
+    server_stats: Value,
+}
+
+fn main() {
+    let reduced = std::env::var("SNAILQC_PERF_REDUCED")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let clients = if reduced { 2 } else { 4 };
+    let rounds = if reduced { 3 } else { 25 };
+    let cases = corpus(reduced);
+
+    let server = Server::spawn(ServeConfig {
+        bind: Bind::Tcp("127.0.0.1:0".into()),
+        workers: 0,
+        queue_capacity: 64,
+        store: None,
+    })
+    .expect("server spawns");
+    let addr = match server.addr() {
+        BoundAddr::Tcp(addr) => addr.to_string(),
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("tcp bind"),
+    };
+
+    // Cold phase: every distinct request once, serially, on the fresh
+    // daemon. Records the reference digest per case.
+    let mut busy_retries = 0u64;
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+    let mut cold_micros = Vec::with_capacity(cases.len());
+    let mut reference: HashMap<String, String> = HashMap::new();
+    for case in &cases {
+        let (micros, digest) = call_transpile(&mut client, case, &mut busy_retries);
+        assert!(!digest.is_empty(), "{}: no routed_digest", case.name);
+        cold_micros.push(micros);
+        reference.insert(case.name.clone(), digest);
+    }
+
+    // Warm phase: concurrent clients replaying the corpus round-robin, each
+    // verifying every digest against the cold reference.
+    let warm_started = Instant::now();
+    let worker_outcomes: Vec<(Vec<f64>, u64, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|offset| {
+                let cases = &cases;
+                let reference = &reference;
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect_tcp(&addr).expect("client connects");
+                    let mut micros = Vec::with_capacity(rounds * cases.len());
+                    let mut busy = 0u64;
+                    let mut verified = 0usize;
+                    for round in 0..rounds {
+                        for i in 0..cases.len() {
+                            let case = &cases[(i + offset + round) % cases.len()];
+                            let (sample, digest) = call_transpile(&mut client, case, &mut busy);
+                            assert_eq!(
+                                &digest, &reference[&case.name],
+                                "{}: digest drifted under concurrency",
+                                case.name
+                            );
+                            verified += 1;
+                            micros.push(sample);
+                        }
+                    }
+                    (micros, busy, verified)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let warm_wall_secs = warm_started.elapsed().as_secs_f64();
+
+    let mut warm_micros = Vec::new();
+    let mut digests_verified = 0usize;
+    for (micros, busy, verified) in worker_outcomes {
+        warm_micros.extend(micros);
+        busy_retries += busy;
+        digests_verified += verified;
+    }
+    let warm_requests = warm_micros.len();
+
+    let server_stats = client.call("stats", object(vec![])).expect("stats RPC");
+    client
+        .call("shutdown", object(vec![]))
+        .expect("shutdown RPC");
+    server.join().expect("graceful drain");
+
+    let report = ServeReport {
+        generated_by: "cargo run --release -p snailqc-bench --bin bench_serve",
+        reduced,
+        corpus: cases.iter().map(|c| c.name.clone()).collect(),
+        clients,
+        rounds_per_client: rounds,
+        cold: summarize(cold_micros),
+        warm: summarize(warm_micros),
+        warm_wall_secs,
+        warm_throughput_rps: warm_requests as f64 / warm_wall_secs.max(1e-9),
+        busy_retries,
+        digests_verified,
+        server_stats,
+    };
+
+    println!(
+        "serve bench: {} cold cases, {} warm requests from {clients} clients \
+         ({:.0} req/s warm, {} digests verified, {} busy retries)",
+        report.corpus.len(),
+        warm_requests,
+        report.warm_throughput_rps,
+        report.digests_verified,
+        report.busy_retries
+    );
+    println!(
+        "  cold  p50 {:>9.1} µs   p99 {:>9.1} µs",
+        report.cold.p50_micros, report.cold.p99_micros
+    );
+    println!(
+        "  warm  p50 {:>9.1} µs   p99 {:>9.1} µs",
+        report.warm.p50_micros, report.warm.p99_micros
+    );
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&report).expect("render report");
+    std::fs::write(&path, format!("{json}\n")).expect("write BENCH_serve.json");
+    println!("wrote {}", path.display());
+}

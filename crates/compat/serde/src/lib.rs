@@ -19,7 +19,8 @@ pub enum Value {
     Int(i64),
     /// An unsigned integer.
     UInt(u64),
-    /// A double; non-finite values render as `null`.
+    /// A double; non-finite values have no JSON representation and are
+    /// rejected by `serde_json::to_string` at serialization time.
     Float(f64),
     /// A string.
     String(String),

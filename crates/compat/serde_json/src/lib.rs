@@ -196,25 +196,79 @@ fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, Error> {
     .map_err(|_| Error("invalid \\u escape".into()))
 }
 
+/// Parses a number following the RFC 8259 grammar exactly:
+/// `-? (0 | [1-9][0-9]*) ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?`.
+///
+/// Spec-invalid spellings that Rust's own `from_str` impls would happily
+/// accept — a leading `+`, leading zeros, a bare trailing `.`/`e` — are
+/// rejected here instead of leaking into round-tripped files. Numbers whose
+/// `f64` value overflows to infinity (e.g. `1e999`) are rejected too: the
+/// emitter has no representation for non-finite floats, so accepting them
+/// would corrupt a parse → emit round trip.
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
     let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
+    let mut i = *pos;
+    if bytes.get(i) == Some(&b'-') {
+        i += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
-    if !text.contains(['.', 'e', 'E']) {
+    // Integer part: `0` alone or a nonzero digit run (no leading zeros).
+    match bytes.get(i) {
+        Some(b'0') => i += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                i += 1;
+            }
+        }
+        _ => return Err(Error(format!("invalid number at byte {start}"))),
+    }
+    let mut is_float = false;
+    if bytes.get(i) == Some(&b'.') {
+        is_float = true;
+        i += 1;
+        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            return Err(Error(format!(
+                "invalid number at byte {start}: expected digit after `.`"
+            )));
+        }
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    if matches!(bytes.get(i), Some(b'e' | b'E')) {
+        is_float = true;
+        i += 1;
+        if matches!(bytes.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            return Err(Error(format!(
+                "invalid number at byte {start}: expected exponent digit"
+            )));
+        }
+        while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+            i += 1;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..i]).expect("ascii number");
+    *pos = i;
+    if !is_float {
         if let Ok(u) = text.parse::<u64>() {
             return Ok(Value::UInt(u));
         }
         if let Ok(i) = text.parse::<i64>() {
             return Ok(Value::Int(i));
         }
+        // Integers beyond 64 bits fall through to f64 below.
     }
-    text.parse::<f64>()
-        .map(Value::Float)
-        .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+    let f: f64 = text
+        .parse()
+        .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))?;
+    if !f.is_finite() {
+        return Err(Error(format!(
+            "number `{text}` at byte {start} overflows f64 to a non-finite value"
+        )));
+    }
+    Ok(Value::Float(f))
 }
 
 /// Lowers any serializable value into a [`Value`] tree.
@@ -222,21 +276,29 @@ pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
     value.to_value()
 }
 
-/// Renders `value` as compact JSON.
+/// Renders `value` as compact JSON. Errors on non-finite floats (JSON has
+/// no representation for them; emitting `null` instead used to silently
+/// corrupt round-tripped store and metrics lines).
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&value.to_value(), &mut out, None, 0);
+    write_value(&value.to_value(), &mut out, None, 0)?;
     Ok(out)
 }
 
-/// Renders `value` as pretty-printed JSON (two-space indent).
+/// Renders `value` as pretty-printed JSON (two-space indent). Same
+/// non-finite float policy as [`to_string`].
 pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&value.to_value(), &mut out, Some(2), 0);
+    write_value(&value.to_value(), &mut out, Some(2), 0)?;
     Ok(out)
 }
 
-fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+fn write_value(
+    v: &Value,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -246,16 +308,19 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
             if f.is_finite() {
                 out.push_str(&format_float(*f));
             } else {
-                out.push_str("null");
+                return Err(Error(format!(
+                    "non-finite float `{f}` has no JSON representation"
+                )));
             }
         }
         Value::String(s) => write_string(s, out),
         Value::Array(items) => write_seq(out, indent, depth, items.is_empty(), '[', ']', |out| {
             for (i, item) in items.iter().enumerate() {
                 sep(out, indent, depth + 1, i > 0);
-                write_value(item, out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1)?;
             }
-        }),
+            Ok(())
+        })?,
         Value::Object(entries) => {
             write_seq(out, indent, depth, entries.is_empty(), '{', '}', |out| {
                 for (i, (k, item)) in entries.iter().enumerate() {
@@ -265,11 +330,13 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
                     if indent.is_some() {
                         out.push(' ');
                     }
-                    write_value(item, out, indent, depth + 1);
+                    write_value(item, out, indent, depth + 1)?;
                 }
-            })
+                Ok(())
+            })?
         }
     }
+    Ok(())
 }
 
 fn write_seq(
@@ -279,17 +346,18 @@ fn write_seq(
     empty: bool,
     open: char,
     close: char,
-    body: impl FnOnce(&mut String),
-) {
+    body: impl FnOnce(&mut String) -> Result<(), Error>,
+) -> Result<(), Error> {
     out.push(open);
     if !empty {
-        body(out);
+        body(out)?;
         if let Some(w) = indent {
             out.push('\n');
             out.push_str(&" ".repeat(w * depth));
         }
     }
     out.push(close);
+    Ok(())
 }
 
 fn sep(out: &mut String, indent: Option<usize>, depth: usize, comma: bool) {
@@ -389,6 +457,70 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\" 1}", "12 34", "\"open", "{1: 2}"] {
             assert!(from_str(bad).is_err(), "`{bad}` should not parse");
         }
+    }
+
+    #[test]
+    fn rejects_spec_invalid_numbers() {
+        // Rust's u64/f64 `from_str` would accept several of these ("+1",
+        // "1.", ".5"); the JSON grammar does not, and neither do we.
+        for bad in [
+            "+1", "+0", "01", "007", "-01", "1.", ".5", "-.5", "1e", "1e+", "1e-", "-", "--1",
+            "1.e3", "0x10", "1_000",
+        ] {
+            assert!(from_str(bad).is_err(), "`{bad}` should not parse");
+        }
+        // Inside containers too — the greedy old scanner used to slurp these.
+        assert!(from_str("[+1]").is_err());
+        assert!(from_str(r#"{"a": 01}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_numbers_that_overflow_to_non_finite() {
+        for bad in ["1e999", "-1e999", "1e308999"] {
+            let err = from_str(bad).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{err}");
+        }
+        // The largest finite doubles still parse.
+        assert_eq!(from_str("1e308").unwrap(), Value::Float(1e308));
+        assert_eq!(
+            from_str("-1.7976931348623157e308").unwrap().as_f64(),
+            Some(f64::MIN)
+        );
+    }
+
+    #[test]
+    fn accepts_every_spec_valid_number_shape() {
+        assert_eq!(from_str("0").unwrap(), Value::UInt(0));
+        assert_eq!(from_str("-0").unwrap(), Value::Int(0));
+        assert_eq!(from_str("1e+5").unwrap(), Value::Float(1e5));
+        assert_eq!(from_str("1E-5").unwrap(), Value::Float(1e-5));
+        assert_eq!(from_str("0.25").unwrap(), Value::Float(0.25));
+        assert_eq!(from_str("-0.5e-2").unwrap(), Value::Float(-0.005));
+        // 64-bit overflow on a plain integer widens to f64 instead of failing.
+        assert_eq!(
+            from_str("123456789012345678901234567890").unwrap(),
+            Value::Float(1.2345678901234568e29)
+        );
+        assert_eq!(
+            from_str(&u64::MAX.to_string()).unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        assert_eq!(
+            from_str(&i64::MIN.to_string()).unwrap(),
+            Value::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_an_emission_error_not_null() {
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let err = to_string(&bad).unwrap_err();
+            assert!(err.to_string().contains("non-finite"), "{err}");
+            assert!(to_string_pretty(&vec![bad]).is_err());
+        }
+        // Finite floats are unaffected (integral ones keep the `.0` suffix).
+        assert_eq!(to_string(&f64::MAX).unwrap(), format!("{}.0", f64::MAX));
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
     }
 
     #[test]

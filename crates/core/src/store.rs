@@ -19,18 +19,27 @@ use crate::device::Device;
 use crate::sweep::SweepConfig;
 use snailqc_decompose::BasisGate;
 use snailqc_obs as obs;
-use snailqc_transpiler::TranspileReport;
+use snailqc_transpiler::{Pipeline, TranspileReport};
 use snailqc_workloads::Workload;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// A keyed, file-backed cache of sweep-cell reports.
+///
+/// Multiple handles — across threads or processes — may share one backing
+/// file: [`SweepStore::flush`] only *appends* the entries inserted through
+/// this handle (under an advisory file lock), so concurrent writers never
+/// clobber each other's cells. Duplicate keys are resolved last-line-wins at
+/// load time; run [`SweepStore::compact`] to rewrite the file without them.
 #[derive(Debug)]
 pub struct SweepStore {
     path: PathBuf,
     entries: BTreeMap<String, TranspileReport>,
+    /// Keys inserted through this handle that [`SweepStore::flush`] has not
+    /// yet appended to the backing file.
+    pending: BTreeSet<String>,
     /// Cells answered from the cache since opening.
     hits: usize,
     /// Lookups not answered from the cache since opening.
@@ -41,6 +50,71 @@ pub struct SweepStore {
     skipped_corrupt: usize,
 }
 
+/// RAII advisory lock serializing store-file access between cooperating
+/// processes. The lock lives on a `<store>.lock` sidecar file (never the
+/// store itself, so [`SweepStore::compact`]'s rename can't race a concurrent
+/// appender that already opened the old inode) and is released on drop — or
+/// by the OS if the holder dies, so a killed run never wedges the store.
+#[derive(Debug)]
+struct StoreLock {
+    #[allow(dead_code)] // held for its flock; dropped to release
+    file: fs::File,
+}
+
+impl StoreLock {
+    /// Path of the sidecar lock file guarding `store_path`.
+    fn lock_path(store_path: &Path) -> PathBuf {
+        let mut name = store_path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "store".into());
+        name.push(".lock");
+        store_path.with_file_name(name)
+    }
+
+    /// Blocks until the exclusive advisory lock is held.
+    fn exclusive(store_path: &Path) -> std::io::Result<Self> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(Self::lock_path(store_path))?;
+        flock_exclusive(&file)?;
+        Ok(Self { file })
+    }
+}
+
+/// `flock(2)` via the C library std already links — the vendored-workspace
+/// equivalent of the `libc` crate call. Advisory, whole-file, exclusive;
+/// auto-released when the file description closes (including on crash).
+#[cfg(unix)]
+fn flock_exclusive(file: &fs::File) -> std::io::Result<()> {
+    use std::os::unix::io::AsRawFd;
+    const LOCK_EX: i32 = 2;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    loop {
+        // SAFETY: flock is async-signal-safe and `fd` is a live descriptor
+        // owned by `file` for the duration of the call.
+        let rc = unsafe { flock(file.as_raw_fd(), LOCK_EX) };
+        if rc == 0 {
+            return Ok(());
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() != std::io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Non-unix fallback: no advisory locking (single-process use only there).
+#[cfg(not(unix))]
+fn flock_exclusive(_file: &fs::File) -> std::io::Result<()> {
+    Ok(())
+}
+
 impl SweepStore {
     /// Opens the store at `path`, loading any existing entries. A missing
     /// file is an empty store; unparseable lines are skipped and counted
@@ -49,12 +123,19 @@ impl SweepStore {
         let path = path.into();
         let mut entries = BTreeMap::new();
         let mut skipped_corrupt = 0usize;
+        // Read under the advisory lock so a concurrent appender's half-
+        // written tail line is never mistaken for corruption. A failed lock
+        // (exotic filesystems) degrades to the old unlocked read.
+        let lock = StoreLock::exclusive(&path).ok();
         if let Ok(text) = fs::read_to_string(&path) {
             for line in text.lines() {
                 let line = line.trim();
                 if line.is_empty() {
                     continue;
                 }
+                // Later lines win: concurrent appenders may both have
+                // written the same key, and the newest report is the one an
+                // uncached run would produce today.
                 if let Some((key, report)) = parse_line(line) {
                     entries.insert(key, report);
                 } else {
@@ -62,10 +143,12 @@ impl SweepStore {
                 }
             }
         }
+        drop(lock);
         obs::counter_add("sweep_store.skipped_corrupt", skipped_corrupt as u64);
         Self {
             path,
             entries,
+            pending: BTreeSet::new(),
             hits: 0,
             misses: 0,
             inserted: 0,
@@ -123,39 +206,93 @@ impl SweepStore {
         report
     }
 
-    /// Inserts (or replaces) a cell.
+    /// Inserts (or replaces) a cell; the entry is appended to the backing
+    /// file on the next [`SweepStore::flush`].
     pub fn insert(&mut self, key: String, report: TranspileReport) {
+        self.pending.insert(key.clone());
         self.entries.insert(key, report);
         self.inserted += 1;
     }
 
-    /// Persists every cached cell (sorted by key, one JSON line each),
-    /// creating parent directories as needed. A no-op when nothing was
-    /// inserted since opening, so warm replay runs never touch the file; the
-    /// rewrite goes through a temp file + rename so a killed run leaves the
-    /// previous store intact instead of a truncated one.
-    pub fn flush(&self) -> std::io::Result<()> {
-        if self.inserted == 0 {
+    /// Renders one `{"key": …, "report": …}` store line (no newline).
+    fn render_line(key: &str, report: &TranspileReport) -> std::io::Result<String> {
+        let line = serde::Value::Object(vec![
+            ("key".into(), serde::Value::String(key.to_string())),
+            ("report".into(), serde_json::to_value(report)),
+        ]);
+        serde_json::to_string(&line).map_err(std::io::Error::other)
+    }
+
+    /// Appends every entry inserted since the last flush to the backing
+    /// file (one JSON line each, key-sorted), creating parent directories as
+    /// needed. A no-op when nothing is pending, so warm replay runs never
+    /// touch the file.
+    ///
+    /// The append happens in `O_APPEND` mode under an advisory file lock, so
+    /// any number of handles — in this process or others — can share one
+    /// store file without losing each other's entries. (The old
+    /// implementation rewrote the whole file from this handle's in-memory
+    /// map, silently dropping every cell another process had appended since
+    /// this handle opened.) The full rewrite survives only as the explicit
+    /// [`SweepStore::compact`].
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.pending.is_empty() {
             return Ok(());
         }
         if let Some(parent) = self.path.parent() {
             fs::create_dir_all(parent)?;
         }
         let mut out = Vec::new();
-        for (key, report) in &self.entries {
-            let line = serde::Value::Object(vec![
-                ("key".into(), serde::Value::String(key.clone())),
-                ("report".into(), serde_json::to_value(report)),
-            ]);
-            writeln!(
-                out,
-                "{}",
-                serde_json::to_string(&line).map_err(std::io::Error::other)?
-            )?;
+        for key in &self.pending {
+            let report = self.entries.get(key).expect("pending keys are entries");
+            writeln!(out, "{}", Self::render_line(key, report)?)?;
+        }
+        let lock = StoreLock::exclusive(&self.path)?;
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(&out)?;
+        drop(file);
+        drop(lock);
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Rewrites the backing file as one key-sorted, duplicate-free line per
+    /// cell, via a temp file + rename so a kill mid-compact leaves the
+    /// previous store intact. Entries other handles appended since this one
+    /// opened are re-read under the lock and merged (this handle's cells win
+    /// on key collisions), so compacting never drops concurrent work. The
+    /// merged view replaces this handle's in-memory entries.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        if let Some(parent) = self.path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let lock = StoreLock::exclusive(&self.path)?;
+        let mut merged = BTreeMap::new();
+        if let Ok(text) = fs::read_to_string(&self.path) {
+            for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+                if let Some((key, report)) = parse_line(line) {
+                    merged.insert(key, report);
+                } else {
+                    self.skipped_corrupt += 1;
+                    obs::counter_add("sweep_store.skipped_corrupt", 1);
+                }
+            }
+        }
+        merged.extend(self.entries.iter().map(|(k, v)| (k.clone(), *v)));
+        let mut out = Vec::new();
+        for (key, report) in &merged {
+            writeln!(out, "{}", Self::render_line(key, report)?)?;
         }
         let tmp = self.path.with_extension("jsonl.tmp");
         fs::write(&tmp, out)?;
-        fs::rename(&tmp, &self.path)
+        fs::rename(&tmp, &self.path)?;
+        drop(lock);
+        self.entries = merged;
+        self.pending.clear();
+        Ok(())
     }
 }
 
@@ -177,6 +314,34 @@ pub fn cell_key(workload: Workload, size: usize, device: &Device, config: &Sweep
         config.seed,
         config.routing_trials,
         config.error_weight,
+        device.noise_digest(),
+    )
+}
+
+/// The cache key of one source-submitted transpile: everything that
+/// determines its report — the QASM source *contents* (so edits
+/// invalidate), the effective router seed, the device (label, basis,
+/// calibration digest) and the pipeline configuration (layout, trials,
+/// error weight) — plus the `KEY_VERSION` code-version fingerprint.
+///
+/// This is the single key schema shared by the batch CLI
+/// (`snailqc transpile <dir> --store …`) and the `snailqc serve` daemon, so
+/// a file transpiled in batch and the same source submitted to the daemon
+/// with the same seed and configuration hit the same store entry. (The batch
+/// CLI used to format its own `batch-v1|…` key, which — unlike
+/// [`cell_key`] — omitted the crate-version fingerprint, so cells cached by
+/// an older build could be replayed after a router-changing release; routing
+/// that key through here closes that hole too.)
+pub fn source_cell_key(source: &str, seed: u64, device: &Device, pipeline: &Pipeline) -> String {
+    format!(
+        "{KEY_VERSION}|src={:016x}|{}|{:?}|layout={:?}|seed={}|trials={}|ew={:?}|noise={:016x}",
+        snailqc_util::fnv1a_64(source.as_bytes()),
+        device.label(),
+        device.basis(),
+        pipeline.layout(),
+        seed,
+        pipeline.router().trials,
+        pipeline.router().error_weight,
         device.noise_digest(),
     )
 }
@@ -293,6 +458,125 @@ mod tests {
         assert_eq!(store.hits(), 1);
         assert_eq!(store.misses(), 2);
         assert_eq!(store.skipped_corrupt(), 0);
+    }
+
+    #[test]
+    fn interleaved_two_handle_flushes_lose_no_entries() {
+        // The PR-7 lost-update regression: two handles on one file (batch
+        // CLI + bench then; daemon + CLI now) both insert, both flush. The
+        // old rewrite-everything flush made whichever flushed last erase the
+        // other's cells.
+        let path = store_path("interleaved");
+        let _ = fs::remove_file(&path);
+        let report = sample_report(None);
+        let mut a = SweepStore::open(&path);
+        let mut b = SweepStore::open(&path);
+        a.insert("from-a".into(), report);
+        b.insert("from-b".into(), report);
+        a.flush().unwrap();
+        b.flush().unwrap();
+        let reopened = SweepStore::open(&path);
+        assert_eq!(reopened.len(), 2, "one handle's flush erased the other's");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_appenders_lose_no_entries() {
+        let path = store_path("concurrent");
+        let _ = fs::remove_file(&path);
+        let report = sample_report(None);
+        std::thread::scope(|scope| {
+            for writer in 0..4 {
+                let path = path.clone();
+                scope.spawn(move || {
+                    let mut store = SweepStore::open(&path);
+                    for i in 0..8 {
+                        store.insert(format!("w{writer}-cell{i}"), report);
+                        // Flush per insert to maximize interleaving.
+                        store.flush().unwrap();
+                    }
+                });
+            }
+        });
+        let reopened = SweepStore::open(&path);
+        assert_eq!(reopened.len(), 32);
+        assert_eq!(reopened.skipped_corrupt(), 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn repeated_flushes_append_only_pending_entries() {
+        let path = store_path("append-once");
+        let _ = fs::remove_file(&path);
+        let report = sample_report(None);
+        let mut store = SweepStore::open(&path);
+        store.insert("first".into(), report);
+        store.flush().unwrap();
+        let after_first = fs::read_to_string(&path).unwrap();
+        // A second flush with nothing pending must not touch the file; a
+        // flush after one more insert must append exactly one line.
+        store.flush().unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), after_first);
+        store.insert("second".into(), report);
+        store.flush().unwrap();
+        let after_second = fs::read_to_string(&path).unwrap();
+        assert!(after_second.starts_with(&after_first));
+        assert_eq!(after_second.lines().count(), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_dedupes_and_merges_concurrent_appends() {
+        let path = store_path("compact");
+        let _ = fs::remove_file(&path);
+        let report = sample_report(None);
+        let mut store = SweepStore::open(&path);
+        // Same key flushed twice (two appended lines), plus a second key.
+        store.insert("dup".into(), report);
+        store.flush().unwrap();
+        store.insert("dup".into(), report);
+        store.insert("other".into(), report);
+        store.flush().unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap().lines().count(), 3);
+        // A second handle appends a cell this handle has never seen; compact
+        // must keep it.
+        let mut outside = SweepStore::open(&path);
+        outside.insert("outside".into(), report);
+        outside.flush().unwrap();
+        store.compact().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3, "compact leaves one line per key");
+        let reopened = SweepStore::open(&path);
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(store.len(), 3, "compact folds merged view back in");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn source_cell_keys_separate_every_axis_and_carry_the_version() {
+        let device = Device::from_catalog("tree-20").unwrap();
+        let pipeline = Pipeline::default();
+        let base = source_cell_key("OPENQASM 2.0;", 7, &device, &pipeline);
+        assert!(base.starts_with(KEY_VERSION), "{base}");
+        assert_ne!(
+            base,
+            source_cell_key("OPENQASM 3.0;", 7, &device, &pipeline)
+        );
+        assert_ne!(
+            base,
+            source_cell_key("OPENQASM 2.0;", 8, &device, &pipeline)
+        );
+        assert_ne!(
+            base,
+            source_cell_key(
+                "OPENQASM 2.0;",
+                7,
+                &device.clone().with_basis(BasisGate::SqrtISwap),
+                &pipeline
+            )
+        );
+        let retried = Pipeline::builder().trials(9).build();
+        assert_ne!(base, source_cell_key("OPENQASM 2.0;", 7, &device, &retried));
     }
 
     #[test]

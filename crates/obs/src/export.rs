@@ -71,7 +71,17 @@ pub fn metrics_to_value(snapshot: &MetricsSnapshot) -> Value {
         snapshot
             .gauges
             .iter()
-            .map(|(name, value)| (name.clone(), Value::Float(*value)))
+            // Gauge values are caller-controlled f64s; JSON cannot express a
+            // non-finite one (and the serializer now rejects them), so the
+            // documented export policy is: non-finite gauges export as null.
+            .map(|(name, value)| {
+                let value = if value.is_finite() {
+                    Value::Float(*value)
+                } else {
+                    Value::Null
+                };
+                (name.clone(), value)
+            })
             .collect(),
     );
     let histograms = Value::Object(

@@ -87,6 +87,19 @@ COMMANDS:
                             statistics
         --json              Print the statistics as JSON
 
+    serve                   Run the transpile daemon: line-delimited JSON-RPC
+                            over TCP or a Unix socket, keeping warm devices
+                            and routing caches resident across requests (see
+                            README § Serving for the protocol)
+        --tcp <addr>        TCP listen address      [default: 127.0.0.1:7878]
+        --unix <path>       Listen on a Unix-domain socket instead of TCP
+        --workers <N>       Worker threads; 0 = available cores [default: 0]
+        --queue <N>         Bounded job-queue capacity; a full queue answers
+                            structured `busy` errors         [default: 64]
+        --store <file>      Shared JSON-lines report cache — same file and
+                            cache keys as `transpile --store`, safe for
+                            concurrent writers
+
     topologies              List the topology catalog with Table 1/2 metrics
         --json              Print the catalog as JSON
 
@@ -109,6 +122,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match command.as_str() {
         "transpile" => cmd_transpile(rest),
+        "serve" => cmd_serve(rest),
         "emit" => cmd_emit(rest),
         "convert" => cmd_convert(rest),
         "parse" => cmd_parse(rest),
@@ -349,6 +363,12 @@ struct TranspileOutput {
     error_model: Option<ErrorModelSpec>,
     error_weight: f64,
     report: TranspileReport,
+    /// FNV-1a digest of the routed circuit's canonical QASM emission; equal
+    /// digests mean gate-for-gate identical circuits, so this is what the
+    /// serve daemon's reproducibility contract is checked against.
+    routed_digest: String,
+    /// Digest of the basis-translated circuit (`--basis` runs only).
+    basis_digest: Option<String>,
     fidelity: Option<FidelityComparison>,
 }
 
@@ -496,6 +516,11 @@ fn transpile_one_file(file: &str, setup: &TranspileSetup, opts: &Options) -> Res
             error_model: device.error_model().cloned(),
             error_weight: setup.error_weight(),
             report: result.report,
+            routed_digest: snailqc::serve::circuit_digest(&result.routed.circuit),
+            basis_digest: result
+                .translated
+                .as_ref()
+                .map(snailqc::serve::circuit_digest),
             fidelity,
         };
         println!(
@@ -628,22 +653,15 @@ fn collect_qasm_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> 
     Ok(())
 }
 
-/// The cache key of one batch cell: everything that determines its report —
-/// the file *contents* (so edits invalidate), the device (label, basis and
-/// calibration digest) and the full pipeline configuration (layout, seed,
-/// trials, error weight).
+/// The cache key of one batch cell. Delegates to the workspace-wide
+/// [`source_cell_key`](snailqc::core::store::source_cell_key) so the batch
+/// CLI and the `snailqc serve` daemon address the *same* store entries for
+/// the same (source, seed, configuration) — a cell transpiled by one is a
+/// cache hit for the other. (The old private `batch-v1` key also omitted
+/// the store's version fingerprint, so stale entries could survive a
+/// format-breaking upgrade.)
 fn batch_cell_key(source: &str, seed: u64, setup: &TranspileSetup) -> String {
-    format!(
-        "batch-v1|src={:016x}|{}|{:?}|layout={:?}|seed={}|trials={}|ew={:?}|noise={:016x}",
-        snailqc_util::fnv1a_64(source.as_bytes()),
-        setup.device.label(),
-        setup.device.basis(),
-        setup.layout(),
-        seed,
-        setup.trials(),
-        setup.error_weight(),
-        setup.device.noise_digest(),
-    )
+    snailqc::core::store::source_cell_key(source, seed, &setup.device, &setup.pipeline)
 }
 
 /// Batch mode: transpile every `.qasm` file under `dir` — recursively — in
@@ -802,7 +820,7 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
         }
         files.push(output);
     }
-    if let Some(store) = &store {
+    if let Some(store) = &mut store {
         store
             .flush()
             .map_err(|e| format!("writing store `{}`: {e}", store.path().display()))?;
@@ -890,6 +908,40 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
         return Err("every file in the batch failed".into());
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+/// `snailqc serve`: the long-running transpile daemon (see `snailqc::serve`).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &["tcp", "unix", "workers", "queue", "store"], &[])?;
+    if !opts.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let bind = match (opts.value("unix"), opts.value("tcp")) {
+        (Some(_), Some(_)) => return Err("--tcp and --unix are mutually exclusive".into()),
+        (Some(path), None) => {
+            #[cfg(unix)]
+            {
+                snailqc::serve::Bind::Unix(PathBuf::from(path))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err("--unix sockets are not supported on this platform".into());
+            }
+        }
+        (None, addr) => snailqc::serve::Bind::Tcp(addr.unwrap_or("127.0.0.1:7878").to_string()),
+    };
+    let config = snailqc::serve::ServeConfig {
+        bind,
+        workers: opts.numeric("workers", 0usize)?,
+        queue_capacity: opts.numeric("queue", 64usize)?,
+        store: opts.value("store").map(PathBuf::from),
+    };
+    snailqc::serve::run(config)
 }
 
 // ---------------------------------------------------------------------------

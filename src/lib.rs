@@ -21,6 +21,7 @@
 //! | [`qasm`] | `snailqc-qasm` | version-aware OpenQASM 2.0 / 3.0 parsers and emitter for external circuit interchange |
 //! | [`core`] | `snailqc-core` | `Device`, machines, sweeps, the sweep store and headline ratios |
 //! | [`obs`] | `snailqc-obs` | tracing spans, metrics registry, Chrome-trace/JSON exporters |
+//! | [`serve`] | (this crate) | the `snailqc serve` daemon: line-delimited JSON-RPC over TCP/Unix sockets with warm device/routing caches |
 //!
 //! ## Quick start
 //!
@@ -61,6 +62,8 @@
 //! flags and the README's Observability section.
 
 #![warn(missing_docs)]
+
+pub mod serve;
 
 pub use snailqc_circuit as circuit;
 pub use snailqc_core as core;

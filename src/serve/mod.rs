@@ -1,0 +1,1193 @@
+//! `snailqc serve` — the warm-cache transpile daemon.
+//!
+//! The PR-5 [`RoutingCache`](snailqc_transpiler::RoutingCache) and the PR-3
+//! [`SweepStore`] only pay off while the
+//! process lives across requests; this module keeps it alive. A long-running
+//! server speaks the line-delimited JSON-RPC protocol of [`protocol`] over
+//! TCP or a Unix-domain socket and transpiles submitted OpenQASM (2.0 or
+//! 3.0, auto-detected) on demand, keeping a pool of warm
+//! [`Device`]s — with their routing caches resident — across requests.
+//!
+//! Production shape:
+//!
+//! * **Bounded job queue with backpressure.** Transpile jobs flow through a
+//!   `sync_channel` of configurable capacity; when it is full the request is
+//!   rejected immediately with a structured `busy` error instead of queueing
+//!   unboundedly. Clients retry with their own policy.
+//! * **Worker pool.** A fixed pool of worker threads (default: available
+//!   parallelism) drains the queue. The vendored rayon stand-in offers only
+//!   scoped fork-join parallelism, so the daemon's persistent pool is plain
+//!   OS threads; rayon still parallelizes *inside* a single routing call
+//!   (best-of-trials fan-out).
+//! * **Bitwise reproducibility.** Every request carries (or defaults) a
+//!   router seed, and the same (source, seed, configuration) produces a
+//!   routed-instruction digest bitwise-identical to one-shot
+//!   `snailqc transpile` — the caches never change results, they only skip
+//!   recomputing them.
+//! * **Metrics.** Every request is timed into the `snailqc-obs` registry;
+//!   the `stats` RPC surfaces p50/p90/p99 latency, queue depth, cache hit
+//!   rates (memory, `RoutingCache`, `SweepStore`) and request counters.
+//! * **Shared store.** With a store file configured, reports persist across
+//!   daemon restarts and are shared with the batch CLI — both sides key
+//!   cells with [`source_cell_key`], and the store's append-only flush (PR
+//!   7) makes the file safe for concurrent writers.
+//! * **Graceful drain.** A `shutdown` RPC or SIGTERM/SIGINT stops accepting
+//!   work, finishes every queued job, delivers the responses, flushes the
+//!   store and exits.
+//!
+//! ```text
+//! snailqc serve --tcp 127.0.0.1:7878 --workers 8 --store cache.jsonl
+//! printf '%s\n' '{"id":1,"method":"transpile","params":{"source":"...","topology":"tree-20","seed":7}}' | nc 127.0.0.1 7878
+//! ```
+
+pub mod protocol;
+
+use protocol::{error_response, object, ok_response, parse_request, Request};
+use serde::Value;
+use snailqc_circuit::Circuit;
+use snailqc_core::device::Device;
+use snailqc_core::noise::ErrorModelSpec;
+use snailqc_core::store::{source_cell_key, SweepStore};
+use snailqc_decompose::BasisGate;
+use snailqc_obs as obs;
+use snailqc_qasm::QasmVersion;
+use snailqc_transpiler::{LayoutStrategy, Pipeline, RouterConfig, TranspileReport};
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Warm in-memory response entries kept before the cache is wholesale
+/// cleared; bounds daemon memory on unbounded distinct-request streams.
+const MEMORY_CACHE_CAP: usize = 4096;
+
+/// Warm `Device`s kept in the pool; beyond this, devices are rebuilt per
+/// request (correct, just cold).
+const DEVICE_POOL_CAP: usize = 64;
+
+/// Accept-loop poll interval (the listener runs non-blocking so drain
+/// requests are noticed promptly).
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Per-connection read timeout; bounds how long a drain waits on an idle
+/// client holding its connection open.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// A TCP socket (`host:port`; port 0 picks an ephemeral port).
+    Tcp(String),
+    /// A Unix-domain socket at this path (removed on drain).
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+/// Daemon configuration (see the CLI's `serve` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listening address.
+    pub bind: Bind,
+    /// Worker threads; 0 means available parallelism.
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects with `busy`.
+    pub queue_capacity: usize,
+    /// Optional shared `SweepStore` file (same format and keys as the batch
+    /// CLI's `--store`).
+    pub store: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            bind: Bind::Tcp("127.0.0.1:7878".into()),
+            workers: 0,
+            queue_capacity: 64,
+            store: None,
+        }
+    }
+}
+
+/// The address a spawned server actually bound (useful with port 0).
+#[derive(Debug, Clone)]
+pub enum BoundAddr {
+    /// Bound TCP socket address.
+    Tcp(SocketAddr),
+    /// Bound Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundAddr::Tcp(addr) => write!(f, "tcp://{addr}"),
+            #[cfg(unix)]
+            BoundAddr::Unix(path) => write!(f, "unix://{}", path.display()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Digests
+// ---------------------------------------------------------------------------
+
+/// The canonical digest of a circuit's instruction stream: FNV-1a over its
+/// OpenQASM 2.0 emission (which is deterministic and total for every routed
+/// or translated circuit). Two circuits share a digest exactly when they
+/// are gate-for-gate identical, so comparing the daemon's digest against a
+/// one-shot `snailqc transpile` digest proves bitwise reproducibility.
+pub fn circuit_digest(circuit: &Circuit) -> String {
+    format!(
+        "{:016x}",
+        snailqc_util::fnv1a_64(snailqc_qasm::emit(circuit).as_bytes())
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Request resolution
+// ---------------------------------------------------------------------------
+
+/// A fully resolved transpile request: device (from the warm pool), pipeline
+/// (seed baked in), source text and output options.
+struct TranspileSpec {
+    source: String,
+    device: Device,
+    pipeline: Pipeline,
+    seed: u64,
+    emit: Option<QasmVersion>,
+}
+
+/// Canonical form of the `error_model` parameter, also the device-pool key
+/// component for it.
+enum ErrorModelParam {
+    None,
+    /// A named preset (`default`, `control`, `decoherence`, `calibrated`).
+    Preset(String),
+    /// An inline JSON object (rendered compactly for the pool key).
+    Inline(String),
+}
+
+impl ErrorModelParam {
+    fn canon(&self) -> &str {
+        match self {
+            ErrorModelParam::None => "",
+            ErrorModelParam::Preset(name) => name,
+            ErrorModelParam::Inline(json) => json,
+        }
+    }
+
+    fn spec(&self) -> Result<Option<ErrorModelSpec>, String> {
+        match self {
+            ErrorModelParam::None => Ok(None),
+            ErrorModelParam::Preset(name) => ErrorModelSpec::preset(name)
+                .map(Some)
+                .ok_or_else(|| format!("unknown error-model preset `{name}`")),
+            ErrorModelParam::Inline(json) => ErrorModelSpec::from_json(json).map(Some),
+        }
+    }
+}
+
+fn param_u64(params: &Value, name: &str, default: u64) -> Result<u64, String> {
+    match params.get(name) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("`{name}` must be a non-negative integer")),
+    }
+}
+
+fn param_f64(params: &Value, name: &str, default: f64) -> Result<f64, String> {
+    match params.get(name) {
+        None | Some(Value::Null) => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("`{name}` must be a number")),
+    }
+}
+
+fn param_str<'a>(params: &'a Value, name: &str) -> Result<Option<&'a str>, String> {
+    match params.get(name) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("`{name}` must be a string")),
+    }
+}
+
+fn parse_basis(name: &str) -> Result<Option<BasisGate>, String> {
+    Ok(Some(match snailqc_util::normalize_name(name).as_str() {
+        "none" => return Ok(None),
+        "cnot" | "cx" => BasisGate::Cnot,
+        "syc" | "sycamore" => BasisGate::Syc,
+        "sqrtiswap" | "siswap" => BasisGate::SqrtISwap,
+        other => {
+            return Err(format!(
+                "unknown basis `{other}` (cnot | syc | sqrt-iswap | none)"
+            ))
+        }
+    }))
+}
+
+/// Resolves `transpile` params into a spec, pulling the device from the warm
+/// pool (or building and pooling it). Mirrors the one-shot CLI's flag
+/// resolution — same defaults, same derived error-weight — so the daemon and
+/// `snailqc transpile` agree on every configuration axis.
+fn resolve_spec(state: &ServerState, params: &Value) -> Result<TranspileSpec, String> {
+    let source = param_str(params, "source")?
+        .ok_or("transpile needs `source` (the QASM text)")?
+        .to_string();
+    let topology = param_str(params, "topology")?
+        .ok_or("transpile needs `topology` (see `snailqc topologies`)")?;
+    let basis = parse_basis(param_str(params, "basis")?.unwrap_or("none"))?;
+    let error_model = match params.get("error_model") {
+        None | Some(Value::Null) => ErrorModelParam::None,
+        Some(Value::String(name)) => ErrorModelParam::Preset(name.clone()),
+        Some(inline @ Value::Object(_)) => ErrorModelParam::Inline(
+            serde_json::to_string(inline).map_err(|e| format!("error_model: {e}"))?,
+        ),
+        Some(_) => return Err("`error_model` must be a preset name or an object".into()),
+    };
+    let has_error_model = !matches!(error_model, ErrorModelParam::None);
+    let error_weight = param_f64(
+        params,
+        "error_weight",
+        if has_error_model { 1.0 } else { 0.0 },
+    )?;
+    if error_weight.is_nan() || error_weight < 0.0 {
+        return Err("`error_weight` must be non-negative".into());
+    }
+    let layout = match param_str(params, "layout")?.unwrap_or("dense") {
+        "dense" => LayoutStrategy::Dense,
+        "trivial" => LayoutStrategy::Trivial,
+        other => return Err(format!("unknown layout `{other}` (dense | trivial)")),
+    };
+    let trials = param_u64(params, "trials", 4)? as usize;
+    let seed = param_u64(params, "seed", 11)?;
+    let emit = match param_str(params, "emit")? {
+        None => None,
+        Some("qasm2") => Some(QasmVersion::V2),
+        Some("qasm3") => Some(QasmVersion::V3),
+        Some(other) => return Err(format!("unknown emit dialect `{other}` (qasm2 | qasm3)")),
+    };
+
+    let device = state.warm_device(topology, basis, &error_model)?;
+    let pipeline = Pipeline::builder()
+        .layout(layout)
+        .router(RouterConfig {
+            trials,
+            seed,
+            error_weight,
+            ..RouterConfig::default()
+        })
+        .build();
+    Ok(TranspileSpec {
+        source,
+        device,
+        pipeline,
+        seed,
+        emit,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Server state
+// ---------------------------------------------------------------------------
+
+/// A memoized transpile outcome (report + digests; the circuit itself is
+/// not kept, so `emit` requests bypass this cache).
+#[derive(Clone)]
+struct CachedResult {
+    report: TranspileReport,
+    routed_digest: String,
+    basis_digest: Option<String>,
+}
+
+/// One queued transpile job.
+struct Job {
+    id: Value,
+    spec: TranspileSpec,
+    /// The owning connection's response channel.
+    reply: Sender<String>,
+}
+
+/// Everything shared between the acceptor, connections and workers.
+struct ServerState {
+    shutdown: AtomicBool,
+    /// Job-queue sender; taken (and dropped) to start the drain, which
+    /// closes the channel and lets workers exit after the backlog.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    depth: AtomicUsize,
+    queue_capacity: usize,
+    workers: usize,
+    devices: Mutex<HashMap<String, Device>>,
+    memory: Mutex<HashMap<String, CachedResult>>,
+    store: Option<Mutex<SweepStore>>,
+    started: Instant,
+    received: AtomicU64,
+    completed: AtomicU64,
+    busy_rejected: AtomicU64,
+    failed: AtomicU64,
+    memory_hits: AtomicU64,
+    store_replayed: AtomicU64,
+    active_connections: AtomicUsize,
+}
+
+impl ServerState {
+    /// Starts the drain: stop accepting, close the job queue (workers finish
+    /// the backlog, then exit). Idempotent.
+    fn begin_drain(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        drop(self.queue.lock().expect("queue lock").take());
+    }
+
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a job, or returns it with the error code to reply with.
+    /// (The rejected job rides back in the `Err` so the caller can answer
+    /// on its reply channel — the "large" variant is the point.)
+    #[allow(clippy::result_large_err)]
+    fn try_enqueue(&self, job: Job) -> Result<(), (Job, &'static str)> {
+        let guard = self.queue.lock().expect("queue lock");
+        match guard.as_ref() {
+            None => Err((job, "shutting_down")),
+            Some(tx) => {
+                // Counted before the send: a worker may dequeue (and
+                // decrement) the instant `try_send` returns, so the reverse
+                // order would transiently underflow the gauge.
+                self.depth.fetch_add(1, Ordering::SeqCst);
+                match tx.try_send(job) {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        self.depth.fetch_sub(1, Ordering::SeqCst);
+                        match e {
+                            TrySendError::Full(job) => Err((job, "busy")),
+                            TrySendError::Disconnected(job) => Err((job, "shutting_down")),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fetches (or builds and pools) the warm device for a request. Pool
+    /// hits share the device's `RoutingCache`, which is the daemon's whole
+    /// reason to exist.
+    fn warm_device(
+        &self,
+        topology: &str,
+        basis: Option<BasisGate>,
+        error_model: &ErrorModelParam,
+    ) -> Result<Device, String> {
+        let key = format!(
+            "{}|{:?}|{}",
+            snailqc_util::normalize_name(topology),
+            basis,
+            error_model.canon()
+        );
+        if let Some(device) = self.devices.lock().expect("device pool lock").get(&key) {
+            obs::counter_add("serve.device_pool.hits", 1);
+            return Ok(device.clone());
+        }
+        obs::counter_add("serve.device_pool.misses", 1);
+        let mut device = Device::from_catalog(topology)?;
+        if let Some(spec) = error_model.spec()? {
+            device = device.with_error_model(spec)?;
+        }
+        if let Some(basis) = basis {
+            device = device.with_basis(basis);
+        }
+        let mut pool = self.devices.lock().expect("device pool lock");
+        if pool.len() < DEVICE_POOL_CAP {
+            pool.insert(key, device.clone());
+        }
+        Ok(device)
+    }
+
+    /// The `stats` RPC payload.
+    fn stats_value(&self) -> Value {
+        let snapshot = obs::snapshot();
+        let latency = snapshot.histogram("serve.request_micros");
+        let counter = |name: &str| Value::UInt(snapshot.counter(name).unwrap_or(0));
+        let latency_micros = object(vec![
+            ("count", Value::UInt(latency.map_or(0, |h| h.count))),
+            ("mean", Value::Float(latency.map_or(0.0, |h| h.mean))),
+            ("p50", Value::UInt(latency.map_or(0, |h| h.p50))),
+            ("p90", Value::UInt(latency.map_or(0, |h| h.p90))),
+            ("p99", Value::UInt(latency.map_or(0, |h| h.p99))),
+            ("max", Value::UInt(latency.map_or(0, |h| h.max))),
+        ]);
+        let store = match &self.store {
+            None => Value::Null,
+            Some(store) => {
+                let store = store.lock().expect("store lock");
+                object(vec![
+                    ("entries", Value::UInt(store.len() as u64)),
+                    ("hits", Value::UInt(store.hits() as u64)),
+                    ("misses", Value::UInt(store.misses() as u64)),
+                    ("inserted", Value::UInt(store.inserted() as u64)),
+                    (
+                        "skipped_corrupt",
+                        Value::UInt(store.skipped_corrupt() as u64),
+                    ),
+                ])
+            }
+        };
+        object(vec![
+            (
+                "uptime_secs",
+                Value::Float(self.started.elapsed().as_secs_f64()),
+            ),
+            ("workers", Value::UInt(self.workers as u64)),
+            (
+                "queue",
+                object(vec![
+                    (
+                        "depth",
+                        Value::UInt(self.depth.load(Ordering::SeqCst) as u64),
+                    ),
+                    ("capacity", Value::UInt(self.queue_capacity as u64)),
+                ]),
+            ),
+            (
+                "requests",
+                object(vec![
+                    (
+                        "received",
+                        Value::UInt(self.received.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "completed",
+                        Value::UInt(self.completed.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "busy_rejected",
+                        Value::UInt(self.busy_rejected.load(Ordering::SeqCst)),
+                    ),
+                    ("failed", Value::UInt(self.failed.load(Ordering::SeqCst))),
+                ]),
+            ),
+            ("latency_micros", latency_micros),
+            (
+                "cache",
+                object(vec![
+                    (
+                        "memory_entries",
+                        Value::UInt(self.memory.lock().expect("memory lock").len() as u64),
+                    ),
+                    (
+                        "memory_hits",
+                        Value::UInt(self.memory_hits.load(Ordering::SeqCst)),
+                    ),
+                    (
+                        "store_replayed",
+                        Value::UInt(self.store_replayed.load(Ordering::SeqCst)),
+                    ),
+                    ("routing_cache_hits", counter("routing_cache.hits")),
+                    ("routing_cache_misses", counter("routing_cache.misses")),
+                    ("sweep_store_hits", counter("sweep_store.hits")),
+                    ("sweep_store_misses", counter("sweep_store.misses")),
+                    ("store", store),
+                ]),
+            ),
+            (
+                "devices_warm",
+                Value::UInt(self.devices.lock().expect("device pool lock").len() as u64),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+/// Runs one transpile job to a response line. The cache ladder is: probe the
+/// shared store (counts its hit/miss), then the in-memory digest cache, then
+/// route for real — inserting into both caches and flushing the store.
+fn handle_transpile(state: &ServerState, job: &Job) -> String {
+    let started = Instant::now();
+    let spec = &job.spec;
+    let key = source_cell_key(&spec.source, spec.seed, &spec.device, &spec.pipeline);
+
+    // Store probe first (even though the memory cache is cheaper) so shared-
+    // store hit rates in `stats` reflect every replayable request.
+    let store_report: Option<TranspileReport> = state
+        .store
+        .as_ref()
+        .and_then(|store| store.lock().expect("store lock").get(&key));
+    let memory_cached = if spec.emit.is_none() {
+        state.memory.lock().expect("memory lock").get(&key).cloned()
+    } else {
+        // An `emit` request needs the routed circuit, which neither cache
+        // keeps — recompute (identical output, just not skipped).
+        None
+    };
+
+    let (report, routed_digest, basis_digest, qasm, cached) = if let Some(hit) = memory_cached {
+        state.memory_hits.fetch_add(1, Ordering::SeqCst);
+        obs::counter_add("serve.cache.memory_hits", 1);
+        (
+            hit.report,
+            Some(hit.routed_digest),
+            hit.basis_digest,
+            None,
+            "memory",
+        )
+    } else if let (Some(report), None) = (store_report, &spec.emit) {
+        // Warm store, cold memory: a cell transpiled by the batch CLI or a
+        // previous daemon run. The digest is not persisted, so it is omitted
+        // here; resubmitting after this response stays a memory miss but
+        // keeps replaying the store.
+        state.store_replayed.fetch_add(1, Ordering::SeqCst);
+        obs::counter_add("serve.cache.store_replayed", 1);
+        (report, None, None, None, "store")
+    } else {
+        let outcome = snailqc_qasm::parse_any(&spec.source)
+            .map_err(|e| e.to_string())
+            .and_then(|program| {
+                if spec.device.fits(&program.circuit) {
+                    Ok(program.circuit)
+                } else {
+                    Err(format!(
+                        "circuit has {} qubits but `{}` only has {}",
+                        program.circuit.num_qubits(),
+                        spec.device.graph().name(),
+                        spec.device.num_qubits()
+                    ))
+                }
+            });
+        let circuit = match outcome {
+            Ok(circuit) => circuit,
+            Err(message) => {
+                state.failed.fetch_add(1, Ordering::SeqCst);
+                obs::counter_add("serve.requests.failed", 1);
+                return error_response(&job.id, "transpile_failed", &message);
+            }
+        };
+        let result = spec.device.transpile(&circuit, &spec.pipeline);
+        let routed_digest = circuit_digest(&result.routed.circuit);
+        let basis_digest = result.translated.as_ref().map(circuit_digest);
+        let qasm = spec.emit.map(|version| {
+            let circuit = result.translated.as_ref().unwrap_or(&result.routed.circuit);
+            snailqc_qasm::emit_versioned(circuit, version)
+        });
+        {
+            let mut memory = state.memory.lock().expect("memory lock");
+            if memory.len() >= MEMORY_CACHE_CAP {
+                memory.clear();
+            }
+            memory.insert(
+                key.clone(),
+                CachedResult {
+                    report: result.report,
+                    routed_digest: routed_digest.clone(),
+                    basis_digest: basis_digest.clone(),
+                },
+            );
+        }
+        if let Some(store) = &state.store {
+            let mut store = store.lock().expect("store lock");
+            store.insert(key.clone(), result.report);
+            if let Err(err) = store.flush() {
+                obs::counter_add("serve.store.write_errors", 1);
+                eprintln!(
+                    "snailqc serve: could not persist store {}: {err}",
+                    store.path().display()
+                );
+            }
+        }
+        (
+            result.report,
+            Some(routed_digest),
+            basis_digest,
+            qasm,
+            "none",
+        )
+    };
+
+    let micros = started.elapsed().as_micros() as u64;
+    obs::histogram_record("serve.request_micros", micros);
+    state.completed.fetch_add(1, Ordering::SeqCst);
+    obs::counter_add("serve.requests.completed", 1);
+    let opt_string = |v: Option<String>| v.map(Value::String).unwrap_or(Value::Null);
+    ok_response(
+        &job.id,
+        object(vec![
+            ("report", serde_json::to_value(&report)),
+            ("routed_digest", opt_string(routed_digest)),
+            ("basis_digest", opt_string(basis_digest)),
+            ("cached", Value::String(cached.to_string())),
+            ("cache_key", Value::String(key)),
+            ("seed", Value::UInt(spec.seed)),
+            ("qasm", opt_string(qasm)),
+            ("micros", Value::UInt(micros)),
+        ]),
+    )
+}
+
+/// Dispatches one request line from a connection.
+fn handle_line(state: &Arc<ServerState>, line: &str, reply: &Sender<String>) {
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(message) => {
+            let _ = reply.send(error_response(&Value::Null, "bad_request", &message));
+            return;
+        }
+    };
+    state.received.fetch_add(1, Ordering::SeqCst);
+    obs::counter_add("serve.requests.received", 1);
+    let Request { id, method, params } = request;
+    match method.as_str() {
+        "ping" => {
+            let _ = reply.send(ok_response(
+                &id,
+                object(vec![
+                    ("ok", Value::Bool(true)),
+                    (
+                        "version",
+                        Value::String(env!("CARGO_PKG_VERSION").to_string()),
+                    ),
+                ]),
+            ));
+        }
+        "stats" => {
+            let _ = reply.send(ok_response(&id, state.stats_value()));
+        }
+        "shutdown" => {
+            let _ = reply.send(ok_response(
+                &id,
+                object(vec![("draining", Value::Bool(true))]),
+            ));
+            state.begin_drain();
+        }
+        "transpile" => match resolve_spec(state, &params) {
+            Err(message) => {
+                state.failed.fetch_add(1, Ordering::SeqCst);
+                let _ = reply.send(error_response(&id, "bad_request", &message));
+            }
+            Ok(spec) => {
+                let job = Job {
+                    id,
+                    spec,
+                    reply: reply.clone(),
+                };
+                if let Err((job, code)) = state.try_enqueue(job) {
+                    if code == "busy" {
+                        state.busy_rejected.fetch_add(1, Ordering::SeqCst);
+                        obs::counter_add("serve.requests.busy_rejected", 1);
+                    }
+                    let _ = reply.send(error_response(
+                        &job.id,
+                        code,
+                        &format!("job queue rejected the request ({code})"),
+                    ));
+                }
+            }
+        },
+        other => {
+            let _ = reply.send(error_response(
+                &id,
+                "bad_request",
+                &format!("unknown method `{other}` (transpile | stats | ping | shutdown)"),
+            ));
+        }
+    }
+}
+
+/// Reads request lines from one connection until EOF, error, or drain.
+/// Responses flow through `reply` to the connection's writer thread, so a
+/// pipelining client gets each response as soon as its worker finishes.
+fn connection_loop(
+    state: Arc<ServerState>,
+    mut reader: Box<dyn std::io::Read + Send>,
+    reply: Sender<String>,
+) {
+    let mut reader = std::io::BufReader::new(&mut reader);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    handle_line(&state, trimmed, &reply);
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Read timeout: `line` keeps any partial frame; just check
+                // for a drain before blocking again.
+                if state.draining() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Wires up the reader + writer thread pair for one accepted connection.
+fn spawn_connection(
+    state: &Arc<ServerState>,
+    reader: Box<dyn std::io::Read + Send>,
+    mut writer: Box<dyn std::io::Write + Send>,
+) {
+    state.active_connections.fetch_add(1, Ordering::SeqCst);
+    let (reply_tx, reply_rx): (Sender<String>, Receiver<String>) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        // Exits when every sender (the reader below + any in-flight jobs)
+        // is gone, so queued responses are always delivered before close.
+        for response in reply_rx {
+            if writer
+                .write_all(format!("{response}\n").as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+    let state = Arc::clone(state);
+    std::thread::spawn(move || {
+        connection_loop(Arc::clone(&state), reader, reply_tx);
+        state.active_connections.fetch_sub(1, Ordering::SeqCst);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Listeners
+// ---------------------------------------------------------------------------
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn bind(bind: &Bind) -> Result<(Self, BoundAddr), String> {
+        match bind {
+            Bind::Tcp(addr) => {
+                let listener =
+                    TcpListener::bind(addr).map_err(|e| format!("binding tcp `{addr}`: {e}"))?;
+                let bound = listener.local_addr().map_err(|e| e.to_string())?;
+                Ok((Listener::Tcp(listener), BoundAddr::Tcp(bound)))
+            }
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                // A dead previous daemon leaves the socket file behind;
+                // binding over it needs the unlink first.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| format!("binding unix socket `{}`: {e}", path.display()))?;
+                Ok((
+                    Listener::Unix(listener, path.clone()),
+                    BoundAddr::Unix(path.clone()),
+                ))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(true),
+        }
+    }
+
+    /// Accepts one connection, returning its split read/write halves.
+    #[allow(clippy::type_complexity)]
+    fn accept(
+        &self,
+    ) -> std::io::Result<(
+        Box<dyn std::io::Read + Send>,
+        Box<dyn std::io::Write + Send>,
+    )> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(READ_POLL))?;
+                let writer: TcpStream = stream.try_clone()?;
+                Ok((Box::new(stream), Box::new(writer)))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l, _) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(READ_POLL))?;
+                let writer: UnixStream = stream.try_clone()?;
+                Ok((Box::new(stream), Box::new(writer)))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A running daemon: the accept loop, worker pool and shared state. Obtain
+/// one with [`Server::spawn`] (tests, embedding) or drive the whole
+/// lifecycle with [`run`] (the CLI).
+pub struct Server {
+    state: Arc<ServerState>,
+    addr: BoundAddr,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, starts the worker pool and the accept loop, and returns
+    /// without blocking. The daemon enables the workspace observability
+    /// layer — `stats` is metrics-backed.
+    pub fn spawn(config: ServeConfig) -> Result<Self, String> {
+        obs::enable();
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, |n| n.get())
+        } else {
+            config.workers
+        };
+        let queue_capacity = config.queue_capacity.max(1);
+        let (listener, addr) = Listener::bind(&config.bind)?;
+        listener
+            .set_nonblocking()
+            .map_err(|e| format!("listener nonblocking: {e}"))?;
+        let (queue_tx, queue_rx) = sync_channel::<Job>(queue_capacity);
+        let state = Arc::new(ServerState {
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(Some(queue_tx)),
+            depth: AtomicUsize::new(0),
+            queue_capacity,
+            workers,
+            devices: Mutex::new(HashMap::new()),
+            memory: Mutex::new(HashMap::new()),
+            store: config
+                .store
+                .as_ref()
+                .map(|path| Mutex::new(SweepStore::open(path))),
+            started: Instant::now(),
+            received: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            memory_hits: AtomicU64::new(0),
+            store_replayed: AtomicU64::new(0),
+            active_connections: AtomicUsize::new(0),
+        });
+
+        let queue_rx = Arc::new(Mutex::new(queue_rx));
+        let worker_handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let queue_rx = Arc::clone(&queue_rx);
+                std::thread::spawn(move || loop {
+                    let job = queue_rx.lock().expect("queue rx lock").recv();
+                    let Ok(job) = job else { break };
+                    state.depth.fetch_sub(1, Ordering::SeqCst);
+                    let response = handle_transpile(&state, &job);
+                    let _ = job.reply.send(response);
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                while !state.draining() {
+                    match listener.accept() {
+                        Ok((reader, writer)) => spawn_connection(&state, reader, writer),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => {
+                            eprintln!("snailqc serve: accept error: {e}");
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                    }
+                }
+                // `listener` drops here, unlinking a Unix socket path.
+            })
+        };
+
+        Ok(Self {
+            state,
+            addr,
+            acceptor,
+            workers: worker_handles,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// Requests a graceful drain (same effect as the `shutdown` RPC).
+    pub fn shutdown(&self) {
+        self.state.begin_drain();
+    }
+
+    /// True once a drain has been requested (RPC, signal, or
+    /// [`Server::shutdown`]).
+    pub fn draining(&self) -> bool {
+        self.state.draining()
+    }
+
+    /// Blocks until a requested drain completes: the accept loop stops,
+    /// workers finish the queued backlog, connections wind down and the
+    /// store is flushed. Call [`Server::shutdown`] first (or let a
+    /// `shutdown` RPC / signal do it).
+    pub fn join(self) -> Result<(), String> {
+        while !self.state.draining() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.state.begin_drain(); // idempotent; ensures the queue is closed
+        self.acceptor
+            .join()
+            .map_err(|_| "accept thread panicked".to_string())?;
+        for worker in self.workers {
+            worker
+                .join()
+                .map_err(|_| "worker thread panicked".to_string())?;
+        }
+        // Connections notice the drain within one read-timeout tick; give
+        // stragglers a bounded grace period rather than hanging forever.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.state.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if let Some(store) = &self.state.store {
+            let mut store = store.lock().expect("store lock");
+            store
+                .flush()
+                .map_err(|e| format!("flushing store `{}`: {e}", store.path().display()))?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Signals + blocking entry point
+// ---------------------------------------------------------------------------
+
+/// Set by the SIGTERM/SIGINT handler; polled by [`run`].
+#[cfg(unix)]
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that request a graceful drain. Calls
+/// `signal(2)` through the C library std already links (the workspace
+/// vendors no `libc` crate); the handler only stores to an atomic, which is
+/// async-signal-safe.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SAFETY: installing an async-signal-safe handler (a single atomic
+    // store) for signals whose default disposition is process death anyway.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Runs the daemon to completion: spawn, serve until a `shutdown` RPC or
+/// SIGTERM/SIGINT, drain, exit. This is what `snailqc serve` calls.
+pub fn run(config: ServeConfig) -> Result<(), String> {
+    let server = Server::spawn(config)?;
+    #[cfg(unix)]
+    install_signal_handlers();
+    eprintln!(
+        "snailqc serve: listening on {} ({} workers, queue {})",
+        server.addr(),
+        server.state.workers,
+        server.state.queue_capacity
+    );
+    loop {
+        #[cfg(unix)]
+        if SIGNALLED.load(Ordering::SeqCst) {
+            eprintln!("snailqc serve: signal received, draining");
+            server.shutdown();
+            break;
+        }
+        if server.draining() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let completed = server.state.completed.load(Ordering::SeqCst);
+    server.join()?;
+    eprintln!("snailqc serve: drained after {completed} completed requests");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(queue_capacity: usize) -> (Arc<ServerState>, Receiver<Job>) {
+        let (tx, rx) = sync_channel(queue_capacity);
+        let state = Arc::new(ServerState {
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(Some(tx)),
+            depth: AtomicUsize::new(0),
+            queue_capacity,
+            workers: 1,
+            devices: Mutex::new(HashMap::new()),
+            memory: Mutex::new(HashMap::new()),
+            store: None,
+            started: Instant::now(),
+            received: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            busy_rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            memory_hits: AtomicU64::new(0),
+            store_replayed: AtomicU64::new(0),
+            active_connections: AtomicUsize::new(0),
+        });
+        (state, rx)
+    }
+
+    fn test_job(state: &ServerState) -> Job {
+        let params = protocol::object(vec![
+            (
+                "source",
+                Value::String("OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n".into()),
+            ),
+            ("topology", Value::String("tree-20".into())),
+        ]);
+        let (reply, _keep) = std::sync::mpsc::channel();
+        std::mem::forget(_keep); // keep the receiver alive for the test
+        Job {
+            id: Value::UInt(1),
+            spec: resolve_spec(state, &params).unwrap(),
+            reply,
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy_and_drain_with_shutting_down() {
+        let (state, rx) = test_state(1);
+        assert!(state.try_enqueue(test_job(&state)).is_ok());
+        let (_, code) = state.try_enqueue(test_job(&state)).unwrap_err();
+        assert_eq!(code, "busy");
+        // Draining takes precedence over capacity.
+        state.begin_drain();
+        let (_, code) = state.try_enqueue(test_job(&state)).unwrap_err();
+        assert_eq!(code, "shutting_down");
+        drop(rx);
+    }
+
+    #[test]
+    fn resolve_spec_mirrors_cli_defaults_and_rejects_bad_params() {
+        let (state, _rx) = test_state(4);
+        let params = protocol::object(vec![
+            (
+                "source",
+                Value::String("OPENQASM 2.0;\nqreg q[2];\n".into()),
+            ),
+            ("topology", Value::String("tree-20".into())),
+        ]);
+        let spec = resolve_spec(&state, &params).unwrap();
+        assert_eq!(spec.seed, 11);
+        assert_eq!(spec.pipeline.router().trials, 4);
+        assert_eq!(spec.pipeline.router().error_weight, 0.0);
+        assert!(spec.emit.is_none());
+        // An error model flips the default weight to 1.0, like the CLI.
+        let noisy = protocol::object(vec![
+            (
+                "source",
+                Value::String("OPENQASM 2.0;\nqreg q[2];\n".into()),
+            ),
+            ("topology", Value::String("tree-20".into())),
+            ("error_model", Value::String("decoherence".into())),
+        ]);
+        let spec = resolve_spec(&state, &noisy).unwrap();
+        assert_eq!(spec.pipeline.router().error_weight, 1.0);
+        assert!(spec.device.error_model().is_some());
+        for (name, value) in [
+            ("topology", Value::String("no-such".into())),
+            ("basis", Value::String("nope".into())),
+            ("trials", Value::String("four".into())),
+            ("layout", Value::String("spiral".into())),
+            ("emit", Value::String("qasm4".into())),
+            ("error_model", Value::UInt(3)),
+        ] {
+            let mut pairs = vec![
+                (
+                    "source".to_string(),
+                    Value::String("OPENQASM 2.0;\nqreg q[2];\n".into()),
+                ),
+                ("topology".to_string(), Value::String("tree-20".into())),
+            ];
+            pairs.retain(|(k, _)| k != name);
+            pairs.push((name.to_string(), value));
+            let params = Value::Object(pairs);
+            assert!(
+                resolve_spec(&state, &params).is_err(),
+                "bad `{name}` accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_device_pool_shares_routing_caches() {
+        let (state, _rx) = test_state(4);
+        let a = state
+            .warm_device(
+                "tree-20",
+                Some(BasisGate::SqrtISwap),
+                &ErrorModelParam::None,
+            )
+            .unwrap();
+        let b = state
+            .warm_device(
+                "TREE_20",
+                Some(BasisGate::SqrtISwap),
+                &ErrorModelParam::None,
+            )
+            .unwrap();
+        // Forgiving name spellings normalize to one pool entry.
+        assert_eq!(state.devices.lock().unwrap().len(), 1);
+        assert_eq!(a, b);
+    }
+}

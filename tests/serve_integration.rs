@@ -1,0 +1,246 @@
+//! End-to-end tests of the `snailqc serve` daemon: the wire protocol over
+//! real sockets, digest parity with the one-shot CLI, cache behaviour
+//! visible through the `stats` RPC, graceful drain, and the shared store
+//! surviving daemon restarts.
+
+use serde::Value;
+use snailqc::serve::protocol::{object, Client};
+use snailqc::serve::{Bind, BoundAddr, ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "snailqc-serve-{tag}-{}-{:?}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_tcp(store: Option<PathBuf>) -> (Server, String) {
+    let server = Server::spawn(ServeConfig {
+        bind: Bind::Tcp("127.0.0.1:0".into()),
+        workers: 2,
+        queue_capacity: 16,
+        store,
+    })
+    .expect("server spawns");
+    let addr = match server.addr() {
+        BoundAddr::Tcp(addr) => addr.to_string(),
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("tcp bind"),
+    };
+    (server, addr)
+}
+
+fn qaoa12_source() -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/qaoa12.qasm");
+    std::fs::read_to_string(path).expect("example circuit exists")
+}
+
+fn transpile_params(source: &str) -> Value {
+    object(vec![
+        ("source", Value::String(source.to_string())),
+        ("topology", Value::String("corral11-16".to_string())),
+    ])
+}
+
+fn str_field<'a>(value: &'a Value, name: &str) -> &'a str {
+    value
+        .get(name)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("response field `{name}` missing in {value:?}"))
+}
+
+#[test]
+fn serve_matches_one_shot_cli_and_surfaces_cache_hits_in_stats() {
+    let dir = temp_dir("parity");
+    let store_path = dir.join("store.jsonl");
+    let (server, addr) = spawn_tcp(Some(store_path.clone()));
+    let source = qaoa12_source();
+
+    // The reproducibility contract: the daemon's routed digest for the
+    // default configuration must be bitwise-identical to what the one-shot
+    // CLI reports for the same file and flags.
+    let cli = Command::new(env!("CARGO_BIN_EXE_snailqc"))
+        .args([
+            "transpile",
+            "examples/qaoa12.qasm",
+            "--topology",
+            "corral11-16",
+            "--json",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("one-shot CLI runs");
+    assert!(
+        cli.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let cli_json = serde_json::from_str(&String::from_utf8(cli.stdout).unwrap())
+        .expect("CLI emits valid JSON");
+    let cli_digest = str_field(&cli_json, "routed_digest").to_string();
+
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+    let ping = client.call("ping", object(vec![])).expect("ping works");
+    assert_eq!(ping.get("ok"), Some(&Value::Bool(true)));
+
+    let first = client
+        .call("transpile", transpile_params(&source))
+        .expect("first transpile");
+    assert_eq!(str_field(&first, "routed_digest"), cli_digest);
+    assert_eq!(str_field(&first, "cached"), "none");
+    assert!(first
+        .get("report")
+        .and_then(|r| r.get("swap_count"))
+        .is_some());
+
+    // Parallel clients, same request: every response must carry the same
+    // digest regardless of which worker served it.
+    let digests: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                let source = source.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect_tcp(&addr).expect("client connects");
+                    let response = client
+                        .call("transpile", transpile_params(&source))
+                        .expect("parallel transpile");
+                    str_field(&response, "routed_digest").to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for digest in &digests {
+        assert_eq!(digest, &cli_digest, "digest drifted under concurrency");
+    }
+
+    // The repeats were cache hits, visible through `stats`: the shared
+    // store was probed and hit, and the memory cache replayed the digest.
+    let second = client
+        .call("transpile", transpile_params(&source))
+        .expect("repeat transpile");
+    assert_eq!(str_field(&second, "cached"), "memory");
+    assert_eq!(str_field(&second, "routed_digest"), cli_digest);
+
+    let stats = client.call("stats", object(vec![])).expect("stats RPC");
+    let cache = stats.get("cache").expect("stats.cache");
+    let count = |v: Option<&Value>| v.and_then(Value::as_u64).unwrap_or(0);
+    assert!(count(cache.get("memory_hits")) >= 5, "stats: {stats:?}");
+    let store_stats = cache.get("store").expect("stats.cache.store");
+    assert!(count(store_stats.get("hits")) >= 5, "stats: {stats:?}");
+    assert_eq!(count(store_stats.get("entries")), 1, "stats: {stats:?}");
+    for field in ["p50", "p90", "p99", "count", "mean", "max"] {
+        assert!(
+            stats
+                .get("latency_micros")
+                .and_then(|l| l.get(field))
+                .is_some(),
+            "latency_micros.{field} missing: {stats:?}"
+        );
+    }
+    assert!(
+        count(stats.get("requests").and_then(|r| r.get("completed"))) >= 6,
+        "stats: {stats:?}"
+    );
+    assert!(count(stats.get("devices_warm")) >= 1);
+
+    // Malformed frames and unknown methods get structured errors, not a
+    // dropped connection.
+    let failure = client
+        .call("no_such_method", object(vec![]))
+        .expect_err("unknown method is an error");
+    assert_eq!(failure.code, "bad_request");
+    let failure = client
+        .call(
+            "transpile",
+            object(vec![("topology", Value::String("corral11-16".into()))]),
+        )
+        .expect_err("missing source is an error");
+    assert_eq!(failure.code, "bad_request");
+
+    // Graceful drain via the shutdown RPC: the response still arrives, the
+    // server winds down, and the store file holds the persisted cell.
+    let drain = client
+        .call("shutdown", object(vec![]))
+        .expect("shutdown RPC");
+    assert_eq!(drain.get("draining"), Some(&Value::Bool(true)));
+    server.join().expect("drain completes");
+    let persisted = snailqc::core::store::SweepStore::open(&store_path);
+    assert_eq!(persisted.len(), 1, "store persisted across the drain");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_store_is_replayed_by_a_restarted_daemon() {
+    let dir = temp_dir("restart");
+    let store_path = dir.join("store.jsonl");
+    let source = qaoa12_source();
+
+    let (server, addr) = spawn_tcp(Some(store_path.clone()));
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+    let first = client
+        .call("transpile", transpile_params(&source))
+        .expect("cold transpile");
+    assert_eq!(str_field(&first, "cached"), "none");
+    let swaps = first
+        .get("report")
+        .and_then(|r| r.get("swap_count"))
+        .and_then(Value::as_u64)
+        .expect("swap count");
+    server.shutdown();
+    server.join().expect("first daemon drains");
+
+    // A fresh daemon has a cold memory cache but the shared store file: the
+    // same request replays the persisted report without re-routing.
+    let (server, addr) = spawn_tcp(Some(store_path));
+    let mut client = Client::connect_tcp(&addr).expect("client reconnects");
+    let replayed = client
+        .call("transpile", transpile_params(&source))
+        .expect("warm transpile");
+    assert_eq!(str_field(&replayed, "cached"), "store");
+    assert_eq!(
+        replayed
+            .get("report")
+            .and_then(|r| r.get("swap_count"))
+            .and_then(Value::as_u64),
+        Some(swaps),
+        "replayed report must match the original"
+    );
+    server.shutdown();
+    server.join().expect("second daemon drains");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_round_trip_and_cleanup() {
+    let dir = temp_dir("unix");
+    let socket = dir.join("snailqc.sock");
+    let server = Server::spawn(ServeConfig {
+        bind: Bind::Unix(socket.clone()),
+        workers: 1,
+        queue_capacity: 4,
+        store: None,
+    })
+    .expect("unix server spawns");
+    let mut client = Client::connect_unix(&socket).expect("unix client connects");
+    let ping = client.call("ping", object(vec![])).expect("ping over unix");
+    assert_eq!(ping.get("ok"), Some(&Value::Bool(true)));
+    let response = client
+        .call("transpile", transpile_params(&qaoa12_source()))
+        .expect("transpile over unix");
+    assert!(!str_field(&response, "routed_digest").is_empty());
+    server.shutdown();
+    server.join().expect("unix drain");
+    assert!(!socket.exists(), "socket file removed on drain");
+    std::fs::remove_dir_all(&dir).ok();
+}
