@@ -53,9 +53,11 @@ const fn cell(workload: Workload, topology: &'static str, size: usize, error_wei
 }
 
 /// The measurement grid: every 84-qubit catalog family (the paper-scale
-/// cells the acceptance speedup is judged on), two 16/20-qubit cells, and
-/// two noise-aware cells exercising the weighted-Dijkstra scoring path.
-const CELLS: [Cell; 12] = [
+/// cells the acceptance speedup is judged on), two 16/20-qubit cells, two
+/// noise-aware cells exercising the weighted-Dijkstra scoring path, and one
+/// file-backed device-spec cell (a `.json` topology loads through
+/// `Device::from_spec_file`, timing the same router on a shipped spec).
+const CELLS: [Cell; 13] = [
     cell(Workload::QaoaVanilla, "heavy-hex-84", 24, 0.0),
     cell(Workload::QuantumVolume, "heavy-hex-84", 24, 0.0),
     cell(Workload::QaoaVanilla, "square-lattice-84", 24, 0.0),
@@ -68,6 +70,12 @@ const CELLS: [Cell; 12] = [
     cell(Workload::QuantumVolume, "heavy-hex-20", 12, 0.0),
     cell(Workload::QaoaVanilla, "heavy-hex-84", 24, 1.0),
     cell(Workload::QuantumVolume, "square-lattice-84", 24, 1.0),
+    cell(
+        Workload::QaoaVanilla,
+        "devices/ibm_heavy_hex_127.json",
+        24,
+        0.0,
+    ),
 ];
 
 /// Median routing wall-µs per cell recorded from the pre-overhaul router
@@ -172,7 +180,19 @@ fn main() {
 
     let mut results: Vec<CellResult> = Vec::with_capacity(CELLS.len());
     for cell in &CELLS {
-        let graph = catalog::by_name(cell.topology).expect("catalog cell");
+        // `.json` cells are device-spec files, resolved relative to the
+        // repository root; everything else is a catalog name.
+        let graph = if cell.topology.ends_with(".json") {
+            let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(cell.topology);
+            snailqc_core::device::Device::from_spec_file(&path)
+                .unwrap_or_else(|e| panic!("{}: {e}", cell.topology))
+                .graph()
+                .clone()
+        } else {
+            catalog::by_name(cell.topology).expect("catalog cell")
+        };
         let graph = if cell.error_weight > 0.0 {
             builders::calibrated(&graph, 1e-3, 1.2, 17)
         } else {

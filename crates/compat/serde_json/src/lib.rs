@@ -397,6 +397,327 @@ fn write_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Span-carrying JSON parsing: the same strict RFC 8259 grammar as
+/// [`from_str`], but every value — and every object key — records the byte
+/// range it occupies in the source text. Higher layers (device-spec
+/// validation) use the spans to report `line:col` diagnostics against
+/// user-authored files instead of a bare "invalid spec".
+pub mod spanned {
+    use super::{skip_ws, Value, MAX_DEPTH};
+
+    /// A parse error carrying the byte offset where it was detected; feed
+    /// the offset to [`line_col`] to render a `line:col` position.
+    #[derive(Debug)]
+    pub struct SpanError {
+        /// Human-readable description of what went wrong.
+        pub message: String,
+        /// Byte offset into the source text.
+        pub at: usize,
+    }
+
+    impl std::fmt::Display for SpanError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.message)
+        }
+    }
+    impl std::error::Error for SpanError {}
+
+    fn err(message: impl Into<String>, at: usize) -> SpanError {
+        SpanError {
+            message: message.into(),
+            at,
+        }
+    }
+
+    /// A parsed JSON value annotated with its byte span `[start, end)` in
+    /// the source text.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Spanned {
+        /// The value itself (children of containers are themselves spanned).
+        pub value: SpannedValue,
+        /// Byte offset of the value's first character.
+        pub start: usize,
+        /// Byte offset one past the value's last character.
+        pub end: usize,
+    }
+
+    /// The span-annotated analogue of [`Value`].
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum SpannedValue {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A negative integer.
+        Int(i64),
+        /// A non-negative integer.
+        UInt(u64),
+        /// A finite float.
+        Float(f64),
+        /// A string.
+        String(String),
+        /// An array of spanned values.
+        Array(Vec<Spanned>),
+        /// Key/value entries in source order; keys carry their own spans.
+        Object(Vec<(SpannedKey, Spanned)>),
+    }
+
+    /// An object key with the byte span of its (quoted) source text.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct SpannedKey {
+        /// The decoded key string.
+        pub name: String,
+        /// Byte offset of the opening quote.
+        pub start: usize,
+        /// Byte offset one past the closing quote.
+        pub end: usize,
+    }
+
+    impl Spanned {
+        /// Strips the spans, yielding the plain [`Value`] tree — used when a
+        /// validated subtree is handed on to span-unaware machinery.
+        pub fn to_value(&self) -> Value {
+            match &self.value {
+                SpannedValue::Null => Value::Null,
+                SpannedValue::Bool(b) => Value::Bool(*b),
+                SpannedValue::Int(i) => Value::Int(*i),
+                SpannedValue::UInt(u) => Value::UInt(*u),
+                SpannedValue::Float(f) => Value::Float(*f),
+                SpannedValue::String(s) => Value::String(s.clone()),
+                SpannedValue::Array(items) => {
+                    Value::Array(items.iter().map(Spanned::to_value).collect())
+                }
+                SpannedValue::Object(entries) => Value::Object(
+                    entries
+                        .iter()
+                        .map(|(k, v)| (k.name.clone(), v.to_value()))
+                        .collect(),
+                ),
+            }
+        }
+
+        /// The JSON type name of this value, for "expected X, found Y"
+        /// diagnostics.
+        pub fn type_name(&self) -> &'static str {
+            match &self.value {
+                SpannedValue::Null => "null",
+                SpannedValue::Bool(_) => "boolean",
+                SpannedValue::Int(_) | SpannedValue::UInt(_) => "integer",
+                SpannedValue::Float(_) => "number",
+                SpannedValue::String(_) => "string",
+                SpannedValue::Array(_) => "array",
+                SpannedValue::Object(_) => "object",
+            }
+        }
+    }
+
+    /// Parses JSON text into a span-annotated tree. Accepts exactly the
+    /// inputs [`from_str`](super::from_str) accepts (same grammar, same
+    /// depth limit, same trailing-garbage rejection).
+    pub fn from_str(text: &str) -> Result<Spanned, SpanError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_spanned(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(format!("trailing characters at byte {pos}"), pos));
+        }
+        Ok(value)
+    }
+
+    /// Converts a byte offset into a 1-based `(line, column)` position.
+    /// Columns count bytes within the line, which matches how editors
+    /// address ASCII spec files. Offsets past the end clamp to the last
+    /// position.
+    pub fn line_col(text: &str, byte: usize) -> (usize, usize) {
+        let byte = byte.min(text.len());
+        let upto = &text.as_bytes()[..byte];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + byte - upto.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        (line, col)
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), SpanError> {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!("expected `{}`", c as char), *pos))
+        }
+    }
+
+    fn parse_spanned(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Spanned, SpanError> {
+        if depth > MAX_DEPTH {
+            return Err(err(format!("nesting deeper than {MAX_DEPTH} levels"), *pos));
+        }
+        skip_ws(bytes, pos);
+        let start = *pos;
+        let spanned = |value: SpannedValue, end: usize| Spanned { value, start, end };
+        match bytes.get(*pos) {
+            None => Err(err("unexpected end of input", start)),
+            Some(b'{') => {
+                *pos += 1;
+                let mut entries = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(spanned(SpannedValue::Object(entries), *pos));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key_start = *pos;
+                    if bytes.get(*pos) != Some(&b'"') {
+                        return Err(err("object key must be a string", key_start));
+                    }
+                    let name = super::parse_string(bytes, pos)
+                        .map_err(|e| err(e.to_string(), key_start))?;
+                    let key = SpannedKey {
+                        name,
+                        start: key_start,
+                        end: *pos,
+                    };
+                    expect(bytes, pos, b':')?;
+                    entries.push((key, parse_spanned(bytes, pos, depth + 1)?));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(spanned(SpannedValue::Object(entries), *pos));
+                        }
+                        _ => return Err(err("expected `,` or `}`", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(spanned(SpannedValue::Array(items), *pos));
+                }
+                loop {
+                    items.push(parse_spanned(bytes, pos, depth + 1)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(spanned(SpannedValue::Array(items), *pos));
+                        }
+                        _ => return Err(err("expected `,` or `]`", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                let s = super::parse_string(bytes, pos).map_err(|e| err(e.to_string(), start))?;
+                Ok(spanned(SpannedValue::String(s), *pos))
+            }
+            Some(c @ (b't' | b'f' | b'n')) => {
+                let (lit, value) = match c {
+                    b't' => ("true", SpannedValue::Bool(true)),
+                    b'f' => ("false", SpannedValue::Bool(false)),
+                    _ => ("null", SpannedValue::Null),
+                };
+                if bytes[*pos..].starts_with(lit.as_bytes()) {
+                    *pos += lit.len();
+                    Ok(spanned(value, *pos))
+                } else {
+                    Err(err("invalid literal", start))
+                }
+            }
+            Some(_) => {
+                let value =
+                    match super::parse_number(bytes, pos).map_err(|e| err(e.to_string(), start))? {
+                        Value::Int(i) => SpannedValue::Int(i),
+                        Value::UInt(u) => SpannedValue::UInt(u),
+                        Value::Float(f) => SpannedValue::Float(f),
+                        _ => unreachable!("parse_number yields numbers"),
+                    };
+                Ok(spanned(value, *pos))
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn spans_cover_values_and_keys() {
+            let text = r#"{"a": [1, 2.5], "bb": "x"}"#;
+            let root = from_str(text).expect("parses");
+            assert_eq!((root.start, root.end), (0, text.len()));
+            let SpannedValue::Object(entries) = &root.value else {
+                panic!("object expected");
+            };
+            let (ka, va) = &entries[0];
+            assert_eq!(&text[ka.start..ka.end], "\"a\"");
+            assert_eq!(&text[va.start..va.end], "[1, 2.5]");
+            let SpannedValue::Array(items) = &va.value else {
+                panic!("array expected");
+            };
+            assert_eq!(&text[items[0].start..items[0].end], "1");
+            assert_eq!(&text[items[1].start..items[1].end], "2.5");
+            let (kb, vb) = &entries[1];
+            assert_eq!(&text[kb.start..kb.end], "\"bb\"");
+            assert_eq!(vb.value, SpannedValue::String("x".into()));
+        }
+
+        #[test]
+        fn stripping_spans_matches_plain_parser() {
+            let text = r#"{"a": [1, -2, 2.5, true, null], "b": {"c": "d"}}"#;
+            assert_eq!(
+                from_str(text).unwrap().to_value(),
+                super::super::from_str(text).unwrap()
+            );
+        }
+
+        #[test]
+        fn rejects_what_the_plain_parser_rejects() {
+            for bad in [
+                "",
+                "{",
+                "[1,",
+                "{\"a\" 1}",
+                "12 34",
+                "\"open",
+                "{1: 2}",
+                "01",
+                "+1",
+                "1.",
+                "1e999",
+            ] {
+                assert!(from_str(bad).is_err(), "`{bad}` should not parse");
+                assert!(
+                    super::super::from_str(bad).is_err(),
+                    "`{bad}` rejected only by the spanned parser"
+                );
+            }
+        }
+
+        #[test]
+        fn error_offsets_point_at_the_problem() {
+            let text = "{\"a\": 1,\n \"b\": 01}";
+            // `01` parses as `0` followed by a stray `1`; the error points
+            // at the stray digit.
+            let e = from_str(text).expect_err("leading zero rejected");
+            assert_eq!(line_col(text, e.at), (2, 8));
+        }
+
+        #[test]
+        fn line_col_is_one_based_and_clamped() {
+            let text = "ab\ncd";
+            assert_eq!(line_col(text, 0), (1, 1));
+            assert_eq!(line_col(text, 2), (1, 3));
+            assert_eq!(line_col(text, 3), (2, 1));
+            assert_eq!(line_col(text, 99), (2, 3));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

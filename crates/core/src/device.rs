@@ -32,6 +32,7 @@ use crate::machine::Machine;
 use crate::noise::ErrorModelSpec;
 use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
+use snailqc_devices::{DeviceSpec, ErrorModelRef};
 use snailqc_topology::{catalog, CouplingGraph};
 use snailqc_transpiler::{Pipeline, RoutingCache, TranspileResult};
 use std::sync::Arc;
@@ -111,6 +112,54 @@ impl Device {
         Ok(Self::from_graph(graph))
     }
 
+    /// Builds a device from device-spec JSON text (the `snailqc-devices`
+    /// format): topology from edges or a generator, then the spec's error
+    /// model stamped on via [`ErrorModelSpec`], then the native basis.
+    /// Parse and validation errors carry `line:column` positions.
+    pub fn from_spec_str(text: &str) -> Result<Self, String> {
+        let spec = DeviceSpec::parse(text).map_err(|e| e.to_string())?;
+        Self::from_spec(&spec)
+    }
+
+    /// Builds a device from an already-parsed [`DeviceSpec`].
+    pub fn from_spec(spec: &DeviceSpec) -> Result<Self, String> {
+        let graph = spec.build_graph().map_err(|e| e.to_string())?;
+        let mut device = Self::from_graph(graph);
+        if let Some(em) = &spec.error_model {
+            // The devices crate sits below this one, so it carries the error
+            // model as raw data; resolve it here and pin any semantic error
+            // to the spec's recorded `error_model` position.
+            let position = |e: String| match spec.error_model_at {
+                Some((line, col)) => format!("line {line}, column {col}: error_model: {e}"),
+                None => format!("error_model: {e}"),
+            };
+            let resolved = match em {
+                ErrorModelRef::Preset(name) => ErrorModelSpec::preset(name).ok_or_else(|| {
+                    format!(
+                        "unknown preset `{name}` (presets: {})",
+                        crate::noise::PRESETS.join(", ")
+                    )
+                }),
+                ErrorModelRef::Inline(text) => ErrorModelSpec::from_json(text),
+            }
+            .map_err(&position)?;
+            device = device.with_error_model(resolved).map_err(&position)?;
+        }
+        if let Some(basis) = spec.basis {
+            device = device.with_basis(basis);
+        }
+        Ok(device)
+    }
+
+    /// Builds a device from a device-spec JSON file; errors are prefixed
+    /// with the path.
+    pub fn from_spec_file(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading device spec `{}`: {e}", path.display()))?;
+        Self::from_spec_str(&text).map_err(|e| format!("device spec `{}`: {e}", path.display()))
+    }
+
     /// Stamps `spec`'s edge-noise distribution onto the device (see
     /// [`ErrorModelSpec::apply`]) and records the spec. Errors if the spec
     /// names an edge the device does not have.
@@ -127,6 +176,13 @@ impl Device {
     /// Sets the native two-qubit basis gate.
     pub fn with_basis(mut self, basis: BasisGate) -> Self {
         self.basis = Some(basis);
+        self
+    }
+
+    /// Clears the native basis gate — how `--basis none` overrides a spec
+    /// file that pins one.
+    pub fn without_basis(mut self) -> Self {
+        self.basis = None;
         self
     }
 
@@ -190,6 +246,20 @@ impl Device {
             bytes.extend_from_slice(&(a as u64).to_le_bytes());
             bytes.extend_from_slice(&(b as u64).to_le_bytes());
             bytes.extend_from_slice(&rate.to_bits().to_le_bytes());
+        }
+        snailqc_util::fnv1a_64(&bytes)
+    }
+
+    /// A stable fingerprint of the device's coupling structure (qubit count
+    /// plus the lexicographic edge list), mixed into sweep-store cache keys
+    /// so two devices that merely share a label — e.g. a spec file edited in
+    /// place — can never alias each other's cached results.
+    pub fn structure_digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(8 * (1 + 2 * self.graph.num_edges()));
+        bytes.extend_from_slice(&(self.graph.num_qubits() as u64).to_le_bytes());
+        for (a, b) in self.graph.edges() {
+            bytes.extend_from_slice(&(a as u64).to_le_bytes());
+            bytes.extend_from_slice(&(b as u64).to_le_bytes());
         }
         snailqc_util::fnv1a_64(&bytes)
     }

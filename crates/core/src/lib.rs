@@ -31,6 +31,9 @@
 //! * [`noise`] — named error-model specifications (presets and JSON) that
 //!   stamp per-edge error rates onto a device for noise-aware routing and
 //!   edge-aware fidelity estimation ([`fidelity::estimate_fidelity_edges`]).
+//! * [`registry`] — `--device` name resolution across the built-in catalog
+//!   and on-disk device-spec files ([`Device::from_spec_file`]), including
+//!   the `SNAILQC_DEVICE_PATH` search path.
 //!
 //! ```
 //! use snailqc_core::device::Device;
@@ -66,6 +69,7 @@ pub mod fidelity;
 pub mod headline;
 pub mod machine;
 pub mod noise;
+pub mod registry;
 pub mod store;
 pub mod sweep;
 
@@ -77,5 +81,6 @@ pub use fidelity::{
 pub use headline::{headline_ratios, quantum_volume_headline, HeadlineConfig, HeadlineRatios};
 pub use machine::{Machine, SizeClass};
 pub use noise::{EdgeNoise, ErrorModelSpec};
+pub use registry::{DeviceRegistry, DeviceSource, RegistryEntry, DEVICE_PATH_ENV};
 pub use store::SweepStore;
 pub use sweep::{run_sweep, run_sweep_with_store, SweepConfig, SweepPoint};

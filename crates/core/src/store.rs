@@ -299,14 +299,16 @@ impl SweepStore {
 /// Cache-key schema / algorithm fingerprint. The crate version is mixed into
 /// every key so cells cached by an older build are never replayed after a
 /// release that may have changed the router or translation counting; bump
-/// the `v*` tag to force invalidation within a release.
-const KEY_VERSION: &str = concat!("v1-", env!("CARGO_PKG_VERSION"));
+/// the `v*` tag to force invalidation within a release. (`v2` added the
+/// structural `geom=` digest so file-backed devices that merely share a
+/// label cannot alias each other's cells.)
+const KEY_VERSION: &str = concat!("v2-", env!("CARGO_PKG_VERSION"));
 
 /// The cache key of one sweep cell: everything that determines its report,
 /// plus the private `KEY_VERSION` code-version fingerprint.
 pub fn cell_key(workload: Workload, size: usize, device: &Device, config: &SweepConfig) -> String {
     format!(
-        "{KEY_VERSION}|{:?}|{}|{}|{:?}|seed={}|trials={}|ew={:?}|noise={:016x}",
+        "{KEY_VERSION}|{:?}|{}|{}|{:?}|seed={}|trials={}|ew={:?}|noise={:016x}|geom={:016x}",
         workload,
         size,
         device.label(),
@@ -315,13 +317,15 @@ pub fn cell_key(workload: Workload, size: usize, device: &Device, config: &Sweep
         config.routing_trials,
         config.error_weight,
         device.noise_digest(),
+        device.structure_digest(),
     )
 }
 
 /// The cache key of one source-submitted transpile: everything that
 /// determines its report — the QASM source *contents* (so edits
 /// invalidate), the effective router seed, the device (label, basis,
-/// calibration digest) and the pipeline configuration (layout, trials,
+/// calibration digest, coupling-structure digest) and the pipeline
+/// configuration (layout, trials,
 /// error weight) — plus the `KEY_VERSION` code-version fingerprint.
 ///
 /// This is the single key schema shared by the batch CLI
@@ -334,7 +338,7 @@ pub fn cell_key(workload: Workload, size: usize, device: &Device, config: &Sweep
 /// that key through here closes that hole too.)
 pub fn source_cell_key(source: &str, seed: u64, device: &Device, pipeline: &Pipeline) -> String {
     format!(
-        "{KEY_VERSION}|src={:016x}|{}|{:?}|layout={:?}|seed={}|trials={}|ew={:?}|noise={:016x}",
+        "{KEY_VERSION}|src={:016x}|{}|{:?}|layout={:?}|seed={}|trials={}|ew={:?}|noise={:016x}|geom={:016x}",
         snailqc_util::fnv1a_64(source.as_bytes()),
         device.label(),
         device.basis(),
@@ -343,6 +347,7 @@ pub fn source_cell_key(source: &str, seed: u64, device: &Device, pipeline: &Pipe
         pipeline.router().trials,
         pipeline.router().error_weight,
         device.noise_digest(),
+        device.structure_digest(),
     )
 }
 

@@ -58,6 +58,26 @@ impl BasisGate {
         [BasisGate::Cnot, BasisGate::SqrtISwap, BasisGate::Syc]
     }
 
+    /// Resolves a user-facing basis name forgivingly (case- and
+    /// punctuation-insensitive, via [`snailqc_util::names_match`]'s
+    /// normalization): `cnot`/`cx`, `syc`/`sycamore`, `sqrt-iswap`/`siswap`.
+    /// `none` resolves to `Ok(None)` — leave circuits in their source gate
+    /// set. This is the one basis matcher shared by the CLI, the serve
+    /// daemon and device-spec files.
+    pub fn by_name(name: &str) -> Result<Option<BasisGate>, String> {
+        Ok(Some(match snailqc_util::normalize_name(name).as_str() {
+            "none" => return Ok(None),
+            "cnot" | "cx" => BasisGate::Cnot,
+            "syc" | "sycamore" => BasisGate::Syc,
+            "sqrtiswap" | "siswap" => BasisGate::SqrtISwap,
+            _ => {
+                return Err(format!(
+                    "unknown basis `{name}` (cnot | syc | sqrt-iswap | none)"
+                ))
+            }
+        }))
+    }
+
     /// The circuit-IR gate for one application of this basis gate.
     pub fn gate(&self) -> Gate {
         match self {

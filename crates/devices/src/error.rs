@@ -1,0 +1,64 @@
+//! Span-carrying device-spec diagnostics.
+
+/// A device-spec parse or validation error pinned to a `line:column`
+/// position in the source text, so a typo in a hand-edited spec file is
+/// reported where it sits, not as a bare "invalid spec".
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line; `0` when no position applies (I/O errors).
+    pub line: usize,
+    /// 1-based byte column within the line.
+    pub col: usize,
+}
+
+impl SpecError {
+    /// An error pinned to a `(line, column)` source position.
+    pub fn at(message: impl Into<String>, (line, col): (usize, usize)) -> Self {
+        Self {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    /// An error with no useful source position (e.g. reading the file
+    /// failed before parsing started).
+    pub fn bare(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            line: 0,
+            col: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "line {}, column {}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::SpecError;
+
+    #[test]
+    fn display_includes_position_when_present() {
+        let e = SpecError::at("bad qubit", (3, 14));
+        assert_eq!(e.to_string(), "line 3, column 14: bad qubit");
+        let bare = SpecError::bare("no such file");
+        assert_eq!(bare.to_string(), "no such file");
+    }
+}

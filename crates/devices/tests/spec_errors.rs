@@ -1,0 +1,132 @@
+//! Negative suite: every malformed spec must fail with a diagnostic whose
+//! `line:column` points at the offending construct, not at byte zero.
+
+use snailqc_devices::DeviceSpec;
+
+/// Parses an expected-bad spec and returns `(message, line, col)`.
+fn fail(text: &str) -> (String, usize, usize) {
+    let err = DeviceSpec::parse(text).expect_err("spec should be rejected");
+    assert!(err.line > 0, "error should carry a position: {err:?}");
+    (err.message, err.line, err.col)
+}
+
+#[test]
+fn missing_version_key() {
+    let (msg, _, _) =
+        fail(r#"{"name": "x", "topology": {"generator": "ring", "params": {"qubits": 4}}}"#);
+    assert!(msg.contains("snailqc_device"), "{msg}");
+}
+
+#[test]
+fn unsupported_version_points_at_the_value() {
+    let text = "{\n  \"snailqc_device\": 7,\n  \"name\": \"x\",\n  \"topology\": {\"generator\": \"ring\", \"params\": {\"qubits\": 4}}\n}";
+    let (msg, line, col) = fail(text);
+    assert!(msg.contains("unsupported device-spec version 7"), "{msg}");
+    assert_eq!((line, col), (2, 21), "should point at the `7`");
+}
+
+#[test]
+fn unknown_generator_points_at_its_name() {
+    let text = "{\n  \"snailqc_device\": 1,\n  \"name\": \"x\",\n  \"topology\": {\"generator\": \"moebius\", \"params\": {\"qubits\": 4}}\n}";
+    let (msg, line, col) = fail(text);
+    assert!(msg.contains("unknown generator `moebius`"), "{msg}");
+    assert_eq!(line, 4);
+    assert_eq!(col, 29, "should point at the generator name string");
+}
+
+#[test]
+fn out_of_range_qubit_points_at_the_edge() {
+    let text = "{\n  \"snailqc_device\": 1,\n  \"name\": \"x\",\n  \"topology\": {\n    \"qubits\": 3,\n    \"edges\": [[0, 1], [1, 2], [2, 9]]\n  }\n}";
+    let (msg, line, _) = fail(text);
+    assert!(
+        msg.contains("qubit 9 out of range for a 3-qubit device"),
+        "{msg}"
+    );
+    assert_eq!(line, 6, "should point into the edges array");
+}
+
+#[test]
+fn duplicate_edge_is_rejected_with_position() {
+    let text = "{\n  \"snailqc_device\": 1,\n  \"name\": \"x\",\n  \"topology\": {\n    \"qubits\": 3,\n    \"edges\": [[0, 1], [1, 2], [1, 0]]\n  }\n}";
+    let (msg, line, _) = fail(text);
+    assert!(msg.contains("duplicate"), "{msg}");
+    assert_eq!(line, 6);
+}
+
+#[test]
+fn self_loop_is_rejected() {
+    let (msg, _, _) = fail(
+        r#"{"snailqc_device": 1, "name": "x", "topology": {"qubits": 3, "edges": [[0, 1], [1, 1], [1, 2]]}}"#,
+    );
+    assert!(msg.contains("self-loop") || msg.contains("itself"), "{msg}");
+}
+
+#[test]
+fn disconnected_edge_list_is_rejected() {
+    let (msg, _, _) = fail(
+        r#"{"snailqc_device": 1, "name": "x", "topology": {"qubits": 4, "edges": [[0, 1], [2, 3]]}}"#,
+    );
+    assert!(msg.contains("connected"), "{msg}");
+}
+
+#[test]
+fn unknown_top_level_key_is_rejected() {
+    let (msg, _, _) = fail(
+        r#"{"snailqc_device": 1, "name": "x", "colour": "red", "topology": {"generator": "ring", "params": {"qubits": 4}}}"#,
+    );
+    assert!(msg.contains("unknown") && msg.contains("colour"), "{msg}");
+}
+
+#[test]
+fn unknown_basis_is_rejected_in_place() {
+    let text = "{\n  \"snailqc_device\": 1,\n  \"name\": \"x\",\n  \"basis\": \"toffoli\",\n  \"topology\": {\"generator\": \"ring\", \"params\": {\"qubits\": 4}}\n}";
+    let (msg, line, _) = fail(text);
+    assert!(msg.contains("unknown basis `toffoli`"), "{msg}");
+    assert_eq!(line, 4);
+}
+
+#[test]
+fn truncation_larger_than_generated_size_is_rejected() {
+    let (msg, _, _) = fail(
+        r#"{"snailqc_device": 1, "name": "x", "topology": {"generator": "ring", "params": {"qubits": 8}, "qubits": 9}}"#,
+    );
+    assert!(msg.contains('8') && msg.contains('9'), "{msg}");
+}
+
+#[test]
+fn missing_generator_param_is_reported() {
+    let (msg, _, _) = fail(
+        r#"{"snailqc_device": 1, "name": "x", "topology": {"generator": "grid", "params": {"rows": 4}}}"#,
+    );
+    assert!(msg.contains("cols"), "{msg}");
+}
+
+#[test]
+fn wrong_json_type_reports_found_type() {
+    let (msg, _, _) = fail(
+        r#"{"snailqc_device": 1, "name": "x", "topology": {"generator": "ring", "params": {"qubits": "four"}}}"#,
+    );
+    assert!(msg.contains("string"), "{msg}");
+}
+
+#[test]
+fn malformed_json_fails_with_position() {
+    let err = DeviceSpec::parse("{\"snailqc_device\": 1,\n  \"name\": }").expect_err("bad JSON");
+    assert_eq!(err.line, 2, "{err:?}");
+}
+
+#[test]
+fn empty_name_is_rejected() {
+    let (msg, _, _) = fail(
+        r#"{"snailqc_device": 1, "name": "", "topology": {"generator": "ring", "params": {"qubits": 4}}}"#,
+    );
+    assert!(msg.contains("name"), "{msg}");
+}
+
+#[test]
+fn error_model_of_wrong_type_is_rejected() {
+    let (msg, _, _) = fail(
+        r#"{"snailqc_device": 1, "name": "x", "error_model": 5, "topology": {"generator": "ring", "params": {"qubits": 4}}}"#,
+    );
+    assert!(msg.contains("error_model"), "{msg}");
+}

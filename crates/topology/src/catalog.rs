@@ -275,7 +275,7 @@ const REGISTRY: [(&str, TopologyBuilder); 16] = [
     ("tree-rr-84", tree_rr_84),
 ];
 
-use snailqc_util::normalize_name as normalize;
+use snailqc_util::names_match;
 
 /// The canonical kebab-case names of every catalog instance.
 pub fn names() -> Vec<&'static str> {
@@ -288,10 +288,9 @@ pub fn names() -> Vec<&'static str> {
 /// `corral11-16`, `Corral1,1-16` and `CORRAL_1_1_16` all resolve to the same
 /// instance. Returns `None` for unknown names.
 pub fn by_name(name: &str) -> Option<CouplingGraph> {
-    let wanted = normalize(name);
     REGISTRY
         .iter()
-        .find(|(canonical, _)| normalize(canonical) == wanted)
+        .find(|(canonical, _)| names_match(canonical, name))
         .map(|(_, build)| build())
 }
 

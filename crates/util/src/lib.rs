@@ -15,6 +15,14 @@ pub fn normalize_name(name: &str) -> String {
         .collect()
 }
 
+/// True when two user-facing names match after [`normalize_name`]
+/// canonicalization — the single forgiving-name rule shared by the CLI's
+/// `--topology`/`--device`/`--basis` flags, `catalog::by_name`, the device
+/// registry and the serve daemon's warm-pool keys.
+pub fn names_match(a: &str, b: &str) -> bool {
+    normalize_name(a) == normalize_name(b)
+}
+
 /// 64-bit FNV-1a hash. Stable across platforms and releases, so it is safe
 /// to derive persistent cache keys and per-file RNG seeds from it (unlike
 /// `std::hash`, whose output is unspecified between runs).
@@ -28,7 +36,7 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 
 #[cfg(test)]
 mod tests {
-    use super::{fnv1a_64, normalize_name};
+    use super::{fnv1a_64, names_match, normalize_name};
 
     #[test]
     fn strips_case_and_punctuation() {
@@ -36,6 +44,13 @@ mod tests {
         assert_eq!(normalize_name("CORRAL_1_1_16"), "corral1116");
         assert_eq!(normalize_name("sqrt-iswap"), "sqrtiswap");
         assert_eq!(normalize_name(""), "");
+    }
+
+    #[test]
+    fn names_match_is_forgiving_both_ways() {
+        assert!(names_match("Heavy-Hex_127", "heavyhex127"));
+        assert!(names_match("ibm_heavy_hex_127", "IBM Heavy Hex 127"));
+        assert!(!names_match("grid-100", "grid-256"));
     }
 
     #[test]

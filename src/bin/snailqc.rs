@@ -23,7 +23,9 @@ use snailqc::core::fidelity::{
     estimate_fidelity, estimate_fidelity_edges, estimate_fidelity_routed, FidelityEstimate,
 };
 use snailqc::core::noise::ErrorModelSpec;
+use snailqc::core::registry::{DeviceRegistry, DeviceSource};
 use snailqc::decompose::BasisGate;
+use snailqc::devices::{basis_name, DeviceSpec, GeneratorSpec, TopologySource};
 use snailqc::prelude::*;
 use snailqc::topology::catalog;
 use snailqc::transpiler::{TranspileReport, TranspileResult};
@@ -44,8 +46,14 @@ COMMANDS:
                             or on every .qasm file under a directory,
                             recursively (batch mode: parallel, deterministic
                             per-file seeds, one aggregated JSON report)
-        --topology <name>   Target device from the catalog (required)
-        --basis <gate>      cnot | syc | sqrt-iswap | none   [default: none]
+        --device <arg>      Target device: a spec-file path, a built-in
+                            catalog name, or the name of a spec found on
+                            SNAILQC_DEVICE_PATH / ./devices
+                            (see `snailqc devices`)
+        --topology <name>   Target device from the built-in catalog only
+                            (exactly one of --device / --topology)
+        --basis <gate>      cnot | syc | sqrt-iswap | none
+                            [default: the spec's basis, else none]
         --layout <strategy> dense | trivial                  [default: dense]
         --trials <N>        Stochastic routing trials        [default: 4]
         --seed <N>          Router RNG seed                  [default: 11]
@@ -72,7 +80,8 @@ COMMANDS:
         --json              Print the report as JSON
 
     emit <workload>         Export a built-in workload as OpenQASM
-        --qubits <N>        Problem size in qubits (required)
+        --qubits <N>        Problem size in qubits (required unless --device)
+        --device <arg>      Size the workload to fill this device
         --seed <N>          Generator seed                   [default: 7]
         --qasm3             Emit OpenQASM 3.0 instead of 2.0
         --measure-all       Append a full-register measurement
@@ -100,7 +109,33 @@ COMMANDS:
                             cache keys as `transpile --store`, safe for
                             concurrent writers
 
-    topologies              List the topology catalog with Table 1/2 metrics
+    devices [list]          List the device catalog — built-in topologies
+                            plus every spec file on SNAILQC_DEVICE_PATH and
+                            in ./devices — with Table 1/2 metrics
+        --json              Print the catalog as JSON
+    devices show <arg>      Show one device (name or spec file) in detail
+        --json              Print the details as JSON
+    devices validate <p>... Validate spec files (or directories of them);
+                            exits non-zero if any fails  [default: devices/]
+
+    device-gen <family>     Emit a device-spec JSON for a topology family:
+                            line | ring | complete | star | grid |
+                            grid-diagonals | hex | heavy-hex | hypercube |
+                            tree | tree-rr | corral
+        --qubits <N>        Size (line/ring/complete/star/hypercube)
+        --rows/--cols <N>   Size (grid/grid-diagonals/hex/heavy-hex)
+        --levels <N>        Size (tree); --round-robin for the RR variant
+        --posts <N>         Size (corral); --stride-a/--stride-b [default: 1]
+        --truncate <N>      Boundary-truncate to N qubits (heavy-hex 127…)
+        --name <s>          Spec name       [default: <family>_<qubits>]
+        --display-name <s>  Human-readable label
+        --description <s>   Free-text provenance note
+        --basis <gate>      Pin the native two-qubit basis
+        --error-model <m>   Attach a named error-model preset
+        --expand            Freeze the generator into an explicit edge list
+        -o, --out <file>    Write to a file instead of stdout
+
+    topologies              Alias of `devices list`
         --json              Print the catalog as JSON
 
     workloads               List the built-in workload generators
@@ -126,6 +161,8 @@ fn main() -> ExitCode {
         "emit" => cmd_emit(rest),
         "convert" => cmd_convert(rest),
         "parse" => cmd_parse(rest),
+        "devices" => cmd_devices(rest),
+        "device-gen" => cmd_device_gen(rest),
         "topologies" => cmd_topologies(rest),
         "workloads" => cmd_workloads(rest),
         "help" | "--help" | "-h" => {
@@ -233,17 +270,23 @@ fn read_source(path: &str) -> Result<String, String> {
 }
 
 fn parse_basis(name: &str) -> Result<Option<BasisGate>, String> {
-    Ok(Some(match snailqc_util::normalize_name(name).as_str() {
-        "none" => return Ok(None),
-        "cnot" | "cx" => BasisGate::Cnot,
-        "syc" | "sycamore" => BasisGate::Syc,
-        "sqrtiswap" | "siswap" => BasisGate::SqrtISwap,
-        _ => {
-            return Err(format!(
-                "unknown basis `{name}` (cnot | syc | sqrt-iswap | none)"
-            ))
-        }
-    }))
+    BasisGate::by_name(name)
+}
+
+/// Resolves the target device from `--device` (a spec file, a built-in
+/// catalog name, or the name of a spec on the `SNAILQC_DEVICE_PATH` search
+/// path) or the historical `--topology` (catalog names only) — exactly one
+/// of the two.
+fn resolve_device(opts: &Options) -> Result<Device, String> {
+    match (opts.value("device"), opts.value("topology")) {
+        (Some(_), Some(_)) => Err("--device and --topology are mutually exclusive".into()),
+        (Some(arg), None) => DeviceRegistry::with_default_paths().resolve(arg),
+        (None, Some(name)) => Device::from_catalog(name),
+        (None, None) => Err(
+            "transpile needs --device <file-or-name> or --topology <name> (see `snailqc devices`)"
+                .into(),
+        ),
+    }
 }
 
 /// The QASM dialect selected by the presence of `--qasm3`.
@@ -282,26 +325,30 @@ struct TranspileSetup {
 
 impl TranspileSetup {
     fn from_options(opts: &Options) -> Result<Self, String> {
-        let topology_name = opts
-            .value("topology")
-            .ok_or("transpile needs --topology <name> (see `snailqc topologies`)")?;
-        let mut device = Device::from_catalog(topology_name)?;
+        let mut device = resolve_device(opts)?;
         let error_model = opts
             .value("error-model")
             .map(ErrorModelSpec::parse)
             .transpose()?;
-        let error_weight: f64 = opts.numeric(
-            "error-weight",
-            if error_model.is_some() { 1.0 } else { 0.0 },
-        )?;
+        // A spec file can ship its own error model; noise-aware scoring is
+        // the right default whenever the device ends up calibrated, however
+        // the calibration arrived.
+        let device_has_noise = error_model.is_some() || device.error_model().is_some();
+        let error_weight: f64 =
+            opts.numeric("error-weight", if device_has_noise { 1.0 } else { 0.0 })?;
         if error_weight < 0.0 {
             return Err("--error-weight must be non-negative".into());
         }
         if let Some(spec) = error_model {
             device = device.with_error_model(spec)?;
         }
-        if let Some(basis) = parse_basis(opts.value("basis").unwrap_or("none"))? {
-            device = device.with_basis(basis);
+        // An explicit `--basis` always wins over a spec-declared native
+        // basis (`--basis none` strips it); with no flag the spec's stands.
+        if let Some(name) = opts.value("basis") {
+            device = match parse_basis(name)? {
+                Some(basis) => device.with_basis(basis),
+                None => device.without_basis(),
+            };
         }
         let layout = match opts.value("layout").unwrap_or("dense") {
             "dense" => LayoutStrategy::Dense,
@@ -391,6 +438,7 @@ fn cmd_transpile(args: &[String]) -> Result<(), String> {
     let opts = Options::parse(
         args,
         &[
+            "device",
             "topology",
             "basis",
             "layout",
@@ -949,7 +997,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 
 fn cmd_emit(args: &[String]) -> Result<(), String> {
-    let opts = Options::parse(args, &["qubits", "seed", "out"], &["measure-all", "qasm3"])?;
+    let opts = Options::parse(
+        args,
+        &["qubits", "seed", "out", "device"],
+        &["measure-all", "qasm3"],
+    )?;
     let [workload_name] = opts.positional.as_slice() else {
         return Err("emit needs exactly one <workload> argument (see `snailqc workloads`)".into());
     };
@@ -959,11 +1011,18 @@ fn cmd_emit(args: &[String]) -> Result<(), String> {
             Workload::names().join(", ")
         )
     })?;
-    let qubits: usize = opts
-        .value("qubits")
-        .ok_or("emit needs --qubits <N>")?
-        .parse()
-        .map_err(|_| "--qubits: invalid value".to_string())?;
+    // `--device` sizes the workload to fill a machine; an explicit
+    // `--qubits` still wins (e.g. a 12-qubit circuit aimed at a 127-qubit
+    // device).
+    let qubits: usize = match (opts.value("qubits"), opts.value("device")) {
+        (Some(v), _) => v
+            .parse()
+            .map_err(|_| "--qubits: invalid value".to_string())?,
+        (None, Some(arg)) => DeviceRegistry::with_default_paths()
+            .resolve(arg)?
+            .num_qubits(),
+        (None, None) => return Err("emit needs --qubits <N> (or --device <file-or-name>)".into()),
+    };
     if qubits == 0 {
         return Err("--qubits must be at least 1".into());
     }
@@ -1094,36 +1153,64 @@ fn cmd_parse(args: &[String]) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
-// topologies / workloads
+// devices / topologies / workloads
 // ---------------------------------------------------------------------------
 
 #[derive(serde::Serialize)]
-struct TopologyRow {
-    name: &'static str,
+struct DeviceRow {
+    name: String,
     display: String,
     qubits: usize,
     diameter: usize,
     avg_distance: f64,
     avg_connectivity: f64,
+    /// `"builtin"` for catalog topologies, the spec-file path otherwise.
+    source: String,
 }
 
+/// `snailqc devices [list|show|validate]` — the device catalog: the built-in
+/// topologies merged with every spec file on the search path.
+fn cmd_devices(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("show") => devices_show(&args[1..]),
+        Some("validate") => devices_validate(&args[1..]),
+        Some("list") => devices_list(&args[1..]),
+        // Bare `snailqc devices [--json]` lists, like `topologies` always did.
+        _ => devices_list(args),
+    }
+}
+
+/// `snailqc topologies` — kept as an alias of `snailqc devices list`.
 fn cmd_topologies(args: &[String]) -> Result<(), String> {
+    devices_list(args)
+}
+
+fn devices_list(args: &[String]) -> Result<(), String> {
     let opts = Options::parse(args, &[], &["json"])?;
-    let rows: Vec<TopologyRow> = catalog::names()
-        .into_iter()
-        .map(|name| {
-            let graph = catalog::by_name(name).expect("registry names resolve");
-            let metrics = graph.metrics();
-            TopologyRow {
-                name,
-                display: graph.name().to_string(),
-                qubits: metrics.qubits,
-                diameter: metrics.diameter,
-                avg_distance: metrics.avg_distance,
-                avg_connectivity: metrics.avg_connectivity,
-            }
-        })
-        .collect();
+    let registry = DeviceRegistry::with_default_paths();
+    let mut rows = Vec::new();
+    for entry in registry.entries() {
+        let (device, source) = match &entry.source {
+            DeviceSource::Builtin => (Device::from_catalog(&entry.name)?, "builtin".to_string()),
+            DeviceSource::File(path) => match Device::from_spec_file(path) {
+                Ok(device) => (device, path.display().to_string()),
+                Err(e) => {
+                    eprintln!("warning: skipping `{}`: {e}", path.display());
+                    continue;
+                }
+            },
+        };
+        let metrics = device.graph().metrics();
+        rows.push(DeviceRow {
+            name: entry.name,
+            display: device.label().to_string(),
+            qubits: metrics.qubits,
+            diameter: metrics.diameter,
+            avg_distance: metrics.avg_distance,
+            avg_connectivity: metrics.avg_connectivity,
+            source,
+        });
+    }
     if opts.has("json") {
         println!(
             "{}",
@@ -1131,17 +1218,308 @@ fn cmd_topologies(args: &[String]) -> Result<(), String> {
         );
     } else {
         println!(
-            "{:<26} {:>6} {:>9} {:>8} {:>8}",
+            "{:<26} {:>6} {:>9} {:>8} {:>8}  source",
             "name", "qubits", "diameter", "avgD", "avgC"
         );
         for row in rows {
             println!(
-                "{:<26} {:>6} {:>9} {:>8.2} {:>8.2}",
-                row.name, row.qubits, row.diameter, row.avg_distance, row.avg_connectivity
+                "{:<26} {:>6} {:>9} {:>8.2} {:>8.2}  {}",
+                row.name,
+                row.qubits,
+                row.diameter,
+                row.avg_distance,
+                row.avg_connectivity,
+                row.source
             );
         }
     }
     Ok(())
+}
+
+#[derive(serde::Serialize)]
+struct DeviceShow {
+    name: String,
+    label: String,
+    qubits: usize,
+    edges: usize,
+    diameter: usize,
+    avg_distance: f64,
+    avg_connectivity: f64,
+    basis: Option<&'static str>,
+    default_edge_error: f64,
+    error_model: Option<ErrorModelSpec>,
+    /// FNV-1a digest over the per-edge error rates — the routing-cache /
+    /// store key component that changes when calibration changes.
+    noise_digest: String,
+    source: String,
+}
+
+fn devices_show(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[], &["json"])?;
+    let [arg] = opts.positional.as_slice() else {
+        return Err("devices show needs exactly one <name-or-file> argument".into());
+    };
+    let registry = DeviceRegistry::with_default_paths();
+    let device = registry.resolve(arg)?;
+    let source = if arg.contains('/') || arg.ends_with(".json") || Path::new(arg).is_file() {
+        arg.clone()
+    } else if catalog::by_name(arg).is_some() {
+        "builtin".to_string()
+    } else {
+        registry
+            .find_spec(arg)
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "builtin".to_string())
+    };
+    let metrics = device.graph().metrics();
+    let output = DeviceShow {
+        name: arg.clone(),
+        label: device.label().to_string(),
+        qubits: metrics.qubits,
+        edges: device.graph().edges().count(),
+        diameter: metrics.diameter,
+        avg_distance: metrics.avg_distance,
+        avg_connectivity: metrics.avg_connectivity,
+        basis: device.basis().map(basis_name),
+        default_edge_error: device.graph().default_edge_error(),
+        error_model: device.error_model().cloned(),
+        noise_digest: format!("{:016x}", device.noise_digest()),
+        source,
+    };
+    if opts.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&output).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("== {} ==", output.label);
+        println!("  source          {}", output.source);
+        println!("  qubits          {}", output.qubits);
+        println!("  edges           {}", output.edges);
+        println!("  diameter        {}", output.diameter);
+        println!("  avg distance    {:.2}", output.avg_distance);
+        println!("  avg connectivity {:.2}", output.avg_connectivity);
+        println!("  basis           {}", output.basis.unwrap_or("none"));
+        println!(
+            "  edge error      {:.2e} (default)",
+            output.default_edge_error
+        );
+        println!("  noise digest    {}", output.noise_digest);
+    }
+    Ok(())
+}
+
+/// `snailqc devices validate <file-or-dir>...` — load every spec end-to-end
+/// (parse, build the graph, resolve basis and error model) and report per
+/// file; exits non-zero if any spec fails.
+fn devices_validate(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(args, &[], &[])?;
+    let targets = if opts.positional.is_empty() {
+        vec!["devices".to_string()]
+    } else {
+        opts.positional.clone()
+    };
+    let mut files = Vec::new();
+    for target in &targets {
+        let path = Path::new(target);
+        if path.is_dir() {
+            let mut found: Vec<PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("reading `{target}`: {e}"))?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "json"))
+                .collect();
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(PathBuf::from(target));
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no .json specs found under: {}",
+            targets.join(", ")
+        ));
+    }
+    let mut failures = 0usize;
+    for file in &files {
+        match Device::from_spec_file(file) {
+            Ok(device) => println!(
+                "ok    {}  ({}, {} qubits)",
+                file.display(),
+                device.label(),
+                device.num_qubits()
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("FAIL  {}: {e}", file.display());
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} device spec(s) failed validation",
+            files.len()
+        ));
+    }
+    println!("{} device spec(s) valid", files.len());
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// device-gen
+// ---------------------------------------------------------------------------
+
+/// `snailqc device-gen <family>` — emit a device-spec JSON file for a
+/// parameterized topology family, ready to edit or feed back to `--device`.
+fn cmd_device_gen(args: &[String]) -> Result<(), String> {
+    let opts = Options::parse(
+        args,
+        &[
+            "qubits",
+            "rows",
+            "cols",
+            "levels",
+            "posts",
+            "stride-a",
+            "stride-b",
+            "name",
+            "display-name",
+            "description",
+            "basis",
+            "error-model",
+            "truncate",
+            "out",
+        ],
+        &["round-robin", "expand"],
+    )?;
+    let [family] = opts.positional.as_slice() else {
+        return Err(format!(
+            "device-gen needs exactly one <family> argument ({GEN_FAMILIES})"
+        ));
+    };
+    let generator = generator_from_flags(family, &opts)?;
+    let full = generator
+        .checked_qubits()
+        .map_err(|e| format!("device-gen: {e}"))?;
+    let truncate: Option<usize> = match opts.value("truncate") {
+        None => None,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| "--truncate: invalid value".to_string())?;
+            if n == 0 || n > full {
+                return Err(format!(
+                    "--truncate must be in 1..={full} (the generated size), got {n}"
+                ));
+            }
+            Some(n)
+        }
+    };
+    let qubits = truncate.unwrap_or(full);
+    let name = opts
+        .value("name")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}_{}", generator.spec_name().replace('-', "_"), qubits));
+    let basis = match opts.value("basis") {
+        Some(n) => parse_basis(n)?,
+        None => None,
+    };
+    let mut spec = DeviceSpec {
+        name,
+        display_name: opts.value("display-name").map(str::to_string),
+        description: opts.value("description").map(str::to_string),
+        basis,
+        topology: TopologySource::Generator {
+            generator,
+            qubits: truncate,
+        },
+        error_model: opts
+            .value("error-model")
+            .map(|m| snailqc::devices::ErrorModelRef::Preset(m.to_string())),
+        error_model_at: None,
+    };
+    // `--expand` freezes the generator into an explicit edge list (with the
+    // calibrated per-edge rates, if any), so the file stands alone.
+    if opts.has("expand") {
+        let graph = spec.build_graph().map_err(|e| e.to_string())?;
+        let mut expanded = DeviceSpec::from_graph(spec.name.clone(), &graph);
+        expanded.display_name = spec.display_name.clone().or(expanded.display_name);
+        expanded.description = spec.description.clone();
+        expanded.basis = spec.basis;
+        if spec.error_model.is_some() {
+            expanded.error_model = spec.error_model.clone();
+        }
+        spec = expanded;
+    }
+    // Self-check: whatever we emit must load back as a device (this is also
+    // what validates an `--error-model` preset name).
+    let text = spec.to_json();
+    Device::from_spec_str(&text).map_err(|e| format!("generated spec failed validation: {e}"))?;
+    emit_output(&text, opts.value("out"))
+}
+
+const GEN_FAMILIES: &str =
+    "line | ring | complete | star | grid | grid-diagonals | hex | heavy-hex | hypercube | \
+     tree | tree-rr | corral";
+
+/// Maps a family name plus its sizing flags onto a validated generator,
+/// accepting the same forgiving spellings as spec files.
+fn generator_from_flags(family: &str, opts: &Options) -> Result<GeneratorSpec, String> {
+    let need = |flag: &str| -> Result<usize, String> {
+        opts.value(flag)
+            .ok_or_else(|| format!("device-gen {family} needs --{flag} <N>"))?
+            .parse::<usize>()
+            .map_err(|_| format!("--{flag}: invalid value"))
+    };
+    let spec = match snailqc_util::normalize_name(family).as_str() {
+        "line" => GeneratorSpec::Line {
+            qubits: need("qubits")?,
+        },
+        "ring" => GeneratorSpec::Ring {
+            qubits: need("qubits")?,
+        },
+        "complete" | "alltoall" | "fullyconnected" => GeneratorSpec::Complete {
+            qubits: need("qubits")?,
+        },
+        "star" => GeneratorSpec::Star {
+            qubits: need("qubits")?,
+        },
+        "grid" | "square" | "squarelattice" => GeneratorSpec::Grid {
+            rows: need("rows")?,
+            cols: need("cols")?,
+        },
+        "griddiagonals" | "latticealtdiagonals" => GeneratorSpec::GridDiagonals {
+            rows: need("rows")?,
+            cols: need("cols")?,
+        },
+        "hex" | "hexlattice" => GeneratorSpec::Hex {
+            rows: need("rows")?,
+            cols: need("cols")?,
+        },
+        "heavyhex" => GeneratorSpec::HeavyHex {
+            rows: need("rows")?,
+            cols: need("cols")?,
+        },
+        "hypercube" => GeneratorSpec::Hypercube {
+            qubits: need("qubits")?,
+        },
+        "tree" => GeneratorSpec::Tree {
+            levels: need("levels")?,
+            round_robin: opts.has("round-robin"),
+        },
+        "treerr" => GeneratorSpec::Tree {
+            levels: need("levels")?,
+            round_robin: true,
+        },
+        "corral" => GeneratorSpec::Corral {
+            posts: need("posts")?,
+            stride_a: opts.numeric("stride-a", 1usize)?,
+            stride_b: opts.numeric("stride-b", 1usize)?,
+        },
+        _ => return Err(format!("unknown family `{family}` ({GEN_FAMILIES})")),
+    };
+    Ok(spec)
 }
 
 fn cmd_workloads(_args: &[String]) -> Result<(), String> {

@@ -18,6 +18,7 @@
 //! | [`workloads`] | `snailqc-workloads` | QV, QFT, QAOA, TIM, CDKM adder, GHZ generators |
 //! | [`transpiler`] | `snailqc-transpiler` | the staged `Pipeline`: dense layout, stochastic SWAP routing, basis translation, `PassTrace` |
 //! | [`decompose`] | `snailqc-decompose` | basis-gate counting, NuOp templates, decoherence model |
+//! | [`devices`] | `snailqc-devices` | the declarative JSON device-spec format (topologies as data files) |
 //! | [`qasm`] | `snailqc-qasm` | version-aware OpenQASM 2.0 / 3.0 parsers and emitter for external circuit interchange |
 //! | [`core`] | `snailqc-core` | `Device`, machines, sweeps, the sweep store and headline ratios |
 //! | [`obs`] | `snailqc-obs` | tracing spans, metrics registry, Chrome-trace/JSON exporters |
@@ -68,6 +69,7 @@ pub mod serve;
 pub use snailqc_circuit as circuit;
 pub use snailqc_core as core;
 pub use snailqc_decompose as decompose;
+pub use snailqc_devices as devices;
 pub use snailqc_math as math;
 pub use snailqc_obs as obs;
 pub use snailqc_qasm as qasm;

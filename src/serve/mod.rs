@@ -47,10 +47,12 @@ use serde::Value;
 use snailqc_circuit::Circuit;
 use snailqc_core::device::Device;
 use snailqc_core::noise::ErrorModelSpec;
+use snailqc_core::registry::DeviceRegistry;
 use snailqc_core::store::{source_cell_key, SweepStore};
 use snailqc_decompose::BasisGate;
 use snailqc_obs as obs;
 use snailqc_qasm::QasmVersion;
+use snailqc_topology::catalog;
 use snailqc_transpiler::{LayoutStrategy, Pipeline, RouterConfig, TranspileReport};
 use std::collections::HashMap;
 use std::io::BufRead;
@@ -227,17 +229,80 @@ fn param_str<'a>(params: &'a Value, name: &str) -> Result<Option<&'a str>, Strin
 }
 
 fn parse_basis(name: &str) -> Result<Option<BasisGate>, String> {
-    Ok(Some(match snailqc_util::normalize_name(name).as_str() {
-        "none" => return Ok(None),
-        "cnot" | "cx" => BasisGate::Cnot,
-        "syc" | "sycamore" => BasisGate::Syc,
-        "sqrtiswap" | "siswap" => BasisGate::SqrtISwap,
-        other => {
-            return Err(format!(
-                "unknown basis `{other}` (cnot | syc | sqrt-iswap | none)"
-            ))
+    BasisGate::by_name(name)
+}
+
+/// The machine a request targets: a built-in catalog topology (pooled by
+/// normalized name) or device-spec JSON (pooled by content digest, so an
+/// edited spec file is never served stale).
+enum DeviceTarget<'a> {
+    /// A built-in catalog name.
+    Catalog(&'a str),
+    /// Device-spec text — from a file, a search-path name, or an inline
+    /// request object — plus the FNV-1a digest of that exact text.
+    Spec { digest: u64, text: String },
+}
+
+impl DeviceTarget<'_> {
+    /// The pool-key component identifying the machine.
+    fn pool_id(&self) -> String {
+        match self {
+            DeviceTarget::Catalog(name) => snailqc_util::normalize_name(name),
+            DeviceTarget::Spec { digest, .. } => format!("spec:{digest:016x}"),
         }
-    }))
+    }
+
+    fn build(&self) -> Result<Device, String> {
+        match self {
+            DeviceTarget::Catalog(name) => Device::from_catalog(name),
+            DeviceTarget::Spec { text, .. } => Device::from_spec_str(text),
+        }
+    }
+}
+
+/// Resolves the `device` / `topology` request params into a target.
+/// `topology` (and a `device` naming a built-in) pools by name; anything
+/// spec-backed is re-read on every request and pooled by content digest, so
+/// editing a spec file on disk invalidates its warm entry automatically.
+fn resolve_device_target(params: &Value) -> Result<DeviceTarget<'_>, String> {
+    let device = params.get("device");
+    let topology = param_str(params, "topology")?;
+    let from_text = |text: String| {
+        let digest = snailqc_util::fnv1a_64(text.as_bytes());
+        DeviceTarget::Spec { digest, text }
+    };
+    match (device, topology) {
+        (Some(_), Some(_)) => Err("`device` and `topology` are mutually exclusive".into()),
+        (None, Some(name)) => Ok(DeviceTarget::Catalog(name)),
+        (None, None) => {
+            Err("transpile needs `device` or `topology` (see `snailqc devices`)".into())
+        }
+        (Some(Value::String(arg)), None) => {
+            let path_like = arg.contains('/')
+                || arg.ends_with(".json")
+                || std::path::Path::new(arg.as_str()).is_file();
+            if !path_like && catalog::by_name(arg).is_some() {
+                return Ok(DeviceTarget::Catalog(arg));
+            }
+            let path = if path_like {
+                PathBuf::from(arg.as_str())
+            } else {
+                DeviceRegistry::with_default_paths()
+                    .find_spec(arg)
+                    .ok_or_else(|| format!("unknown device `{arg}` (see `snailqc devices`)"))?
+            };
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("reading device spec `{}`: {e}", path.display()))?;
+            Ok(from_text(text))
+        }
+        (Some(inline @ Value::Object(_)), None) => {
+            let text = serde_json::to_string(inline).map_err(|e| format!("device: {e}"))?;
+            Ok(from_text(text))
+        }
+        (Some(_), None) => {
+            Err("`device` must be a name, a spec-file path, or a spec object".into())
+        }
+    }
 }
 
 /// Resolves `transpile` params into a spec, pulling the device from the warm
@@ -248,9 +313,13 @@ fn resolve_spec(state: &ServerState, params: &Value) -> Result<TranspileSpec, St
     let source = param_str(params, "source")?
         .ok_or("transpile needs `source` (the QASM text)")?
         .to_string();
-    let topology = param_str(params, "topology")?
-        .ok_or("transpile needs `topology` (see `snailqc topologies`)")?;
-    let basis = parse_basis(param_str(params, "basis")?.unwrap_or("none"))?;
+    let target = resolve_device_target(params)?;
+    // Tri-state: absent inherits the spec's native basis; an explicit
+    // `"none"` strips it; a gate name sets it.
+    let basis = match param_str(params, "basis")? {
+        None => None,
+        Some(name) => Some(parse_basis(name)?),
+    };
     let error_model = match params.get("error_model") {
         None | Some(Value::Null) => ErrorModelParam::None,
         Some(Value::String(name)) => ErrorModelParam::Preset(name.clone()),
@@ -259,7 +328,11 @@ fn resolve_spec(state: &ServerState, params: &Value) -> Result<TranspileSpec, St
         ),
         Some(_) => return Err("`error_model` must be a preset name or an object".into()),
     };
-    let has_error_model = !matches!(error_model, ErrorModelParam::None);
+    let device = state.warm_device(&target, basis, &error_model)?;
+    // A spec can ship its own calibration; noise-aware scoring is the right
+    // default whenever the device ends up carrying an error model.
+    let has_error_model =
+        !matches!(error_model, ErrorModelParam::None) || device.error_model().is_some();
     let error_weight = param_f64(
         params,
         "error_weight",
@@ -282,7 +355,6 @@ fn resolve_spec(state: &ServerState, params: &Value) -> Result<TranspileSpec, St
         Some(other) => return Err(format!("unknown emit dialect `{other}` (qasm2 | qasm3)")),
     };
 
-    let device = state.warm_device(topology, basis, &error_model)?;
     let pipeline = Pipeline::builder()
         .layout(layout)
         .router(RouterConfig {
@@ -388,27 +460,28 @@ impl ServerState {
     /// reason to exist.
     fn warm_device(
         &self,
-        topology: &str,
-        basis: Option<BasisGate>,
+        target: &DeviceTarget<'_>,
+        basis: Option<Option<BasisGate>>,
         error_model: &ErrorModelParam,
     ) -> Result<Device, String> {
-        let key = format!(
-            "{}|{:?}|{}",
-            snailqc_util::normalize_name(topology),
-            basis,
-            error_model.canon()
-        );
+        let basis_key = match basis {
+            None => "inherit".to_string(),
+            Some(explicit) => format!("{explicit:?}"),
+        };
+        let key = format!("{}|{}|{}", target.pool_id(), basis_key, error_model.canon());
         if let Some(device) = self.devices.lock().expect("device pool lock").get(&key) {
             obs::counter_add("serve.device_pool.hits", 1);
             return Ok(device.clone());
         }
         obs::counter_add("serve.device_pool.misses", 1);
-        let mut device = Device::from_catalog(topology)?;
+        let mut device = target.build()?;
         if let Some(spec) = error_model.spec()? {
             device = device.with_error_model(spec)?;
         }
-        if let Some(basis) = basis {
-            device = device.with_basis(basis);
+        match basis {
+            None => {}
+            Some(Some(gate)) => device = device.with_basis(gate),
+            Some(None) => device = device.without_basis(),
         }
         let mut pool = self.devices.lock().expect("device pool lock");
         if pool.len() < DEVICE_POOL_CAP {
@@ -1174,15 +1247,15 @@ mod tests {
         let (state, _rx) = test_state(4);
         let a = state
             .warm_device(
-                "tree-20",
-                Some(BasisGate::SqrtISwap),
+                &DeviceTarget::Catalog("tree-20"),
+                Some(Some(BasisGate::SqrtISwap)),
                 &ErrorModelParam::None,
             )
             .unwrap();
         let b = state
             .warm_device(
-                "TREE_20",
-                Some(BasisGate::SqrtISwap),
+                &DeviceTarget::Catalog("TREE_20"),
+                Some(Some(BasisGate::SqrtISwap)),
                 &ErrorModelParam::None,
             )
             .unwrap();

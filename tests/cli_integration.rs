@@ -760,3 +760,221 @@ fn batch_mode_records_per_file_latency_histograms() {
     assert_eq!(file_spans.len(), 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---------------------------------------------------------------------------
+// Device specs: --device, devices list/show/validate, device-gen
+// ---------------------------------------------------------------------------
+
+/// Extracts `routed_digest` from a successful `--json` transpile run.
+fn routed_digest_of(args: &[&str]) -> String {
+    let output = snailqc(args);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let value: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    value
+        .get("routed_digest")
+        .and_then(|v| v.as_str())
+        .expect("routed_digest present")
+        .to_string()
+}
+
+#[test]
+fn device_flag_accepts_builtins_and_matches_topology_flag() {
+    let via_topology = routed_digest_of(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology",
+        "tree-20",
+        "--json",
+    ]);
+    let via_device = routed_digest_of(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--device",
+        "tree-20",
+        "--json",
+    ]);
+    assert_eq!(via_topology, via_device);
+
+    let both = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--device=tree-20",
+        "--topology=tree-20",
+    ]);
+    assert!(!both.status.success());
+    assert!(
+        String::from_utf8_lossy(&both.stderr).contains("mutually exclusive"),
+        "{}",
+        String::from_utf8_lossy(&both.stderr)
+    );
+}
+
+#[test]
+fn device_file_inherits_the_spec_basis_and_transpiles() {
+    let output = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--device",
+        "devices/ibm_heavy_hex_127.json",
+        "--json",
+    ]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let value: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    assert_eq!(
+        value.get("topology").and_then(|v| v.as_str()),
+        Some("IBM Heavy-Hex 127")
+    );
+    // The spec pins cnot; with no --basis flag the device keeps it.
+    assert_eq!(value.get("basis").and_then(|v| v.as_str()), Some("CX"));
+    assert!(value.get("basis_digest").and_then(|v| v.as_str()).is_some());
+
+    // `--basis none` strips the spec's basis again.
+    let stripped = snailqc(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--device",
+        "devices/ibm_heavy_hex_127.json",
+        "--basis",
+        "none",
+        "--json",
+    ]);
+    assert!(stripped.status.success());
+    let value: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&stripped.stdout)).unwrap();
+    assert!(matches!(value.get("basis"), Some(serde_json::Value::Null)));
+}
+
+#[test]
+fn device_gen_spec_feeds_back_with_identical_routed_digest() {
+    let dir = std::env::temp_dir().join(format!("snailqc-device-gen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = dir.join("tree20.json");
+    let generated = snailqc(&[
+        "device-gen",
+        "tree",
+        "--levels",
+        "1",
+        "-o",
+        spec.to_str().unwrap(),
+    ]);
+    assert!(
+        generated.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&generated.stderr)
+    );
+    // A generated spec mirroring the built-in tree-20 routes identically.
+    let builtin = routed_digest_of(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--topology",
+        "tree-20",
+        "--json",
+    ]);
+    let from_spec = routed_digest_of(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--device",
+        spec.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(builtin, from_spec);
+
+    // --expand emits an explicit edge list that still routes identically.
+    let expanded = dir.join("tree20_expanded.json");
+    let output = snailqc(&[
+        "device-gen",
+        "tree",
+        "--levels",
+        "1",
+        "--expand",
+        "-o",
+        expanded.to_str().unwrap(),
+    ]);
+    assert!(output.status.success());
+    let text = std::fs::read_to_string(&expanded).unwrap();
+    assert!(text.contains("\"edges\""), "{text}");
+    let from_expanded = routed_digest_of(&[
+        "transpile",
+        "examples/qaoa12.qasm",
+        "--device",
+        expanded.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(builtin, from_expanded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn devices_list_merges_builtins_and_spec_files() {
+    let output = snailqc(&["devices", "--json"]);
+    assert!(output.status.success());
+    let rows: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout)).unwrap();
+    let rows = rows.as_array().unwrap();
+    let source_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.get("name").and_then(|v| v.as_str()) == Some(name))
+            .and_then(|r| r.get("source"))
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+    };
+    assert_eq!(source_of("tree-20").as_deref(), Some("builtin"));
+    assert_eq!(
+        source_of("ibm_heavy_hex_127").as_deref(),
+        Some("devices/ibm_heavy_hex_127.json")
+    );
+
+    // `topologies` stays as an alias with identical output.
+    let alias = snailqc(&["topologies", "--json"]);
+    assert!(alias.status.success());
+    assert_eq!(output.stdout, alias.stdout);
+}
+
+#[test]
+fn devices_validate_passes_shipped_and_fails_broken_specs() {
+    let good = snailqc(&["devices", "validate", "devices/"]);
+    assert!(
+        good.status.success(),
+        "stdout: {}",
+        String::from_utf8_lossy(&good.stdout)
+    );
+
+    let dir = std::env::temp_dir().join(format!("snailqc-validate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("broken.json"),
+        r#"{"snailqc_device": 1, "name": "b", "topology": {"generator": "moebius", "params": {"qubits": 4}}}"#,
+    )
+    .unwrap();
+    let bad = snailqc(&["devices", "validate", dir.to_str().unwrap()]);
+    assert!(!bad.status.success());
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("unknown generator `moebius`"), "{stdout}");
+    assert!(stdout.contains("line 1, column"), "spans surface: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn emit_sizes_workload_from_the_device() {
+    let output = snailqc(&["emit", "ghz", "--device", "devices/ion_trap_32.json"]);
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let qasm = String::from_utf8_lossy(&output.stdout);
+    assert!(qasm.contains("qreg q[32];"), "{qasm}");
+}

@@ -244,3 +244,109 @@ fn unix_socket_round_trip_and_cleanup() {
     assert!(!socket.exists(), "socket file removed on drain");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn file_backed_devices_match_the_cli_and_are_never_served_stale() {
+    let dir = temp_dir("device");
+    let spec_path = dir.join("bench.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"snailqc_device": 1, "name": "bench", "topology": {"generator": "tree", "params": {"levels": 1}}}"#,
+    )
+    .unwrap();
+    let source = qaoa12_source();
+    let (server, addr) = spawn_tcp(None);
+    let mut client = Client::connect_tcp(&addr).expect("client connects");
+
+    let device_params = |path: &PathBuf| {
+        object(vec![
+            ("source", Value::String(source.clone())),
+            ("device", Value::String(path.display().to_string())),
+        ])
+    };
+
+    // Digest parity with the one-shot CLI for the same spec file.
+    let cli = Command::new(env!("CARGO_BIN_EXE_snailqc"))
+        .args([
+            "transpile",
+            "examples/qaoa12.qasm",
+            "--device",
+            spec_path.to_str().unwrap(),
+            "--json",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("one-shot CLI runs");
+    assert!(
+        cli.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&cli.stderr)
+    );
+    let cli_json: Value = serde_json::from_str(&String::from_utf8(cli.stdout).unwrap()).unwrap();
+    let cli_digest = str_field(&cli_json, "routed_digest").to_string();
+
+    let first = client
+        .call("transpile", device_params(&spec_path))
+        .expect("file-backed transpile");
+    assert_eq!(str_field(&first, "routed_digest"), cli_digest);
+    assert_eq!(str_field(&first, "cached"), "none");
+    let repeat = client
+        .call("transpile", device_params(&spec_path))
+        .expect("repeat transpile");
+    assert_eq!(str_field(&repeat, "cached"), "memory");
+    assert_eq!(str_field(&repeat, "routed_digest"), cli_digest);
+
+    // Editing the spec between requests must change the answer: the daemon
+    // re-reads the file and keys its warm pool and caches by content, so the
+    // stale tree-shaped result cannot replay for the new ring topology.
+    std::fs::write(
+        &spec_path,
+        r#"{"snailqc_device": 1, "name": "bench", "topology": {"generator": "ring", "params": {"qubits": 20}}}"#,
+    )
+    .unwrap();
+    let edited = client
+        .call("transpile", device_params(&spec_path))
+        .expect("transpile after edit");
+    assert_eq!(str_field(&edited, "cached"), "none", "stale cache replay");
+    assert_ne!(
+        str_field(&edited, "routed_digest"),
+        cli_digest,
+        "edited spec must route differently"
+    );
+
+    // A spec passed inline as a JSON object behaves like the file contents.
+    let inline = client
+        .call(
+            "transpile",
+            object(vec![
+                ("source", Value::String(source.clone())),
+                (
+                    "device",
+                    serde_json::from_str(&std::fs::read_to_string(&spec_path).unwrap()).unwrap(),
+                ),
+            ]),
+        )
+        .expect("inline spec transpile");
+    assert_eq!(
+        str_field(&inline, "routed_digest"),
+        str_field(&edited, "routed_digest"),
+        "inline spec must match the file it mirrors"
+    );
+
+    // `device` and `topology` together is a structured error.
+    let conflict = client
+        .call(
+            "transpile",
+            object(vec![
+                ("source", Value::String(source.clone())),
+                ("device", Value::String(spec_path.display().to_string())),
+                ("topology", Value::String("tree-20".into())),
+            ]),
+        )
+        .expect_err("conflicting params are rejected");
+    assert_eq!(conflict.code, "bad_request");
+
+    server.shutdown();
+    server.join().expect("drain completes");
+    std::fs::remove_dir_all(&dir).ok();
+}
