@@ -34,7 +34,7 @@ use snailqc_circuit::Circuit;
 use snailqc_decompose::BasisGate;
 use snailqc_devices::{DeviceSpec, ErrorModelRef};
 use snailqc_topology::{catalog, CouplingGraph};
-use snailqc_transpiler::{Pipeline, RoutingCache, TranspileResult};
+use snailqc_transpiler::{Pipeline, RoutingCache, TranspileError, TranspileResult};
 use std::sync::Arc;
 
 /// A co-designed quantum device: a coupling graph carrying per-edge error
@@ -232,8 +232,28 @@ impl Device {
     /// Runs `pipeline` on this device. The pipeline's default
     /// `BasisChoice::Device` translation stage resolves to this device's
     /// native basis (no translation when the device has none).
+    ///
+    /// # Panics
+    /// Panics where [`Device::try_transpile`] would return an error.
     pub fn transpile(&self, circuit: &Circuit, pipeline: &Pipeline) -> TranspileResult {
-        pipeline.run_with_native_basis_cached(circuit, &self.graph, self.basis, &self.routing_cache)
+        self.try_transpile(circuit, pipeline)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Device::transpile`], reporting a [`TranspileError`] instead of
+    /// panicking when the circuit cannot be placed on this device — e.g. it
+    /// needs more qubits than the device's largest connected component has.
+    pub fn try_transpile(
+        &self,
+        circuit: &Circuit,
+        pipeline: &Pipeline,
+    ) -> Result<TranspileResult, TranspileError> {
+        pipeline.try_run_with_native_basis_cached(
+            circuit,
+            &self.graph,
+            self.basis,
+            &self.routing_cache,
+        )
     }
 
     /// A stable fingerprint of the device's per-edge error rates, mixed into

@@ -326,6 +326,73 @@ impl CouplingGraph {
             .collect()
     }
 
+    /// Breadth-first hop counts from `source` written into `row` (`u16`
+    /// storage, `u16::MAX` = unreachable). `row` must have length
+    /// `num_qubits()` and is fully overwritten — the allocation-free kernel
+    /// behind [`crate::distance::HopMatrix`].
+    ///
+    /// # Panics
+    /// Panics if `row.len() != num_qubits()` or if the graph has `u16::MAX`
+    /// or more qubits (hop counts would not fit the sentinel encoding).
+    pub fn bfs_hops_into(&self, source: usize, row: &mut [u16]) {
+        let n = self.num_qubits();
+        assert_eq!(row.len(), n, "hop row length mismatch");
+        assert!(n < u16::MAX as usize, "graph too large for u16 hop counts");
+        row.fill(u16::MAX);
+        let mut queue = VecDeque::new();
+        row[source] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if row[v] == u16::MAX {
+                    row[v] = row[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    /// Breadth-first hop counts from `source` as a fresh `u16` row
+    /// (`u16::MAX` = unreachable); the compact counterpart of
+    /// [`CouplingGraph::bfs_distances`].
+    pub fn bfs_hops(&self, source: usize) -> Vec<u16> {
+        let mut row = vec![u16::MAX; self.num_qubits()];
+        self.bfs_hops_into(source, &mut row);
+        row
+    }
+
+    /// The connected components of the graph, each listed in ascending qubit
+    /// order, ordered by **descending size** with the smallest member index
+    /// breaking ties — so `components[0]` is always the (deterministic)
+    /// largest component. A connected graph yields one component.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.num_qubits();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut members = vec![start];
+            seen[start] = true;
+            let mut queue = VecDeque::new();
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for v in self.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        members.push(v);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            members.sort_unstable();
+            components.push(members);
+        }
+        components.sort_by_key(|m| (Reverse(m.len()), m[0]));
+        components
+    }
+
     /// Single-source shortest-path distances under a per-edge cost function
     /// (Dijkstra with a binary heap, O(E log V); costs must be
     /// non-negative). Unreachable nodes get `f64::INFINITY`.
@@ -834,6 +901,36 @@ mod tests {
         let sub = g.induced_prefix(5, "path5");
         assert_eq!(sub.edge_error(0, 1), 0.04);
         assert_eq!(sub.edge_error(3, 4), DEFAULT_EDGE_ERROR);
+    }
+
+    #[test]
+    fn bfs_hops_match_bfs_distances() {
+        let g = CouplingGraph::from_edges("mixed", 6, &[(0, 1), (1, 2), (2, 0), (4, 5)]);
+        for s in 0..6 {
+            let legacy = g.bfs_distances(s);
+            let hops = g.bfs_hops(s);
+            for (h, d) in hops.iter().zip(&legacy) {
+                if *d == usize::MAX {
+                    assert_eq!(*h, u16::MAX);
+                } else {
+                    assert_eq!(*h as usize, *d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connected_components_order_and_membership() {
+        // Components: {1,2,6} (3 nodes), {0,4} and {3,5} (2 nodes each), {7}.
+        let g = CouplingGraph::from_edges("frag", 8, &[(1, 2), (2, 6), (0, 4), (3, 5)]);
+        let comps = g.connected_components();
+        assert_eq!(
+            comps,
+            vec![vec![1, 2, 6], vec![0, 4], vec![3, 5], vec![7]],
+            "descending size, ties by smallest member"
+        );
+        let g2 = cycle(5);
+        assert_eq!(g2.connected_components(), vec![vec![0, 1, 2, 3, 4]]);
     }
 
     #[test]

@@ -26,10 +26,10 @@ pub mod pipeline;
 pub mod routing;
 pub mod translate;
 
-pub use layout::{dense_layout, Layout, LayoutStrategy};
+pub use layout::{dense_layout, try_dense_layout, Layout, LayoutError, LayoutStrategy};
 pub use pipeline::{
-    BasisChoice, PassTrace, Pipeline, PipelineBuilder, StageCounters, StageTrace, TranspileOptions,
-    TranspileReport, TranspileResult,
+    BasisChoice, PassTrace, Pipeline, PipelineBuilder, StageCounters, StageTrace, TranspileError,
+    TranspileOptions, TranspileReport, TranspileResult,
 };
 pub use routing::{
     route, route_with_cache, EdgeErrorSource, RoutedCircuit, RouterConfig, RoutingCache,

@@ -34,7 +34,7 @@
 //! cache hits) in [`PassTrace::stage_counters`]. Instrumentation only
 //! records — routed output is bitwise-identical with recording on or off.
 
-use crate::layout::LayoutStrategy;
+use crate::layout::{LayoutError, LayoutStrategy};
 use crate::routing::{route_with_cache, RoutedCircuit, RouterConfig, RoutingCache};
 use crate::translate::translate_to_basis;
 use snailqc_circuit::Circuit;
@@ -42,6 +42,40 @@ use snailqc_decompose::BasisGate;
 use snailqc_obs as obs;
 use snailqc_topology::CouplingGraph;
 use std::time::Instant;
+
+/// Why a pipeline run could not produce a result. Today the only fallible
+/// stage is layout (routing, translation and analysis are total on any
+/// placed program); the enum leaves room for later stages to fail without
+/// another API break.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TranspileError {
+    /// The layout stage could not place the program — it does not fit in
+    /// any single connected component of the device.
+    Layout(LayoutError),
+}
+
+impl std::fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranspileError::Layout(e) => write!(f, "layout failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TranspileError::Layout(e) => Some(e),
+        }
+    }
+}
+
+impl From<LayoutError> for TranspileError {
+    fn from(e: LayoutError) -> Self {
+        TranspileError::Layout(e)
+    }
+}
 
 /// Options controlling the transpilation pipeline.
 ///
@@ -186,14 +220,30 @@ impl Pipeline {
     /// no native basis, so translation is skipped; use
     /// [`PipelineBuilder::translate_to`] or run through
     /// `snailqc_core::device::Device` to get a translated circuit.
+    ///
+    /// # Panics
+    /// Panics where [`Pipeline::try_run`] would return an error.
     pub fn run(&self, circuit: &Circuit, graph: &CouplingGraph) -> TranspileResult {
         self.run_with_native_basis(circuit, graph, None)
+    }
+
+    /// [`Pipeline::run`], reporting a [`TranspileError`] instead of
+    /// panicking when the program cannot be placed on the device.
+    pub fn try_run(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+    ) -> Result<TranspileResult, TranspileError> {
+        self.try_run_with_native_basis(circuit, graph, None)
     }
 
     /// Runs the pipeline with the device's native basis supplied by the
     /// caller — the hook `snailqc_core::device::Device::transpile` uses to
     /// resolve [`BasisChoice::Device`] without this crate depending on the
     /// device layer.
+    ///
+    /// # Panics
+    /// Panics where [`Pipeline::try_run_with_native_basis`] would error.
     pub fn run_with_native_basis(
         &self,
         circuit: &Circuit,
@@ -203,11 +253,25 @@ impl Pipeline {
         self.run_with_native_basis_cached(circuit, graph, native_basis, &RoutingCache::new())
     }
 
+    /// Fallible form of [`Pipeline::run_with_native_basis`].
+    pub fn try_run_with_native_basis(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        native_basis: Option<BasisGate>,
+    ) -> Result<TranspileResult, TranspileError> {
+        self.try_run_with_native_basis_cached(circuit, graph, native_basis, &RoutingCache::new())
+    }
+
     /// [`Pipeline::run_with_native_basis`], reusing `cache`'s distance
-    /// matrices across runs on the same graph. `snailqc_core::device::Device`
+    /// state across runs on the same graph. `snailqc_core::device::Device`
     /// owns one cache per device and threads it through here, so sweeps stop
     /// recomputing all-pairs BFS for every cell; output is bitwise-identical
     /// to the uncached path.
+    ///
+    /// # Panics
+    /// Panics where [`Pipeline::try_run_with_native_basis_cached`] would
+    /// error.
     pub fn run_with_native_basis_cached(
         &self,
         circuit: &Circuit,
@@ -215,6 +279,23 @@ impl Pipeline {
         native_basis: Option<BasisGate>,
         cache: &RoutingCache,
     ) -> TranspileResult {
+        self.try_run_with_native_basis_cached(circuit, graph, native_basis, cache)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The full fallible pipeline run: layout → routing → translation →
+    /// analysis, reusing `cache`'s distance state. Returns a
+    /// [`TranspileError`] when the program cannot be placed (e.g. it
+    /// straddles every connected component of a fragmented device) — the
+    /// error the CLI and the serve daemon surface as a diagnostic instead of
+    /// a crash.
+    pub fn try_run_with_native_basis_cached(
+        &self,
+        circuit: &Circuit,
+        graph: &CouplingGraph,
+        native_basis: Option<BasisGate>,
+        cache: &RoutingCache,
+    ) -> Result<TranspileResult, TranspileError> {
         let basis = self.translation.resolve(native_basis);
         let _run_span = obs::span("pipeline.run");
         // One flag read for the whole run: per-stage counter snapshots cost
@@ -226,7 +307,7 @@ impl Pipeline {
         let started = Instant::now();
         let before = recording.then(obs::snapshot);
         let stage_span = obs::span("pipeline.layout");
-        let layout = self.layout.compute(circuit, graph);
+        let layout = self.layout.try_compute(circuit, graph)?;
         drop(stage_span);
         trace.push(
             "layout",
@@ -298,12 +379,12 @@ impl Pipeline {
         drop(stage_span);
         trace.push("analysis", started, final_gates, final_gates);
 
-        TranspileResult {
+        Ok(TranspileResult {
             routed,
             translated,
             report,
             trace,
-        }
+        })
     }
 }
 

@@ -14,12 +14,15 @@
 //!
 //! * **Shared across trials** ([`route`]): the dependency DAG (per-qubit
 //!   predecessor chains), the initial front, the program-order pending-2Q
-//!   list, the hop-distance matrix and (in noise-aware mode) the
-//!   error-weighted Dijkstra matrix are all layout-independent — they are
+//!   list, the compact `u16` hop matrix and (in noise-aware mode) the
+//!   error-weighted Dijkstra rows are all layout-independent — they are
 //!   built once per `route` call and borrowed by every trial. With a
-//!   [`RoutingCache`] (see [`route_with_cache`]) the distance matrices are
+//!   [`RoutingCache`] (see [`route_with_cache`]) the distance state is
 //!   further shared across *calls* on the same graph, so a sweep stops
-//!   recomputing all-pairs BFS for every (workload, size, seed) cell.
+//!   recomputing all-pairs BFS for every (workload, size, seed) cell. On
+//!   kiloqubit devices the distance rows additionally materialize on
+//!   demand per source qubit, so memory scales with the qubits a program
+//!   actually touches rather than with n².
 //! * **Incremental within a trial** (`route_once`): the lookahead window
 //!   is read from an intrusive linked list over pending two-qubit gates
 //!   (O(lookahead) per SWAP decision, where a full rescan of the
@@ -28,7 +31,10 @@
 //!   bitmap instead of a linear `Vec::contains`; and candidates are scored
 //!   through one scratch swap/unswap of the live layout instead of a
 //!   `Layout` clone per candidate. Adjacency tests on the blocked front use
-//!   a flat `n × n` boolean matrix.
+//!   a flat `n × n` boolean matrix on small devices (the CSR binary search
+//!   above the lazy-row threshold), and the trial loop reuses all of its
+//!   per-decision scratch buffers, so steady-state routing allocates only
+//!   the output circuit.
 //! * **Parallel across trials**: the best-of-`trials` loop fans out with
 //!   rayon — each trial derives its own RNG seed from the trial index — and
 //!   the winner is selected by a deterministic trial-index-ordered
@@ -70,7 +76,9 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use snailqc_circuit::{Circuit, Gate, Instruction};
 use snailqc_obs as obs;
+use snailqc_topology::distance::{HopMatrix, WeightedRows, UNREACHABLE};
 use snailqc_topology::CouplingGraph;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -289,87 +297,140 @@ impl NoiseContext {
 // Distance-matrix cache
 // ---------------------------------------------------------------------------
 
-/// Shareable cache of the per-graph distance matrices routing needs: the
-/// hop-count BFS matrix, plus one scoring matrix per (error weight, edge
-/// source) configuration.
+/// Shareable cache of the per-graph distance state routing needs: the
+/// compact `u16` hop matrix ([`HopMatrix`]), plus one weighted scoring
+/// store ([`WeightedRows`]) per noise-aware (error weight, edge source)
+/// configuration. Noise-blind scoring reads hop counts directly (`u16 →
+/// f64` is value-exact), so it needs no separate scoring matrix at all.
 ///
 /// One cache belongs to one graph — `snailqc_core::device::Device` owns one
 /// per device and threads it through every transpile, so sweeps and batch
-/// runs compute all-pairs BFS once per device instead of once per cell. The
-/// cached matrices are exactly what an uncached [`route`] would compute, so
-/// routed output is bitwise-identical either way.
+/// runs compute distance rows once per device instead of once per cell. On
+/// kiloqubit devices (n ≥ [`LAZY_ROW_THRESHOLD`]) rows materialize on
+/// demand, so a small program only pays for the rows it touches. The cached
+/// distances are exactly what an uncached [`route`] would compute, so routed
+/// output is bitwise-identical either way.
+///
+/// Hit/miss accounting is **exact**, including under concurrent first use:
+/// the miss is counted inside the one closure `OnceLock::get_or_init` /
+/// the locked map's vacant entry runs, and every other caller counts a hit,
+/// so `routing_cache.hits + routing_cache.misses` always equals the number
+/// of cache accesses and each matrix accounts for exactly one miss.
 #[derive(Debug, Default)]
 pub struct RoutingCache {
-    hops: OnceLock<Arc<Vec<Vec<usize>>>>,
-    scoring: Mutex<BTreeMap<MatrixKey, Arc<Vec<Vec<f64>>>>>,
+    hops: OnceLock<Arc<HopMatrix>>,
+    scoring: Mutex<BTreeMap<MatrixKey, Arc<WeightedRows>>>,
 }
 
 impl RoutingCache {
-    /// An empty cache (matrices are computed and retained on first use).
+    /// An empty cache (distance state is computed and retained on first use).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The hop-count all-pairs matrix of `graph`, computed on first use.
-    fn hops(&self, graph: &CouplingGraph) -> Arc<Vec<Vec<usize>>> {
-        // Hit/miss accounting is approximate under concurrent first use
-        // (two threads may both count a miss); the matrices themselves are
-        // still computed once.
-        if obs::is_enabled() {
-            if self.hops.get().is_some() {
-                obs::counter_add("routing_cache.hits", 1);
-            } else {
-                obs::counter_add("routing_cache.misses", 1);
-            }
+    /// The hop matrix of `graph`, built on first use. Exactly one caller
+    /// counts the miss (inside the init closure, which `OnceLock` runs once
+    /// while blocking racers); every other call counts a hit.
+    fn hops(&self, graph: &CouplingGraph) -> Arc<HopMatrix> {
+        let mut miss = false;
+        let hops = self
+            .hops
+            .get_or_init(|| {
+                miss = true;
+                if obs::is_enabled() {
+                    obs::counter_add("routing_cache.misses", 1);
+                }
+                Arc::new(HopMatrix::new(graph))
+            })
+            .clone();
+        if !miss && obs::is_enabled() {
+            obs::counter_add("routing_cache.hits", 1);
         }
-        self.hops
-            .get_or_init(|| Arc::new(graph.distance_matrix()))
-            .clone()
+        hops
     }
 
-    /// The scoring matrix for `config` — the error-weighted Dijkstra matrix
-    /// in noise-aware mode, the hop matrix as `f64` otherwise.
+    /// The weighted scoring store for a noise-aware `config`, built on first
+    /// use. The vacant/occupied split under the map's mutex makes the
+    /// hit/miss counts exact: the thread that inserts counts the one miss.
     fn scoring(
         &self,
         graph: &CouplingGraph,
         config: &RouterConfig,
-        noise: Option<&NoiseContext>,
-        hops: &[Vec<usize>],
-    ) -> Arc<Vec<Vec<f64>>> {
-        let key = match noise {
-            Some(_) => config.matrix_key(),
-            // Every noise-blind configuration shares the hop-derived matrix.
-            None => (0, 0, 0),
-        };
+        noise: &NoiseContext,
+    ) -> Arc<WeightedRows> {
+        let key = config.matrix_key();
         let mut cache = self.scoring.lock().expect("routing cache poisoned");
-        if obs::is_enabled() {
-            if cache.contains_key(&key) {
-                obs::counter_add("routing_cache.hits", 1);
-            } else {
-                obs::counter_add("routing_cache.misses", 1);
+        match cache.entry(key) {
+            Entry::Occupied(entry) => {
+                if obs::is_enabled() {
+                    obs::counter_add("routing_cache.hits", 1);
+                }
+                entry.get().clone()
+            }
+            Entry::Vacant(entry) => {
+                if obs::is_enabled() {
+                    obs::counter_add("routing_cache.misses", 1);
+                }
+                entry
+                    .insert(Arc::new(WeightedRows::new(graph, |a, b| {
+                        noise.edge_cost(graph.edge_index(a, b).expect("cost of an edge"))
+                    })))
+                    .clone()
             }
         }
-        cache
-            .entry(key)
-            .or_insert_with(|| Arc::new(scoring_matrix(graph, noise, hops)))
-            .clone()
+    }
+
+    /// Bytes of distance payload currently resident across the hop matrix
+    /// and every scoring store — the number the perf harness tracks to keep
+    /// kiloqubit devices off the old O(n²)-eager footprint.
+    pub fn resident_distance_bytes(&self) -> usize {
+        let hops = self.hops.get().map_or(0, |h| h.resident_bytes());
+        let scoring: usize = self
+            .scoring
+            .lock()
+            .expect("routing cache poisoned")
+            .values()
+            .map(|rows| rows.resident_bytes())
+            .sum();
+        hops + scoring
     }
 }
 
-/// The matrix SWAP candidates are scored against (see [`RoutingCache::scoring`]).
-fn scoring_matrix(
-    graph: &CouplingGraph,
-    noise: Option<&NoiseContext>,
-    hops: &[Vec<usize>],
-) -> Vec<Vec<f64>> {
-    match noise {
-        Some(n) => graph.weighted_distance_matrix(|a, b| {
-            n.edge_cost(graph.edge_index(a, b).expect("cost of an edge"))
-        }),
-        None => hops
-            .iter()
-            .map(|row| row.iter().map(|&d| d as f64).collect())
-            .collect(),
+/// Cap on the flat adjacency matrix: one byte per qubit pair, so 2 MiB
+/// covers devices up to ~1448 qubits. The matrix is the trial inner loop's
+/// hottest read; unlike the 8-byte `f64`/`usize` distance matrices this
+/// rework evicts, the bool matrix stays a small fraction of the kiloqubit
+/// memory ceiling (1 MiB at 1024 qubits).
+const DENSE_ADJACENCY_MAX_BYTES: usize = 2 << 20;
+
+/// Adjacency test for the trial inner loop: a flat boolean matrix wherever
+/// it stays under [`DENSE_ADJACENCY_MAX_BYTES`], the CSR binary search on
+/// anything larger. Both answer exactly [`CouplingGraph::has_edge`].
+enum Adjacency {
+    Dense { n: usize, flags: Vec<bool> },
+    Sparse,
+}
+
+impl Adjacency {
+    fn build(graph: &CouplingGraph) -> Self {
+        let n = graph.num_qubits();
+        if n.saturating_mul(n) > DENSE_ADJACENCY_MAX_BYTES {
+            return Self::Sparse;
+        }
+        let mut flags = vec![false; n * n];
+        for (a, b) in graph.edges() {
+            flags[a * n + b] = true;
+            flags[b * n + a] = true;
+        }
+        Self::Dense { n, flags }
+    }
+
+    #[inline]
+    fn test(&self, graph: &CouplingGraph, a: usize, b: usize) -> bool {
+        match self {
+            Self::Dense { n, flags } => flags[a * n + b],
+            Self::Sparse => graph.has_edge(a, b),
+        }
     }
 }
 
@@ -452,9 +513,13 @@ impl TrialTemplate {
 /// Routes `circuit` onto `graph` starting from `initial_layout`, inserting
 /// SWAP gates wherever a two-qubit gate acts on non-adjacent physical qubits.
 ///
+/// The graph may be disconnected as long as every physical qubit the layout
+/// occupies sits in one connected component (the layout stage guarantees
+/// this; see `LayoutStrategy::try_compute`).
+///
 /// # Panics
-/// Panics if the device has fewer qubits than the circuit or the graph is
-/// disconnected.
+/// Panics if the device has fewer qubits than the circuit or the initial
+/// layout straddles disconnected components.
 pub fn route(
     circuit: &Circuit,
     graph: &CouplingGraph,
@@ -479,29 +544,39 @@ pub fn route_with_cache(
         circuit.num_qubits() <= graph.num_qubits(),
         "device too small"
     );
-    assert!(graph.is_connected(), "coupling graph must be connected");
     let noise = NoiseContext::build(graph, config);
     let hops = cache.hops(graph);
-    // Hop distances exactly match the noise-blind router; error-weighted
-    // Dijkstra distances steer lookahead cost away from noisy links.
-    let dist = cache.scoring(graph, config, noise.as_ref(), &hops);
+    // Error-weighted Dijkstra rows steer lookahead cost away from noisy
+    // links; noise-blind scoring reads hop counts directly (`u16 → f64` is
+    // value-exact, so the scores match the old hop-derived f64 matrix bit
+    // for bit).
+    let weighted = noise
+        .as_ref()
+        .map(|noise| cache.scoring(graph, config, noise));
 
-    // Flat adjacency matrix for the O(1) executability test in the trial
-    // inner loop.
-    let n = graph.num_qubits();
-    let mut adjacent = vec![false; n * n];
-    for (a, b) in graph.edges() {
-        adjacent[a * n + b] = true;
-        adjacent[b * n + a] = true;
+    // The occupied physical qubits must be mutually reachable — one hop row
+    // from the first occupied qubit checks all of them, whatever the rest of
+    // the device looks like.
+    if circuit.num_qubits() > 0 {
+        let anchor = initial_layout.physical(0);
+        let anchor_row = hops.row(graph, anchor);
+        for logical in 0..circuit.num_qubits() {
+            assert!(
+                anchor_row[initial_layout.physical(logical)] != UNREACHABLE,
+                "initial layout straddles disconnected components \
+                 (logical {logical} unreachable from logical 0)"
+            );
+        }
     }
 
+    let adjacent = Adjacency::build(graph);
     let template = TrialTemplate::build(circuit);
     let shared = TrialShared {
         circuit,
         graph,
         initial_layout,
-        dist: &dist,
         hops: &hops,
+        weighted: weighted.as_deref(),
         adjacent: &adjacent,
         noise: noise.as_ref(),
         config,
@@ -611,9 +686,10 @@ struct TrialShared<'a> {
     circuit: &'a Circuit,
     graph: &'a CouplingGraph,
     initial_layout: &'a Layout,
-    dist: &'a [Vec<f64>],
-    hops: &'a [Vec<usize>],
-    adjacent: &'a [bool],
+    hops: &'a HopMatrix,
+    /// Weighted scoring rows — present exactly when `noise` is.
+    weighted: Option<&'a WeightedRows>,
+    adjacent: &'a Adjacency,
     noise: Option<&'a NoiseContext>,
     config: &'a RouterConfig,
     template: &'a TrialTemplate,
@@ -626,13 +702,26 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> (RoutedCircuit, TrialStats
         circuit,
         graph,
         initial_layout,
-        dist,
         hops,
+        weighted,
         adjacent,
         noise,
         config,
         template,
     } = *shared;
+    // Scoring distance between two physical qubits: the weighted Dijkstra
+    // row in noise-aware mode, the hop count otherwise (value-exact in f64).
+    let edge_cost = |a: usize, b: usize| {
+        noise
+            .expect("weighted scoring implies a noise context")
+            .edge_cost(graph.edge_index(a, b).expect("cost of an edge"))
+    };
+    let dist = |a: usize, b: usize| -> f64 {
+        match weighted {
+            Some(rows) => rows.row(graph, &edge_cost, a)[b],
+            None => hops.row(graph, a)[b] as f64,
+        }
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let instructions = circuit.instructions();
     let total = instructions.len();
@@ -666,18 +755,22 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> (RoutedCircuit, TrialStats
     let mut swap_count = 0usize;
     let mut decay = vec![1.0f64; n];
     let mut swaps_since_progress = 0usize;
-    // Per-decision scratch, reused across iterations.
+    // Per-decision scratch, reused across iterations — the trial inner loop
+    // allocates nothing after this point (critical on kiloqubit devices,
+    // where per-decision `Vec`s would dominate the routing time).
     let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
     let mut candidate_seen = vec![false; graph.num_edges()];
     let mut lookahead: Vec<(usize, usize)> = Vec::with_capacity(config.lookahead);
     let mut front_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut next_front: Vec<usize> = Vec::with_capacity(front.len());
+    let mut mapped_qubits: Vec<usize> = Vec::with_capacity(2);
 
     while executed_count < total {
         // 1. Execute every front instruction that is currently executable.
         let mut progressed = true;
         while progressed {
             progressed = false;
-            let mut next_front = Vec::with_capacity(front.len());
+            next_front.clear();
             for &idx in &front {
                 let inst = &instructions[idx];
                 let executable = match inst.qubits.len() {
@@ -685,11 +778,11 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> (RoutedCircuit, TrialStats
                     _ => {
                         let a = layout.physical(inst.qubits[0]);
                         let b = layout.physical(inst.qubits[1]);
-                        adjacent[a * n + b]
+                        adjacent.test(graph, a, b)
                     }
                 };
                 if executable {
-                    emit_mapped(&mut out, inst, &layout);
+                    emit_mapped(&mut out, inst, &layout, &mut mapped_qubits);
                     in_front[idx] = false;
                     if inst.qubits.len() == 2 {
                         unlink2q(idx, &mut head2q, &mut next2q, &mut prev2q);
@@ -708,7 +801,7 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> (RoutedCircuit, TrialStats
                     next_front.push(idx);
                 }
             }
-            front = next_front;
+            std::mem::swap(&mut front, &mut next_front);
             if progressed {
                 decay.iter_mut().for_each(|d| *d = 1.0);
             }
@@ -766,13 +859,13 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> (RoutedCircuit, TrialStats
         let front_cost_of = |layout: &Layout| -> f64 {
             front_pairs
                 .iter()
-                .map(|&(la, lb)| dist[layout.physical(la)][layout.physical(lb)])
+                .map(|&(la, lb)| dist(layout.physical(la), layout.physical(lb)))
                 .sum()
         };
         let look_cost_of = |layout: &Layout| -> f64 {
             lookahead
                 .iter()
-                .map(|&(la, lb)| dist[layout.physical(la)][layout.physical(lb)])
+                .map(|&(la, lb)| dist(layout.physical(la), layout.physical(lb)))
                 .sum()
         };
 
@@ -787,24 +880,31 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> (RoutedCircuit, TrialStats
             let front_hops = |layout: &Layout| -> usize {
                 front_pairs
                     .iter()
-                    .map(|&(la, lb)| hops[layout.physical(la)][layout.physical(lb)])
+                    .map(|&(la, lb)| {
+                        hops.row(graph, layout.physical(la))[layout.physical(lb)] as usize
+                    })
                     .sum()
             };
             let current = front_hops(&layout);
             // `swap_physical` is an involution, so the live layout serves as
-            // its own scratch: swap, measure, swap back.
-            let mut progressing: Vec<(usize, usize, usize)> = Vec::with_capacity(candidates.len());
+            // its own scratch: swap, measure, swap back. Progressing
+            // candidates are compacted in place (stable, so first-occurrence
+            // order survives) instead of collected into a fresh `Vec`; when
+            // none progresses the original candidate set is kept untouched.
             stats.scratch_score_calls += candidates.len() as u64;
-            for &(p, q, id) in &candidates {
+            let mut kept = 0usize;
+            for read in 0..candidates.len() {
+                let (p, q, _) = candidates[read];
                 layout.swap_physical(p, q);
                 let after = front_hops(&layout);
                 layout.swap_physical(p, q);
                 if after < current {
-                    progressing.push((p, q, id));
+                    candidates[kept] = candidates[read];
+                    kept += 1;
                 }
             }
-            if !progressing.is_empty() {
-                candidates = progressing;
+            if kept > 0 {
+                candidates.truncate(kept);
             }
         }
 
@@ -869,9 +969,13 @@ fn route_once(shared: &TrialShared<'_>, seed: u64) -> (RoutedCircuit, TrialStats
     )
 }
 
-fn emit_mapped(out: &mut Circuit, inst: &Instruction, layout: &Layout) {
-    let physical: Vec<usize> = inst.qubits.iter().map(|&q| layout.physical(q)).collect();
-    out.push(inst.gate.clone(), &physical);
+/// Pushes `inst` remapped through `layout`, staging the physical qubit
+/// indices in the caller's reusable `scratch` buffer (`Circuit::push` copies
+/// the slice, so the scratch never escapes).
+fn emit_mapped(out: &mut Circuit, inst: &Instruction, layout: &Layout, scratch: &mut Vec<usize>) {
+    scratch.clear();
+    scratch.extend(inst.qubits.iter().map(|&q| layout.physical(q)));
+    out.push(inst.gate.clone(), scratch);
 }
 
 #[cfg(test)]

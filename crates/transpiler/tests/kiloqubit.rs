@@ -1,0 +1,103 @@
+//! Kiloqubit-scale regression suite: digest stability on 625- and
+//! 1024-qubit devices (two runs, and across trial parallelism), plus the
+//! disconnected-device layout/routing semantics the compact-distance rework
+//! fixed.
+//!
+//! The graphs are built from `snailqc_topology::builders` directly (the
+//! same generators behind `devices/grid_625.json` and
+//! `devices/hypercube_1024.json`) so this crate's tests stay independent of
+//! the device layer above it.
+
+use snailqc_topology::{builders, CouplingGraph};
+use snailqc_transpiler::{
+    dense_layout, route, try_dense_layout, LayoutStrategy, Pipeline, RoutedCircuit, RouterConfig,
+};
+
+/// FNV-1a digest of the routed instruction stream plus the final layout —
+/// the same fingerprint the frozen `router_equivalence` suite uses.
+fn digest(routed: &RoutedCircuit) -> u64 {
+    let mut bytes = Vec::new();
+    for inst in routed.circuit.instructions() {
+        bytes.extend_from_slice(format!("{:?}|{:?};", inst.gate, inst.qubits).as_bytes());
+    }
+    bytes.extend_from_slice(format!("final={:?}", routed.final_layout.as_slice()).as_bytes());
+    snailqc_util::fnv1a_64(&bytes)
+}
+
+fn route_kiloqubit(graph: &CouplingGraph, qubits: usize) -> RoutedCircuit {
+    let circuit = snailqc_workloads::ghz(qubits);
+    let layout = dense_layout(&circuit, graph);
+    route(&circuit, graph, &layout, &RouterConfig::default())
+}
+
+/// Two independent runs on the same kiloqubit cell must agree bit for bit,
+/// and the digest must not depend on how many worker threads the trial
+/// fan-out uses (the `RAYON_NUM_THREADS` knob).
+#[test]
+fn kiloqubit_digests_are_stable_across_runs_and_parallelism() {
+    let cells = [
+        (builders::square_lattice(25, 25), 600usize),
+        (builders::hypercube(10), 1000),
+    ];
+    for (graph, qubits) in &cells {
+        let first = digest(&route_kiloqubit(graph, *qubits));
+        let second = digest(&route_kiloqubit(graph, *qubits));
+        assert_eq!(first, second, "{}: rerun changed the digest", graph.name());
+
+        for threads in ["1", "4"] {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+            let parallel = digest(&route_kiloqubit(graph, *qubits));
+            std::env::remove_var("RAYON_NUM_THREADS");
+            assert_eq!(
+                first,
+                parallel,
+                "{}: digest depends on trial parallelism ({threads} threads)",
+                graph.name()
+            );
+        }
+    }
+}
+
+/// A layout on a fragmented device sits inside one connected component, and
+/// routing accepts it — the end-to-end path the old
+/// `assert!(graph.is_connected())` used to reject outright.
+#[test]
+fn disconnected_device_routes_within_the_largest_component() {
+    // A 4×4 grid (16 qubits) plus a 6-qubit line, fused into one 22-qubit
+    // graph with no edges between the parts.
+    let mut graph = CouplingGraph::new("grid-plus-line", 22);
+    for (a, b) in builders::square_lattice(4, 4).edges() {
+        graph.add_edge(a, b);
+    }
+    for q in 16..21 {
+        graph.add_edge(q, q + 1);
+    }
+
+    let circuit = snailqc_workloads::ghz(10);
+    let layout = try_dense_layout(&circuit, &graph).expect("largest component fits 10 qubits");
+    // Every occupied physical qubit lands in the 16-qubit grid component.
+    for logical in 0..circuit.num_qubits() {
+        assert!(layout.physical(logical) < 16, "layout strayed off the grid");
+    }
+    let routed = route(&circuit, &graph, &layout, &RouterConfig::default());
+    assert_eq!(digest(&routed), digest(&routed), "routable");
+
+    // Asking for more qubits than the largest component holds is an error
+    // carrying the component geometry, not a panic or a bogus layout.
+    let too_big = snailqc_workloads::ghz(20);
+    let err = try_dense_layout(&too_big, &graph).expect_err("20 > 16");
+    assert_eq!(err.requested, 20);
+    assert_eq!(err.largest_component, 16);
+    assert_eq!(err.components, 2);
+
+    // The pipeline surfaces the same failure as a `TranspileError`.
+    let err = Pipeline::builder()
+        .layout(LayoutStrategy::Dense)
+        .build()
+        .try_run(&too_big, &graph)
+        .expect_err("pipeline must refuse the placement");
+    assert!(
+        err.to_string().contains("largest connected component"),
+        "unexpected error text: {err}"
+    );
+}

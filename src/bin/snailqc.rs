@@ -508,7 +508,9 @@ fn transpile_one_file(file: &str, setup: &TranspileSetup, opts: &Options) -> Res
     let source = read_source(file)?;
     let circuit = setup.parse_circuit(file, &source)?;
     let device = &setup.device;
-    let result = device.transpile(&circuit, &setup.pipeline);
+    let result = device
+        .try_transpile(&circuit, &setup.pipeline)
+        .map_err(|e| format!("`{file}`: {e}"))?;
 
     // With an error model, also run the noise-blind router on the same
     // calibrated device so the output surfaces both fidelity estimates. On a
@@ -805,7 +807,10 @@ fn transpile_directory(dir: &str, setup: &TranspileSetup, opts: &Options) -> Res
                 Prepared::Work(source, key) => {
                     let outcome = setup.parse_circuit(&name, source).and_then(|circuit| {
                         let pipeline = setup.pipeline.to_builder().seed(seed).build();
-                        let result = setup.device.transpile(&circuit, &pipeline);
+                        let result = setup
+                            .device
+                            .try_transpile(&circuit, &pipeline)
+                            .map_err(|e| e.to_string())?;
                         let emitted = match &emit_dir {
                             None => None,
                             Some(dir) => {

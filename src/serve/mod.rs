@@ -651,7 +651,14 @@ fn handle_transpile(state: &ServerState, job: &Job) -> String {
                 return error_response(&job.id, "transpile_failed", &message);
             }
         };
-        let result = spec.device.transpile(&circuit, &spec.pipeline);
+        let result = match spec.device.try_transpile(&circuit, &spec.pipeline) {
+            Ok(result) => result,
+            Err(e) => {
+                state.failed.fetch_add(1, Ordering::SeqCst);
+                obs::counter_add("serve.requests.failed", 1);
+                return error_response(&job.id, "transpile_failed", &e.to_string());
+            }
+        };
         let routed_digest = circuit_digest(&result.routed.circuit);
         let basis_digest = result.translated.as_ref().map(circuit_digest);
         let qasm = spec.emit.map(|version| {
