@@ -24,6 +24,12 @@
 //! share one warmed `RoutingCache` per cell so cache hits are exercised
 //! even in reduced mode; the raw `route()` loop is kept cache-free and
 //! identical to the one that recorded the baseline.
+//!
+//! The report's `sim` block is the verification-engine tier: the preserved
+//! full-scan reference statevector kernels versus the rewritten pair/quad
+//! kernels on the 20-qubit Quantum Volume cell (interleaved repetitions,
+//! bitwise-identity checked every rep), plus wall time for the kiloqubit
+//! stabilizer proofs (routed GHZ on `grid_625` and `hypercube_1024`).
 
 use serde::Serialize;
 use snailqc_bench::print_table;
@@ -227,6 +233,73 @@ struct CellResult {
     speedup: Option<f64>,
 }
 
+/// The `sim` block: dense-kernel rewrite speedup and stabilizer proof
+/// times (see the module docs).
+#[derive(Serialize)]
+struct SimTier {
+    qv_qubits: usize,
+    qv_depth: usize,
+    seed: u64,
+    reps: usize,
+    /// Median wall-µs of the preserved pre-rewrite full-scan kernels.
+    reference_micros: f64,
+    /// Median wall-µs of the pair/quad-iteration + AVX2 kernels.
+    optimized_micros: f64,
+    speedup: f64,
+    /// Every repetition's optimized state matched the reference state bit
+    /// for bit (the rewrite's correctness bar, re-checked under the clock).
+    bitwise_identical: bool,
+    /// Stabilizer-engine `verify_equivalent` wall-µs on routed GHZ-625
+    /// (25×25 grid) and GHZ-1000 (10-d hypercube), routing untimed.
+    ghz625_verify_micros: f64,
+    ghz1024_verify_micros: f64,
+}
+
+fn sim_tier(reps: usize) -> SimTier {
+    use snailqc_circuit::simulator::reference;
+    let (qv_qubits, qv_depth, seed) = (20usize, 20usize, 7u64);
+    let circuit = snailqc_workloads::quantum_volume(qv_qubits, qv_depth, seed);
+    // Interleave reference and optimized repetitions so drift in machine
+    // load lands on both sides of the ratio evenly.
+    let mut ref_samples = Vec::with_capacity(reps);
+    let mut opt_samples = Vec::with_capacity(reps);
+    let mut bitwise_identical = true;
+    for _ in 0..reps {
+        let (micros, old) = time_micros(|| reference::simulate(&circuit));
+        ref_samples.push(micros);
+        let (micros, new) = time_micros(|| snailqc_circuit::simulate(&circuit));
+        opt_samples.push(micros);
+        bitwise_identical &= old
+            .amplitudes()
+            .iter()
+            .zip(new.amplitudes().iter())
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+    }
+    let verify_cell = |graph: &snailqc_topology::CouplingGraph, qubits: usize| {
+        let circuit = snailqc_workloads::ghz(qubits);
+        let layout = LayoutStrategy::Dense.compute(&circuit, graph);
+        let routed = snailqc_transpiler::route(&circuit, graph, &layout, &RouterConfig::default());
+        let (micros, verdict) = time_micros(|| snailqc_sim::verify_equivalent(&circuit, &routed));
+        assert!(verdict.is_equivalent(), "{}: {verdict}", graph.name());
+        micros
+    };
+    let ghz625_verify_micros = verify_cell(&builders::square_lattice(25, 25), 625);
+    let ghz1024_verify_micros = verify_cell(&builders::hypercube(10), 1000);
+    let (reference_micros, optimized_micros) = (median(ref_samples), median(opt_samples));
+    SimTier {
+        qv_qubits,
+        qv_depth,
+        seed,
+        reps,
+        reference_micros,
+        optimized_micros,
+        speedup: reference_micros / optimized_micros,
+        bitwise_identical,
+        ghz625_verify_micros,
+        ghz1024_verify_micros,
+    }
+}
+
 #[derive(Serialize)]
 struct PerfReport {
     generated_by: &'static str,
@@ -237,6 +310,9 @@ struct PerfReport {
     /// Median routing speedup across the 84-qubit cells (the acceptance
     /// number; `null` until every such cell has a recorded baseline).
     median_speedup_84q: Option<f64>,
+    /// Verification-engine tier: dense-kernel rewrite speedup on QV-20
+    /// (bitwise-identity checked) and kiloqubit stabilizer proof times.
+    sim: SimTier,
     /// Observability snapshot taken after the full grid: router work
     /// counters (`router.*`), routing-cache hit/miss rates
     /// (`routing_cache.*`), and histogram quantiles.
@@ -429,6 +505,23 @@ fn main() {
         println!("\nmedian routing speedup on 84-qubit cells: {m:.2}x");
     }
 
+    let sim = sim_tier(reps);
+    assert!(
+        sim.bitwise_identical,
+        "optimized dense kernels drifted from the reference kernels on QV-{}",
+        sim.qv_qubits
+    );
+    println!(
+        "\nsim tier: QV-{} dense kernels {:.1} µs vs reference {:.1} µs ({:.2}x, bitwise identical); \
+         stabilizer proofs GHZ-625 {:.0} µs, GHZ-1000 {:.0} µs",
+        sim.qv_qubits,
+        sim.optimized_micros,
+        sim.reference_micros,
+        sim.speedup,
+        sim.ghz625_verify_micros,
+        sim.ghz1024_verify_micros,
+    );
+
     let snapshot = snailqc_obs::snapshot();
     let (hits, misses) = (
         snapshot.counter("routing_cache.hits").unwrap_or(0),
@@ -446,6 +539,7 @@ fn main() {
         reps,
         cells: results,
         median_speedup_84q,
+        sim,
         metrics: snailqc_obs::metrics_to_value(&snapshot),
     };
     let path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_router.json");

@@ -209,6 +209,13 @@ impl Circuit {
         self.count_where(|i| i.gate.is_swap())
     }
 
+    /// True when every instruction is a Clifford gate (see
+    /// [`Gate::is_clifford`]), so the circuit is exactly simulable by the
+    /// stabilizer tableau engine regardless of qubit count.
+    pub fn is_clifford(&self) -> bool {
+        self.instructions.iter().all(|i| i.gate.is_clifford())
+    }
+
     /// Gate-name histogram.
     pub fn gate_counts(&self) -> BTreeMap<&'static str, usize> {
         let mut counts = BTreeMap::new();

@@ -228,6 +228,52 @@ impl Gate {
         }
     }
 
+    /// True when the gate is a Clifford operation — it maps Pauli operators
+    /// to Pauli operators under conjugation, so the stabilizer tableau engine
+    /// in `snailqc-sim` can simulate it at kiloqubit scale.
+    ///
+    /// Parameterised rotations are Clifford exactly at multiples of π/2
+    /// (`CPhase` only at multiples of π, `ISwapPow` at integer powers);
+    /// angles are classified with [`snailqc_math::angles::half_pi_multiple`]
+    /// under [`snailqc_math::angles::ANGLE_TOL`] so QASM-roundtripped π
+    /// multiples still count. Gates whose Clifford-ness depends on a matrix
+    /// decomposition (`U3`, `Fsim`, `Syc`, `Canonical`, `Unitary1/2`,
+    /// `SqrtISwap`) are conservatively reported as non-Clifford.
+    pub fn is_clifford(&self) -> bool {
+        use snailqc_math::angles::{half_pi_multiple, integer_multiple, pi_multiple, ANGLE_TOL};
+        match self {
+            Gate::I
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::H
+            | Gate::S
+            | Gate::Sdg
+            | Gate::SX
+            | Gate::CX
+            | Gate::CZ
+            | Gate::Swap
+            | Gate::ISwap => true,
+            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::P(t) => {
+                half_pi_multiple(*t, ANGLE_TOL).is_some()
+            }
+            Gate::RZZ(t) | Gate::RXX(t) | Gate::RYY(t) | Gate::ZXInteraction(t) => {
+                half_pi_multiple(*t, ANGLE_TOL).is_some()
+            }
+            Gate::CPhase(l) => pi_multiple(*l, ANGLE_TOL).is_some(),
+            Gate::ISwapPow(t) => integer_multiple(*t, ANGLE_TOL).is_some(),
+            Gate::T
+            | Gate::Tdg
+            | Gate::U3(..)
+            | Gate::Unitary1(_)
+            | Gate::SqrtISwap
+            | Gate::Fsim(..)
+            | Gate::Syc
+            | Gate::Canonical(..)
+            | Gate::Unitary2(_) => false,
+        }
+    }
+
     /// True when the gate is symmetric under exchanging its two qubits
     /// (meaningless but `true` for single-qubit gates).
     pub fn is_symmetric(&self) -> bool {

@@ -12,8 +12,10 @@
 //! * [`circuit::Circuit`] — an ordered instruction list with the metrics the
 //!   study reports: total / critical-path SWAP and 2Q gate counts, depths,
 //!   ASAP layering, and interaction extraction.
-//! * [`simulator::StateVector`] — a small dense simulator used by the test
-//!   suite to check that generators and routing preserve circuit semantics.
+//! * [`simulator::StateVector`] — a dense statevector simulator (up to
+//!   [`simulator::MAX_DENSE_QUBITS`] qubits) with pair/quad-iteration and
+//!   AVX2 kernels, used to check that generators and routing preserve
+//!   circuit semantics.
 
 #![warn(missing_docs)]
 
@@ -23,4 +25,4 @@ pub mod simulator;
 
 pub use circuit::{Circuit, Instruction};
 pub use gate::Gate;
-pub use simulator::{simulate, StateVector};
+pub use simulator::{simulate, ExecMode, StateVector, MAX_DENSE_QUBITS};

@@ -1,0 +1,103 @@
+//! Angle classification helpers.
+//!
+//! The Clifford fast-path verification engine needs to recognise when a
+//! parameterised rotation (`RZ(θ)`, `RZZ(θ)`, …) lands on a Clifford angle —
+//! an exact multiple of π/2 up to floating-point noise introduced by QASM
+//! round-trips (`pi/2` printed and re-parsed) or angle arithmetic in basis
+//! translation.
+
+use std::f64::consts::FRAC_PI_2;
+
+/// Default absolute tolerance used by [`half_pi_multiple`] when classifying
+/// gate angles: comfortably above the ~1e-16 noise of printing/parsing π
+/// multiples, far below the π/4 spacing that would cause misclassification.
+pub const ANGLE_TOL: f64 = 1e-9;
+
+/// Returns `Some(k)` when `theta ≈ k·π/2` within `tol`, i.e. the angle is a
+/// Clifford rotation angle. The returned `k` is not reduced; callers
+/// typically take it modulo 4 (for rotations) or modulo 2.
+///
+/// ```
+/// use snailqc_math::angles::half_pi_multiple;
+/// assert_eq!(half_pi_multiple(std::f64::consts::PI, 1e-9), Some(2));
+/// assert_eq!(half_pi_multiple(-std::f64::consts::FRAC_PI_2, 1e-9), Some(-1));
+/// assert_eq!(half_pi_multiple(0.3, 1e-9), None);
+/// ```
+pub fn half_pi_multiple(theta: f64, tol: f64) -> Option<i64> {
+    if !theta.is_finite() {
+        return None;
+    }
+    let k = (theta / FRAC_PI_2).round();
+    if (theta - k * FRAC_PI_2).abs() <= tol {
+        Some(k as i64)
+    } else {
+        None
+    }
+}
+
+/// Returns `Some(k)` when `theta ≈ k·π` within `tol` (e.g. the Clifford
+/// condition for `CPhase(λ)`, which is Clifford only at multiples of π).
+pub fn pi_multiple(theta: f64, tol: f64) -> Option<i64> {
+    match half_pi_multiple(theta, tol) {
+        Some(k) if k % 2 == 0 => Some(k / 2),
+        _ => None,
+    }
+}
+
+/// Returns `Some(k)` when `t ≈ k` within `tol` — integer powers of a gate
+/// (e.g. `ISwapPow(t)` is Clifford exactly at integer `t`).
+pub fn integer_multiple(t: f64, tol: f64) -> Option<i64> {
+    if !t.is_finite() {
+        return None;
+    }
+    let k = t.round();
+    if (t - k).abs() <= tol {
+        Some(k as i64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn classifies_exact_multiples() {
+        assert_eq!(half_pi_multiple(0.0, ANGLE_TOL), Some(0));
+        assert_eq!(half_pi_multiple(FRAC_PI_2, ANGLE_TOL), Some(1));
+        assert_eq!(half_pi_multiple(PI, ANGLE_TOL), Some(2));
+        assert_eq!(half_pi_multiple(-3.0 * FRAC_PI_2, ANGLE_TOL), Some(-3));
+        assert_eq!(half_pi_multiple(2.0 * PI, ANGLE_TOL), Some(4));
+    }
+
+    #[test]
+    fn rejects_non_clifford_angles() {
+        assert_eq!(half_pi_multiple(FRAC_PI_4, ANGLE_TOL), None);
+        assert_eq!(half_pi_multiple(0.3, ANGLE_TOL), None);
+        assert_eq!(half_pi_multiple(f64::NAN, ANGLE_TOL), None);
+        assert_eq!(half_pi_multiple(f64::INFINITY, ANGLE_TOL), None);
+    }
+
+    #[test]
+    fn tolerates_roundtrip_noise() {
+        // A π/2 that went through a QASM print/parse cycle.
+        let noisy = FRAC_PI_2 + 3e-13;
+        assert_eq!(half_pi_multiple(noisy, ANGLE_TOL), Some(1));
+    }
+
+    #[test]
+    fn pi_multiples_are_even_half_pi_multiples() {
+        assert_eq!(pi_multiple(PI, ANGLE_TOL), Some(1));
+        assert_eq!(pi_multiple(-2.0 * PI, ANGLE_TOL), Some(-2));
+        assert_eq!(pi_multiple(FRAC_PI_2, ANGLE_TOL), None);
+    }
+
+    #[test]
+    fn integer_powers() {
+        assert_eq!(integer_multiple(1.0, ANGLE_TOL), Some(1));
+        assert_eq!(integer_multiple(-3.0 + 1e-12, ANGLE_TOL), Some(-3));
+        assert_eq!(integer_multiple(0.5, ANGLE_TOL), None);
+    }
+}

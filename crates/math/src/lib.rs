@@ -7,6 +7,7 @@
 //! The crate provides exactly the numerics that study needs, with no external
 //! linear-algebra dependencies:
 //!
+//! * [`angles`] — Clifford-angle classification (π/2-multiple detection).
 //! * [`complex`] — a `C64` double-precision complex type.
 //! * [`matrix`] — dense [`Matrix2`] / [`Matrix4`]
 //!   operators with Kronecker products, adjoints, determinants and
@@ -24,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod angles;
 pub mod complex;
 pub mod eigen;
 pub mod gates;

@@ -1,0 +1,193 @@
+//! Pauli-propagation spot checks for near-Clifford circuits.
+//!
+//! A single Pauli string is a one-row [`Tableau`], so Clifford gates push it
+//! through with the same word-level conjugation rules. The twist is that a
+//! Pauli can also survive *non-Clifford* gates when it commutes with them
+//! structurally:
+//!
+//! * diagonal gates (`T`, `RZ(θ)`, `CPhase(λ)`, `RZZ(θ)`, …) commute with
+//!   any Pauli that is Z-only on the gate's qubits, and
+//! * every gate commutes with a Pauli that is the identity on its qubits.
+//!
+//! Propagating a handful of Paulis through both the source and routed
+//! circuit and comparing the endpoints (up to the layout permutation) gives
+//! a cheap necessary condition for equivalence at sizes where dense
+//! simulation is impossible and the circuit is not fully Clifford.
+
+use crate::tableau::Tableau;
+use snailqc_circuit::{Circuit, Gate};
+
+/// Why a Pauli could not be pushed through a gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Obstruction {
+    /// Name of the gate the Pauli failed to commute through.
+    pub gate: &'static str,
+}
+
+impl std::fmt::Display for Obstruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Pauli does not propagate through non-Clifford gate {}",
+            self.gate
+        )
+    }
+}
+
+impl std::error::Error for Obstruction {}
+
+/// A signed Pauli string over `n` qubits, propagated by conjugation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PauliString {
+    tab: Tableau,
+}
+
+impl PauliString {
+    /// The identity string over `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            tab: Tableau::identity(n, 1),
+        }
+    }
+
+    /// `Z` on qubit `q`, identity elsewhere.
+    pub fn z(n: usize, q: usize) -> Self {
+        let mut p = Self::identity(n);
+        p.tab.set_z_bit(0, q, true);
+        p
+    }
+
+    /// `X` on qubit `q`, identity elsewhere.
+    pub fn x(n: usize, q: usize) -> Self {
+        let mut p = Self::identity(n);
+        p.tab.set_x_bit(0, q, true);
+        p
+    }
+
+    /// X component on qubit `q`.
+    pub fn x_bit(&self, q: usize) -> bool {
+        self.tab.x_bit(0, q)
+    }
+
+    /// Z component on qubit `q`.
+    pub fn z_bit(&self, q: usize) -> bool {
+        self.tab.z_bit(0, q)
+    }
+
+    /// Whether the string carries a −1 sign.
+    pub fn sign(&self) -> bool {
+        self.tab.sign_bit(0)
+    }
+
+    /// True when the string acts as the identity on qubit `q`.
+    pub fn is_identity_on(&self, q: usize) -> bool {
+        !self.x_bit(q) && !self.z_bit(q)
+    }
+
+    /// True when the string is diagonal (I or Z) on qubit `q`.
+    pub fn is_diagonal_on(&self, q: usize) -> bool {
+        !self.x_bit(q)
+    }
+
+    /// Remaps the string onto a larger register: qubit `q` goes to
+    /// `phys_of[q]`, all other qubits get the identity.
+    pub fn embed(&self, phys_of: &[usize], num_physical: usize) -> PauliString {
+        let mut out = PauliString::identity(num_physical);
+        for (q, &p) in phys_of.iter().enumerate() {
+            out.tab.set_x_bit(0, p, self.x_bit(q));
+            out.tab.set_z_bit(0, p, self.z_bit(q));
+        }
+        out.tab.set_sign_bit(0, self.sign());
+        out
+    }
+
+    /// Conjugates the string through one gate.
+    ///
+    /// Clifford gates always succeed. A non-Clifford diagonal gate succeeds
+    /// (leaving the string unchanged) when the string is diagonal on the
+    /// gate's qubits; any other non-Clifford gate requires the string to be
+    /// the identity there. Otherwise the propagation is [`Obstruction`]ed
+    /// and the string is left unchanged.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), Obstruction> {
+        if gate.is_clifford() {
+            self.tab
+                .apply_gate(gate, qubits)
+                .expect("clifford gate conjugates");
+            return Ok(());
+        }
+        let commutes = match gate {
+            // Diagonal non-Clifford gates commute with Z-only strings.
+            Gate::T | Gate::Tdg | Gate::RZ(_) | Gate::P(_) => self.is_diagonal_on(qubits[0]),
+            Gate::CPhase(_) | Gate::RZZ(_) => {
+                self.is_diagonal_on(qubits[0]) && self.is_diagonal_on(qubits[1])
+            }
+            // Anything else only passes a Pauli that does not touch it.
+            _ => qubits.iter().all(|&q| self.is_identity_on(q)),
+        };
+        if commutes {
+            Ok(())
+        } else {
+            Err(Obstruction { gate: gate.name() })
+        }
+    }
+
+    /// Conjugates the string through the whole circuit in order.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), Obstruction> {
+        for inst in circuit.instructions() {
+            self.apply_gate(&inst.gate, &inst.qubits)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clifford_conjugation_matches_textbook_rules() {
+        // H Z H† = X.
+        let mut p = PauliString::z(2, 0);
+        p.apply_gate(&Gate::H, &[0]).unwrap();
+        assert!(p.x_bit(0) && !p.z_bit(0) && !p.sign());
+
+        // CX spreads X from control to target.
+        let mut p = PauliString::x(2, 0);
+        p.apply_gate(&Gate::CX, &[0, 1]).unwrap();
+        assert!(p.x_bit(0) && p.x_bit(1));
+    }
+
+    #[test]
+    fn diagonal_non_clifford_passes_z_strings() {
+        let mut p = PauliString::z(2, 0);
+        p.apply_gate(&Gate::T, &[0]).unwrap();
+        p.apply_gate(&Gate::RZ(0.3), &[0]).unwrap();
+        p.apply_gate(&Gate::RZZ(0.7), &[0, 1]).unwrap();
+        assert!(p.z_bit(0) && !p.x_bit(0));
+    }
+
+    #[test]
+    fn diagonal_non_clifford_obstructs_x_strings() {
+        let mut p = PauliString::x(1, 0);
+        let err = p.apply_gate(&Gate::T, &[0]).unwrap_err();
+        assert_eq!(err.gate, "t");
+    }
+
+    #[test]
+    fn general_non_clifford_needs_identity_support() {
+        let mut p = PauliString::z(3, 2);
+        // Syc on other qubits: fine.
+        p.apply_gate(&Gate::Syc, &[0, 1]).unwrap();
+        // Syc touching the Z: obstructed.
+        assert!(p.apply_gate(&Gate::Syc, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn embed_remaps_support() {
+        let mut p = PauliString::z(2, 0);
+        p.apply_gate(&Gate::H, &[0]).unwrap(); // → X on qubit 0
+        let e = p.embed(&[4, 2], 6);
+        assert!(e.x_bit(4) && !e.z_bit(4));
+        assert!(e.is_identity_on(0) && e.is_identity_on(2));
+    }
+}

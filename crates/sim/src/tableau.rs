@@ -1,0 +1,787 @@
+//! Bit-packed stabilizer tableau (Aaronson–Gottesman style).
+//!
+//! A [`Tableau`] tracks `r` stabilizer generators over `n` qubits. Storage is
+//! **qubit-major**: for every qubit column `q` the X (resp. Z) components of
+//! all rows are packed into `⌈r/64⌉` machine words, and the per-row sign bits
+//! into one more such bitset. A Clifford gate touches one or two qubit
+//! columns, so conjugating *every* generator through it costs `O(r/64)` word
+//! operations — a 1024-qubit tableau pushes a gate through all 1024
+//! generators in sixteen u64 ops.
+//!
+//! Group comparison goes through [`Tableau::canonical_form`], which
+//! transposes to row-major Pauli strings and runs a GF(2) row-reduction with
+//! word-level row multiplication (including the `i`-exponent bookkeeping for
+//! signs). The reduced echelon form is unique for a given stabilizer group,
+//! so two tableaus describe the same state iff their canonical forms are
+//! bit-for-bit equal.
+
+use snailqc_circuit::{Circuit, Gate};
+use snailqc_math::angles::{half_pi_multiple, integer_multiple, pi_multiple, ANGLE_TOL};
+
+/// Error returned when a circuit contains a gate outside the Clifford group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotClifford {
+    /// Name of the offending gate.
+    pub gate: &'static str,
+}
+
+impl std::fmt::Display for NotClifford {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gate {} is not a Clifford operation", self.gate)
+    }
+}
+
+impl std::error::Error for NotClifford {}
+
+/// A bit-packed stabilizer tableau: `num_rows` generators over `num_qubits`
+/// qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tableau {
+    num_qubits: usize,
+    num_rows: usize,
+    /// Words per row-bitset (`⌈num_rows/64⌉`).
+    rw: usize,
+    /// X components, qubit-major: column `q` occupies `x[q*rw..(q+1)*rw]`,
+    /// bit `r` of the bitset is row `r`'s X component on qubit `q`.
+    x: Vec<u64>,
+    /// Z components, same layout as `x`.
+    z: Vec<u64>,
+    /// Sign bits: bit `r` set means generator `r` carries a −1 sign.
+    signs: Vec<u64>,
+}
+
+impl Tableau {
+    /// A tableau of `num_rows` identity rows (all-+1, no X/Z components).
+    pub fn identity(num_qubits: usize, num_rows: usize) -> Self {
+        let rw = num_rows.div_ceil(64).max(1);
+        Self {
+            num_qubits,
+            num_rows,
+            rw,
+            x: vec![0; num_qubits * rw],
+            z: vec![0; num_qubits * rw],
+            signs: vec![0; rw],
+        }
+    }
+
+    /// The stabilizer tableau of `|0…0⟩`: generator `i` is `Z_i`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let mut t = Self::identity(num_qubits, num_qubits);
+        for i in 0..num_qubits {
+            t.set_z_bit(i, i, true);
+        }
+        t
+    }
+
+    /// Number of qubit columns.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of generator rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Row `row`'s X component on qubit `q`.
+    pub fn x_bit(&self, row: usize, q: usize) -> bool {
+        self.x[q * self.rw + row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Row `row`'s Z component on qubit `q`.
+    pub fn z_bit(&self, row: usize, q: usize) -> bool {
+        self.z[q * self.rw + row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Whether row `row` carries a −1 sign.
+    pub fn sign_bit(&self, row: usize) -> bool {
+        self.signs[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Sets row `row`'s X component on qubit `q`.
+    pub fn set_x_bit(&mut self, row: usize, q: usize, v: bool) {
+        let w = q * self.rw + row / 64;
+        let b = 1u64 << (row % 64);
+        if v {
+            self.x[w] |= b;
+        } else {
+            self.x[w] &= !b;
+        }
+    }
+
+    /// Sets row `row`'s Z component on qubit `q`.
+    pub fn set_z_bit(&mut self, row: usize, q: usize, v: bool) {
+        let w = q * self.rw + row / 64;
+        let b = 1u64 << (row % 64);
+        if v {
+            self.z[w] |= b;
+        } else {
+            self.z[w] &= !b;
+        }
+    }
+
+    /// Sets row `row`'s sign bit.
+    pub fn set_sign_bit(&mut self, row: usize, v: bool) {
+        let w = row / 64;
+        let b = 1u64 << (row % 64);
+        if v {
+            self.signs[w] |= b;
+        } else {
+            self.signs[w] &= !b;
+        }
+    }
+
+    // --- word-parallel single-column conjugation rules ----------------------
+    //
+    // Each rule updates all rows at once: `x`/`z` below are the 64-row word
+    // blocks of the gate's qubit column(s), `r` the matching sign word.
+
+    /// H: `r ^= x·z`, then swap the X and Z columns.
+    fn h(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.x[o + w] & self.z[o + w];
+            std::mem::swap(&mut self.x[o + w], &mut self.z[o + w]);
+        }
+    }
+
+    /// S: `r ^= x·z; z ^= x`.
+    fn s(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.x[o + w] & self.z[o + w];
+            self.z[o + w] ^= self.x[o + w];
+        }
+    }
+
+    /// S†: `r ^= x·!z; z ^= x`.
+    fn sdg(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.x[o + w] & !self.z[o + w];
+            self.z[o + w] ^= self.x[o + w];
+        }
+    }
+
+    /// √X: `r ^= z·!x; x ^= z`.
+    fn sx(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.z[o + w] & !self.x[o + w];
+            self.x[o + w] ^= self.z[o + w];
+        }
+    }
+
+    /// √X†: `r ^= x·z; x ^= z`.
+    fn sxdg(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.x[o + w] & self.z[o + w];
+            self.x[o + w] ^= self.z[o + w];
+        }
+    }
+
+    /// RY(+π/2): `r ^= x·!z`, then swap X and Z.
+    fn ry_pos(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.x[o + w] & !self.z[o + w];
+            std::mem::swap(&mut self.x[o + w], &mut self.z[o + w]);
+        }
+    }
+
+    /// RY(−π/2): `r ^= z·!x`, then swap X and Z.
+    fn ry_neg(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.z[o + w] & !self.x[o + w];
+            std::mem::swap(&mut self.x[o + w], &mut self.z[o + w]);
+        }
+    }
+
+    /// Pauli X: `r ^= z`.
+    fn px(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.z[o + w];
+        }
+    }
+
+    /// Pauli Z: `r ^= x`.
+    fn pz(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.x[o + w];
+        }
+    }
+
+    /// Pauli Y: `r ^= x ^ z`.
+    fn py(&mut self, q: usize) {
+        let o = q * self.rw;
+        for w in 0..self.rw {
+            self.signs[w] ^= self.x[o + w] ^ self.z[o + w];
+        }
+    }
+
+    /// CX(control `a`, target `b`):
+    /// `r ^= x_a·z_b·!(x_b ^ z_a); x_b ^= x_a; z_a ^= z_b`.
+    fn cx(&mut self, a: usize, b: usize) {
+        let (oa, ob) = (a * self.rw, b * self.rw);
+        for w in 0..self.rw {
+            let xa = self.x[oa + w];
+            let za = self.z[oa + w];
+            let xb = self.x[ob + w];
+            let zb = self.z[ob + w];
+            self.signs[w] ^= xa & zb & !(xb ^ za);
+            self.x[ob + w] = xb ^ xa;
+            self.z[oa + w] = za ^ zb;
+        }
+    }
+
+    /// exp(−iπ/2·Z⊗Z) up to phase, i.e. conjugation by `Z_a Z_b`:
+    /// `r ^= x_a ^ x_b`.
+    fn zz(&mut self, a: usize, b: usize) {
+        let (oa, ob) = (a * self.rw, b * self.rw);
+        for w in 0..self.rw {
+            self.signs[w] ^= self.x[oa + w] ^ self.x[ob + w];
+        }
+    }
+
+    /// SWAP: exchange both component columns.
+    fn swap_qubits(&mut self, a: usize, b: usize) {
+        let (oa, ob) = (a * self.rw, b * self.rw);
+        for w in 0..self.rw {
+            self.x.swap(oa + w, ob + w);
+            self.z.swap(oa + w, ob + w);
+        }
+    }
+
+    /// CZ = (I⊗H)·CX·(I⊗H).
+    fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// `RZZ(kπ/2)` for `k mod 4`: `I`, `CZ·(S⊗S)` (up to phase), `Z⊗Z`,
+    /// or the inverse of the `k = 1` case.
+    fn rzz_quarter(&mut self, k: i64, a: usize, b: usize) {
+        match k.rem_euclid(4) {
+            0 => {}
+            1 => {
+                self.cz(a, b);
+                self.s(a);
+                self.s(b);
+            }
+            2 => self.zz(a, b),
+            _ => {
+                self.cz(a, b);
+                self.sdg(a);
+                self.sdg(b);
+            }
+        }
+    }
+
+    /// iSWAP = SWAP·CZ·(S⊗S) (all factors exchange-symmetric, so order is
+    /// free).
+    fn iswap(&mut self, a: usize, b: usize) {
+        self.swap_qubits(a, b);
+        self.cz(a, b);
+        self.s(a);
+        self.s(b);
+    }
+
+    /// iSWAP† = (S†⊗S†)·CZ·SWAP.
+    fn iswap_dg(&mut self, a: usize, b: usize) {
+        self.sdg(b);
+        self.sdg(a);
+        self.cz(a, b);
+        self.swap_qubits(a, b);
+    }
+
+    /// Conjugates every generator through `gate` on `qubits`.
+    ///
+    /// Returns [`NotClifford`] when the gate (at its parameter value) lies
+    /// outside the Clifford group; the tableau is left unchanged in that
+    /// case.
+    pub fn apply_gate(&mut self, gate: &Gate, qubits: &[usize]) -> Result<(), NotClifford> {
+        let err = || NotClifford { gate: gate.name() };
+        match gate {
+            Gate::I => {}
+            Gate::X => self.px(qubits[0]),
+            Gate::Y => self.py(qubits[0]),
+            Gate::Z => self.pz(qubits[0]),
+            Gate::H => self.h(qubits[0]),
+            Gate::S => self.s(qubits[0]),
+            Gate::Sdg => self.sdg(qubits[0]),
+            Gate::SX => self.sx(qubits[0]),
+            Gate::RX(t) => {
+                let k = half_pi_multiple(*t, ANGLE_TOL).ok_or_else(err)?;
+                match k.rem_euclid(4) {
+                    0 => {}
+                    1 => self.sx(qubits[0]),
+                    2 => self.px(qubits[0]),
+                    _ => self.sxdg(qubits[0]),
+                }
+            }
+            Gate::RY(t) => {
+                let k = half_pi_multiple(*t, ANGLE_TOL).ok_or_else(err)?;
+                match k.rem_euclid(4) {
+                    0 => {}
+                    1 => self.ry_pos(qubits[0]),
+                    2 => self.py(qubits[0]),
+                    _ => self.ry_neg(qubits[0]),
+                }
+            }
+            Gate::RZ(t) | Gate::P(t) => {
+                let k = half_pi_multiple(*t, ANGLE_TOL).ok_or_else(err)?;
+                match k.rem_euclid(4) {
+                    0 => {}
+                    1 => self.s(qubits[0]),
+                    2 => self.pz(qubits[0]),
+                    _ => self.sdg(qubits[0]),
+                }
+            }
+            Gate::CX => self.cx(qubits[0], qubits[1]),
+            Gate::CZ => self.cz(qubits[0], qubits[1]),
+            Gate::CPhase(l) => {
+                let k = pi_multiple(*l, ANGLE_TOL).ok_or_else(err)?;
+                if k.rem_euclid(2) == 1 {
+                    self.cz(qubits[0], qubits[1]);
+                }
+            }
+            Gate::Swap => self.swap_qubits(qubits[0], qubits[1]),
+            Gate::ISwap => self.iswap(qubits[0], qubits[1]),
+            Gate::ISwapPow(t) => {
+                let k = integer_multiple(*t, ANGLE_TOL).ok_or_else(err)?;
+                match k.rem_euclid(4) {
+                    0 => {}
+                    1 => self.iswap(qubits[0], qubits[1]),
+                    2 => self.zz(qubits[0], qubits[1]),
+                    _ => self.iswap_dg(qubits[0], qubits[1]),
+                }
+            }
+            Gate::RZZ(t) => {
+                let k = half_pi_multiple(*t, ANGLE_TOL).ok_or_else(err)?;
+                self.rzz_quarter(k, qubits[0], qubits[1]);
+            }
+            Gate::RXX(t) => {
+                // XX = (H⊗H)·ZZ·(H⊗H).
+                let k = half_pi_multiple(*t, ANGLE_TOL).ok_or_else(err)?;
+                let (a, b) = (qubits[0], qubits[1]);
+                self.h(a);
+                self.h(b);
+                self.rzz_quarter(k, a, b);
+                self.h(a);
+                self.h(b);
+            }
+            Gate::RYY(t) => {
+                // Y = V Z V† with V = S·H, so YY rotations conjugate the ZZ
+                // rotation by V⊗V: circuit [S†, H] … ZZ … [H, S] per qubit.
+                let k = half_pi_multiple(*t, ANGLE_TOL).ok_or_else(err)?;
+                let (a, b) = (qubits[0], qubits[1]);
+                self.sdg(a);
+                self.sdg(b);
+                self.h(a);
+                self.h(b);
+                self.rzz_quarter(k, a, b);
+                self.h(a);
+                self.s(a);
+                self.h(b);
+                self.s(b);
+            }
+            Gate::ZXInteraction(t) => {
+                // ZX = (I⊗H)·ZZ·(I⊗H).
+                let k = half_pi_multiple(*t, ANGLE_TOL).ok_or_else(err)?;
+                let (a, b) = (qubits[0], qubits[1]);
+                self.h(b);
+                self.rzz_quarter(k, a, b);
+                self.h(b);
+            }
+            Gate::T
+            | Gate::Tdg
+            | Gate::U3(..)
+            | Gate::Unitary1(_)
+            | Gate::SqrtISwap
+            | Gate::Fsim(..)
+            | Gate::Syc
+            | Gate::Canonical(..)
+            | Gate::Unitary2(_) => return Err(err()),
+        }
+        Ok(())
+    }
+
+    /// Conjugates every generator through the whole circuit in order.
+    /// The global phase is unobservable in the stabilizer formalism and is
+    /// ignored.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), NotClifford> {
+        assert_eq!(circuit.num_qubits(), self.num_qubits);
+        for inst in circuit.instructions() {
+            self.apply_gate(&inst.gate, &inst.qubits)?;
+        }
+        Ok(())
+    }
+
+    /// Embeds an `n`-qubit *state* tableau (`num_rows == num_qubits`) into a
+    /// larger `num_physical`-qubit register: logical qubit `q` lands on
+    /// physical qubit `phys_of[q]`, and every unoccupied physical qubit gets
+    /// a fresh `Z_p` generator (it is in `|0⟩`).
+    pub fn embed(&self, phys_of: &[usize], num_physical: usize) -> Tableau {
+        assert_eq!(
+            self.num_rows, self.num_qubits,
+            "embed expects a state tableau"
+        );
+        assert_eq!(phys_of.len(), self.num_qubits);
+        assert!(num_physical >= self.num_qubits);
+        let mut out = Tableau::identity(num_physical, num_physical);
+        let mut occupied = vec![false; num_physical];
+        for (q, &p) in phys_of.iter().enumerate() {
+            assert!(!occupied[p], "phys_of is not injective");
+            occupied[p] = true;
+            for w in 0..self.rw {
+                out.x[p * out.rw + w] = self.x[q * self.rw + w];
+                out.z[p * out.rw + w] = self.z[q * self.rw + w];
+            }
+        }
+        out.signs[..self.rw].copy_from_slice(&self.signs);
+        let mut row = self.num_rows;
+        for (p, occ) in occupied.iter().enumerate() {
+            if !occ {
+                out.set_z_bit(row, p, true);
+                row += 1;
+            }
+        }
+        debug_assert_eq!(row, num_physical);
+        out
+    }
+
+    /// The unique reduced-echelon canonical form of the generated group.
+    pub fn canonical_form(&self) -> CanonicalForm {
+        let mut c = CanonicalForm::transpose_of(self);
+        c.reduce();
+        c
+    }
+}
+
+/// Row-major reduced echelon form of a stabilizer group, unique per group.
+///
+/// Two tableaus generate the same stabilizer group — i.e. describe the same
+/// state — iff their canonical forms compare equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    num_qubits: usize,
+    num_rows: usize,
+    /// Words per row over qubit columns (`⌈num_qubits/64⌉`).
+    wq: usize,
+    /// X components, row-major: row `r` occupies `x[r*wq..(r+1)*wq]`.
+    x: Vec<u64>,
+    z: Vec<u64>,
+    signs: Vec<u64>,
+}
+
+impl CanonicalForm {
+    fn transpose_of(t: &Tableau) -> Self {
+        let wq = t.num_qubits.div_ceil(64).max(1);
+        let mut c = CanonicalForm {
+            num_qubits: t.num_qubits,
+            num_rows: t.num_rows,
+            wq,
+            x: vec![0; t.num_rows * wq],
+            z: vec![0; t.num_rows * wq],
+            signs: t.signs.clone(),
+        };
+        for q in 0..t.num_qubits {
+            let (w, b) = (q / 64, 1u64 << (q % 64));
+            for rword in 0..t.rw {
+                let mut xs = t.x[q * t.rw + rword];
+                while xs != 0 {
+                    let r = rword * 64 + xs.trailing_zeros() as usize;
+                    c.x[r * wq + w] |= b;
+                    xs &= xs - 1;
+                }
+                let mut zs = t.z[q * t.rw + rword];
+                while zs != 0 {
+                    let r = rword * 64 + zs.trailing_zeros() as usize;
+                    c.z[r * wq + w] |= b;
+                    zs &= zs - 1;
+                }
+            }
+        }
+        c
+    }
+
+    /// Number of generator rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Row `row`'s X component on qubit `q`.
+    pub fn x_bit(&self, row: usize, q: usize) -> bool {
+        self.x[row * self.wq + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    /// Row `row`'s Z component on qubit `q`.
+    pub fn z_bit(&self, row: usize, q: usize) -> bool {
+        self.z[row * self.wq + q / 64] >> (q % 64) & 1 == 1
+    }
+
+    /// Whether row `row` carries a −1 sign.
+    pub fn sign_bit(&self, row: usize) -> bool {
+        self.signs[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    fn set_sign_bit(&mut self, row: usize, v: bool) {
+        let w = row / 64;
+        let b = 1u64 << (row % 64);
+        if v {
+            self.signs[w] |= b;
+        } else {
+            self.signs[w] &= !b;
+        }
+    }
+
+    fn swap_rows(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        for w in 0..self.wq {
+            self.x.swap(i * self.wq + w, j * self.wq + w);
+            self.z.swap(i * self.wq + w, j * self.wq + w);
+        }
+        let (si, sj) = (self.sign_bit(i), self.sign_bit(j));
+        self.set_sign_bit(i, sj);
+        self.set_sign_bit(j, si);
+    }
+
+    /// Replaces row `i` with the Pauli product `row_i · row_j` (word-level),
+    /// tracking the sign through the per-qubit `i`-exponent bookkeeping.
+    /// The rows of a stabilizer tableau commute, so the product order is
+    /// immaterial and the accumulated exponent is always even.
+    fn row_mult(&mut self, i: usize, j: usize) {
+        let (oi, oj) = (i * self.wq, j * self.wq);
+        let mut exponent: i64 = 0;
+        for w in 0..self.wq {
+            let x1 = self.x[oi + w];
+            let z1 = self.z[oi + w];
+            let x2 = self.x[oj + w];
+            let z2 = self.z[oj + w];
+            // Per-qubit phase of σ₁·σ₂: +i on (Y·Z, X·Y, Z·X), −i on the
+            // transposes, ±1 otherwise.
+            let plus = (x1 & z1 & z2 & !x2) | (x1 & !z1 & x2 & z2) | (!x1 & z1 & x2 & !z2);
+            let minus = (x1 & z1 & x2 & !z2) | (x1 & !z1 & z2 & !x2) | (!x1 & z1 & x2 & z2);
+            exponent += plus.count_ones() as i64 - minus.count_ones() as i64;
+            self.x[oi + w] = x1 ^ x2;
+            self.z[oi + w] = z1 ^ z2;
+        }
+        let t = exponent.rem_euclid(4);
+        debug_assert_eq!(t % 2, 0, "multiplied anticommuting rows");
+        let sign = self.sign_bit(i) ^ self.sign_bit(j) ^ (t == 2);
+        self.set_sign_bit(i, sign);
+    }
+
+    /// Full Gauss–Jordan reduction over GF(2), pivoting on the X block
+    /// first, then the Z block. Eliminating above *and* below each pivot
+    /// makes the result unique for the row space, and the sign bookkeeping
+    /// in [`Self::row_mult`] makes the sign column unique too.
+    fn reduce(&mut self) {
+        let mut pivot = 0usize;
+        for col in 0..2 * self.num_qubits {
+            if pivot == self.num_rows {
+                break;
+            }
+            let (block_x, q) = if col < self.num_qubits {
+                (true, col)
+            } else {
+                (false, col - self.num_qubits)
+            };
+            let (w, b) = (q / 64, 1u64 << (q % 64));
+            let bit = |arr: &[u64], r: usize, wq: usize| arr[r * wq + w] & b != 0;
+            let arr = if block_x { &self.x } else { &self.z };
+            let Some(r) = (pivot..self.num_rows).find(|&r| bit(arr, r, self.wq)) else {
+                continue;
+            };
+            self.swap_rows(r, pivot);
+            for i in 0..self.num_rows {
+                let arr = if block_x { &self.x } else { &self.z };
+                if i != pivot && bit(arr, i, self.wq) {
+                    self.row_mult(i, pivot);
+                }
+            }
+            pivot += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Renders row `r` as a Pauli string for debugging/assertions.
+    fn row_string(t: &Tableau, r: usize) -> String {
+        let mut s = String::from(if t.sign_bit(r) { "-" } else { "+" });
+        for q in 0..t.num_qubits() {
+            s.push(match (t.x_bit(r, q), t.z_bit(r, q)) {
+                (false, false) => 'I',
+                (true, false) => 'X',
+                (false, true) => 'Z',
+                (true, true) => 'Y',
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn zero_state_is_all_z() {
+        let t = Tableau::zero_state(3);
+        assert_eq!(row_string(&t, 0), "+ZII");
+        assert_eq!(row_string(&t, 1), "+IZI");
+        assert_eq!(row_string(&t, 2), "+IIZ");
+    }
+
+    #[test]
+    fn x_gate_flips_z_sign() {
+        // X|0⟩ = |1⟩, stabilized by −Z.
+        let mut t = Tableau::zero_state(1);
+        t.apply_gate(&Gate::X, &[0]).unwrap();
+        assert_eq!(row_string(&t, 0), "-Z");
+    }
+
+    #[test]
+    fn hadamard_turns_z_into_x() {
+        let mut t = Tableau::zero_state(1);
+        t.apply_gate(&Gate::H, &[0]).unwrap();
+        assert_eq!(row_string(&t, 0), "+X");
+    }
+
+    #[test]
+    fn bell_state_stabilizers() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let mut t = Tableau::zero_state(2);
+        t.apply_circuit(&c).unwrap();
+        assert_eq!(row_string(&t, 0), "+XX");
+        assert_eq!(row_string(&t, 1), "+ZZ");
+    }
+
+    #[test]
+    fn s_gate_sends_x_to_y() {
+        let mut t = Tableau::zero_state(1);
+        t.apply_gate(&Gate::H, &[0]).unwrap();
+        t.apply_gate(&Gate::S, &[0]).unwrap();
+        assert_eq!(row_string(&t, 0), "+Y");
+        t.apply_gate(&Gate::S, &[0]).unwrap();
+        assert_eq!(row_string(&t, 0), "-X");
+    }
+
+    #[test]
+    fn non_clifford_gate_is_rejected() {
+        let mut t = Tableau::zero_state(1);
+        let err = t.apply_gate(&Gate::T, &[0]).unwrap_err();
+        assert_eq!(err.gate, "t");
+        let err = t.apply_gate(&Gate::RZ(0.3), &[0]).unwrap_err();
+        assert_eq!(err.gate, "rz");
+        // The Clifford angle is accepted.
+        t.apply_gate(&Gate::RZ(std::f64::consts::FRAC_PI_2), &[0])
+            .unwrap();
+    }
+
+    #[test]
+    fn canonical_form_identifies_equal_groups() {
+        // {+XX, +ZZ} and {+ZZ, −YY} generate the same Bell-state group.
+        let mut c1 = Circuit::new(2);
+        c1.h(0);
+        c1.cx(0, 1);
+        let mut t1 = Tableau::zero_state(2);
+        t1.apply_circuit(&c1).unwrap();
+
+        // Same state built the other way around.
+        let mut c2 = Circuit::new(2);
+        c2.h(1);
+        c2.cx(1, 0);
+        let mut t2 = Tableau::zero_state(2);
+        t2.apply_circuit(&c2).unwrap();
+
+        assert_ne!(t1, t2, "generator sets differ");
+        assert_eq!(t1.canonical_form(), t2.canonical_form(), "groups agree");
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_sign() {
+        // |Φ+⟩ vs |Φ−⟩: same generators up to one sign.
+        let mut plus = Circuit::new(2);
+        plus.h(0);
+        plus.cx(0, 1);
+        let mut minus = plus.clone();
+        minus.push(Gate::Z, &[0]);
+        let mut tp = Tableau::zero_state(2);
+        tp.apply_circuit(&plus).unwrap();
+        let mut tm = Tableau::zero_state(2);
+        tm.apply_circuit(&minus).unwrap();
+        assert_ne!(tp.canonical_form(), tm.canonical_form());
+    }
+
+    #[test]
+    fn embed_places_logical_qubits_and_pads_zeros() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let mut t = Tableau::zero_state(2);
+        t.apply_circuit(&c).unwrap();
+        // Logical 0 → physical 3, logical 1 → physical 1 of a 4-qubit device.
+        let e = t.embed(&[3, 1], 4);
+        assert_eq!(e.num_qubits(), 4);
+        assert_eq!(row_string(&e, 0), "+IXIX");
+        assert_eq!(row_string(&e, 1), "+IZIZ");
+        // Padding rows stabilize the unoccupied physicals 0 and 2.
+        assert_eq!(row_string(&e, 2), "+ZIII");
+        assert_eq!(row_string(&e, 3), "+IIZI");
+    }
+
+    #[test]
+    fn swap_equals_three_cx() {
+        let mut direct = Tableau::zero_state(3);
+        let mut via_cx = Tableau::zero_state(3);
+        // Start from a non-trivial state.
+        let mut prep = Circuit::new(3);
+        prep.h(0);
+        prep.cx(0, 1);
+        prep.push(Gate::S, &[2]);
+        prep.h(2);
+        direct.apply_circuit(&prep).unwrap();
+        via_cx.apply_circuit(&prep).unwrap();
+        direct.apply_gate(&Gate::Swap, &[0, 2]).unwrap();
+        for (a, b) in [(0, 2), (2, 0), (0, 2)] {
+            via_cx.apply_gate(&Gate::CX, &[a, b]).unwrap();
+        }
+        assert_eq!(direct.canonical_form(), via_cx.canonical_form());
+    }
+
+    #[test]
+    fn large_tableau_round_trips_more_than_64_rows() {
+        // Exercise multi-word row bitsets: GHZ on 130 qubits.
+        let n = 130;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for i in 0..n - 1 {
+            c.cx(i, i + 1);
+        }
+        let mut t = Tableau::zero_state(n);
+        t.apply_circuit(&c).unwrap();
+        // The canonical form is idempotent and self-equal.
+        let c1 = t.canonical_form();
+        assert_eq!(c1, t.canonical_form());
+        // Undo the circuit: back to |0…0⟩.
+        t.apply_circuit(&c.inverse()).unwrap();
+        assert_eq!(
+            t.canonical_form(),
+            Tableau::zero_state(n).canonical_form(),
+            "inverse did not return to the zero state"
+        );
+    }
+}

@@ -306,7 +306,7 @@ impl NoiseContext {
 /// One cache belongs to one graph — `snailqc_core::device::Device` owns one
 /// per device and threads it through every transpile, so sweeps and batch
 /// runs compute distance rows once per device instead of once per cell. On
-/// kiloqubit devices (n ≥ [`LAZY_ROW_THRESHOLD`]) rows materialize on
+/// kiloqubit devices (n ≥ [`snailqc_topology::distance::LAZY_ROW_THRESHOLD`]) rows materialize on
 /// demand, so a small program only pays for the rows it touches. The cached
 /// distances are exactly what an uncached [`route`] would compute, so routed
 /// output is bitwise-identical either way.

@@ -30,6 +30,24 @@ fn route_kiloqubit(graph: &CouplingGraph, qubits: usize) -> RoutedCircuit {
     route(&circuit, graph, &layout, &RouterConfig::default())
 }
 
+/// Beyond digest stability: the stabilizer engine proves the kiloqubit
+/// routes are *semantically* correct — GHZ is Clifford, so equivalence on
+/// 625 and 1024 physical qubits is decided exactly, with no tolerance.
+#[test]
+fn kiloqubit_routes_are_stabilizer_verified() {
+    let cells = [
+        (builders::square_lattice(25, 25), 600usize),
+        (builders::hypercube(10), 1000),
+    ];
+    for (graph, qubits) in &cells {
+        let circuit = snailqc_workloads::ghz(*qubits);
+        let layout = dense_layout(&circuit, graph);
+        let routed = route(&circuit, graph, &layout, &RouterConfig::default());
+        let verdict = snailqc_sim::verify_equivalent(&circuit, &routed);
+        assert!(verdict.is_equivalent(), "{}: {verdict}", graph.name());
+    }
+}
+
 /// Two independent runs on the same kiloqubit cell must agree bit for bit,
 /// and the digest must not depend on how many worker threads the trial
 /// fan-out uses (the `RAYON_NUM_THREADS` knob).

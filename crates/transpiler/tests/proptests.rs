@@ -224,5 +224,48 @@ proptest! {
             "noise-aware routing broke semantics: fidelity {}",
             fidelity
         );
+        // The dedicated verification engine must reach the same conclusion.
+        let verdict = snailqc_sim::verify_equivalent(&circuit, &routed);
+        prop_assert!(verdict.is_equivalent(), "{verdict}");
+    }
+
+    /// `verify_equivalent` endorses every routed circuit on every device in
+    /// the pool — the sim crate's dense engine handles the general
+    /// (non-Clifford) circuits arb_circuit produces, including routes onto
+    /// more physical qubits than the circuit has logical ones. Devices above
+    /// the dense ceiling fall back to Pauli spot checks, which must at least
+    /// be consistent (never a refutation).
+    #[test]
+    fn verification_engine_endorses_routed_circuits(
+        circuit in arb_circuit(8, 20),
+        dev in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let graph = device(dev);
+        let layout = LayoutStrategy::Dense.compute(&circuit, &graph);
+        let routed = route(&circuit, &graph, &layout, &RouterConfig::deterministic(seed));
+        let verdict = snailqc_sim::verify_equivalent(&circuit, &routed);
+        if graph.num_qubits() <= snailqc_sim::DENSE_VERIFY_MAX_QUBITS || circuit.is_clifford() {
+            prop_assert!(verdict.is_equivalent(), "dev={dev} seed={seed}: {verdict}");
+        } else {
+            prop_assert!(verdict.is_consistent(), "dev={dev} seed={seed}: {verdict}");
+        }
+    }
+
+    /// Routed Clifford circuits are verified by the stabilizer engine —
+    /// exact group equality, no floating-point tolerance involved.
+    #[test]
+    fn clifford_routes_are_stabilizer_verified(
+        dev in 0usize..5,
+        gates in 10usize..60,
+        seed in 0u64..500,
+    ) {
+        let circuit = snailqc_workloads::random_clifford_circuit(8, gates, seed);
+        prop_assert!(circuit.is_clifford());
+        let graph = device(dev);
+        let layout = LayoutStrategy::Dense.compute(&circuit, &graph);
+        let routed = route(&circuit, &graph, &layout, &RouterConfig::deterministic(seed));
+        let verdict = snailqc_sim::verify_equivalent(&circuit, &routed);
+        prop_assert!(verdict.is_equivalent(), "dev={dev} seed={seed}: {verdict}");
     }
 }

@@ -18,6 +18,7 @@
 //! SNAILQC_BLESS=1 cargo test -p snailqc-transpiler --test router_equivalence -- --nocapture
 //! ```
 
+use snailqc_sim::{verify_equivalent, Verdict, DENSE_VERIFY_MAX_QUBITS};
 use snailqc_topology::{builders, catalog};
 use snailqc_transpiler::{route, LayoutStrategy, RoutedCircuit, RouterConfig};
 use snailqc_workloads::Workload;
@@ -117,6 +118,44 @@ fn routed_output_is_bitwise_identical_to_the_pre_overhaul_router() {
     }
     if bless {
         println!("];");
+    }
+}
+
+/// Digest equality says the router's output hasn't *changed*; this test
+/// says it is *correct*. Every noise-blind catalog cell is checked against
+/// the source circuit with the sim crate's verification engine: devices
+/// small enough for the dense engine must prove equivalence outright, and
+/// the larger 84-qubit devices (QV is non-Clifford, so the stabilizer
+/// engine cannot close them) must at least pass Pauli spot checks.
+#[test]
+fn frozen_cells_are_semantically_verified() {
+    let circuit = Workload::QuantumVolume.generate(12, 7);
+    for name in catalog::names() {
+        let graph = catalog::by_name(name).unwrap();
+        let routed = route_cell(name, false);
+        let verdict = verify_equivalent(&circuit, &routed);
+        if graph.num_qubits() <= DENSE_VERIFY_MAX_QUBITS {
+            assert!(verdict.is_equivalent(), "{name}: {verdict}");
+        } else {
+            assert!(
+                verdict.is_consistent(),
+                "{name}: routed output refuted: {verdict}"
+            );
+        }
+    }
+}
+
+/// On an 84-qubit device a routed *Clifford* QV circuit is provable
+/// exactly: the stabilizer engine scales where dense simulation cannot.
+#[test]
+fn clifford_qv_is_exactly_verified_on_the_large_devices() {
+    let circuit = snailqc_workloads::clifford_qv(12, 7, 7);
+    for name in ["heavy-hex-84", "hypercube-84", "tree-rr-84"] {
+        let graph = catalog::by_name(name).unwrap();
+        let layout = LayoutStrategy::Dense.compute(&circuit, &graph);
+        let routed = route(&circuit, &graph, &layout, &RouterConfig::default());
+        let verdict = verify_equivalent(&circuit, &routed);
+        assert!(matches!(verdict, Verdict::Equivalent), "{name}: {verdict}");
     }
 }
 

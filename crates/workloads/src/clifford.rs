@@ -1,0 +1,153 @@
+//! Clifford workload corpus for the stabilizer verification engine.
+//!
+//! Three generators whose every gate lies in the Clifford group (see
+//! [`snailqc_circuit::Gate::is_clifford`]), so the `snailqc-sim` tableau
+//! engine can verify their routed forms exactly at any size:
+//!
+//! * [`clifford_ghz`] — GHZ preparation at the catalog device sizes (a thin
+//!   re-export of [`crate::ghz()`], which is already Clifford).
+//! * [`clifford_qv`] — Quantum Volume layer structure with the Haar-random
+//!   SU(4) blocks replaced by random two-qubit *Clifford* blocks.
+//! * [`random_clifford_circuit`] — an RB-style stream of uniformly drawn
+//!   one- and two-qubit Clifford gates on random operands.
+//!
+//! All generators are deterministic per seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use snailqc_circuit::{Circuit, Gate};
+
+/// One-qubit Clifford generators sampled by the random builders. Products of
+/// these cover the full 24-element single-qubit Clifford group.
+const CLIFFORD_1Q: [Gate; 8] = [
+    Gate::H,
+    Gate::S,
+    Gate::Sdg,
+    Gate::SX,
+    Gate::X,
+    Gate::Y,
+    Gate::Z,
+    Gate::I,
+];
+
+/// Two-qubit Clifford entanglers sampled by the random builders, including
+/// the parameterised gates at their Clifford angles.
+fn clifford_2q(rng: &mut StdRng) -> Gate {
+    match rng.gen_range(0..6) {
+        0 => Gate::CX,
+        1 => Gate::CZ,
+        2 => Gate::ISwap,
+        3 => Gate::Swap,
+        4 => Gate::RZZ(std::f64::consts::FRAC_PI_2),
+        _ => Gate::CPhase(std::f64::consts::PI),
+    }
+}
+
+/// GHZ state preparation — already a pure Clifford circuit; re-exported here
+/// so the Clifford corpus is self-contained.
+pub fn clifford_ghz(num_qubits: usize) -> Circuit {
+    crate::ghz(num_qubits)
+}
+
+/// A random two-qubit Clifford block: a short dressing of one-qubit
+/// Cliffords around one or two entanglers.
+fn clifford_block(circuit: &mut Circuit, a: usize, b: usize, rng: &mut StdRng) {
+    for &q in &[a, b] {
+        for _ in 0..rng.gen_range(1..3usize) {
+            let g = CLIFFORD_1Q[rng.gen_range(0..CLIFFORD_1Q.len())].clone();
+            circuit.push(g, &[q]);
+        }
+    }
+    circuit.push(clifford_2q(rng), &[a, b]);
+    if rng.gen_bool(0.5) {
+        for &q in &[a, b] {
+            let g = CLIFFORD_1Q[rng.gen_range(0..CLIFFORD_1Q.len())].clone();
+            circuit.push(g, &[q]);
+        }
+        circuit.push(clifford_2q(rng), &[a, b]);
+    }
+}
+
+/// A Clifford-restricted Quantum Volume circuit: `depth` layers of a random
+/// qubit pairing, each pair coupled by a random two-qubit Clifford block
+/// instead of a Haar-random SU(4).
+pub fn clifford_qv(num_qubits: usize, depth: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "clifford QV needs at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new(num_qubits);
+    let mut order: Vec<usize> = (0..num_qubits).collect();
+    for _ in 0..depth {
+        order.shuffle(&mut rng);
+        for pair in order.chunks_exact(2) {
+            clifford_block(&mut circuit, pair[0], pair[1], &mut rng);
+        }
+    }
+    circuit
+}
+
+/// An RB-style random Clifford circuit: `num_gates` gates drawn uniformly
+/// from the one-qubit Clifford generators (2/3 of draws) and the two-qubit
+/// entanglers (1/3 of draws) on uniformly random operands.
+pub fn random_clifford_circuit(num_qubits: usize, num_gates: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "random clifford needs at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new(num_qubits);
+    for _ in 0..num_gates {
+        if rng.gen_range(0..3) < 2 {
+            let q = rng.gen_range(0..num_qubits);
+            let g = CLIFFORD_1Q[rng.gen_range(0..CLIFFORD_1Q.len())].clone();
+            circuit.push(g, &[q]);
+        } else {
+            let a = rng.gen_range(0..num_qubits);
+            let mut b = rng.gen_range(0..num_qubits);
+            if b == a {
+                b = (a + 1) % num_qubits;
+            }
+            circuit.push(clifford_2q(&mut rng), &[a, b]);
+        }
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_corpus_circuit_is_clifford() {
+        assert!(clifford_ghz(9).is_clifford());
+        for seed in 0..5 {
+            assert!(clifford_qv(8, 8, seed).is_clifford(), "qv seed {seed}");
+            assert!(
+                random_clifford_circuit(8, 60, seed).is_clifford(),
+                "rb seed {seed}"
+            );
+        }
+        // The real QV workload is NOT Clifford — the corpus is distinct.
+        assert!(!crate::quantum_volume(8, 8, 0).is_clifford());
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(clifford_qv(8, 6, 3), clifford_qv(8, 6, 3));
+        assert_ne!(clifford_qv(8, 6, 3), clifford_qv(8, 6, 4));
+        assert_eq!(
+            random_clifford_circuit(10, 50, 7),
+            random_clifford_circuit(10, 50, 7)
+        );
+        assert_ne!(
+            random_clifford_circuit(10, 50, 7),
+            random_clifford_circuit(10, 50, 8)
+        );
+    }
+
+    #[test]
+    fn qv_layers_pair_disjoint_qubits() {
+        let c = clifford_qv(8, 5, 11);
+        assert!(
+            c.two_qubit_count() >= 5 * 4,
+            "at least one entangler per pair"
+        );
+    }
+}

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod adder;
+pub mod clifford;
 pub mod ghz;
 pub mod qaoa;
 pub mod qft;
@@ -17,6 +18,7 @@ pub mod quantum_volume;
 pub mod tim;
 
 pub use adder::cdkm_adder;
+pub use clifford::{clifford_ghz, clifford_qv, random_clifford_circuit};
 pub use ghz::ghz;
 pub use qaoa::qaoa_vanilla;
 pub use qft::qft;

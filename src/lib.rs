@@ -20,6 +20,7 @@
 //! | [`decompose`] | `snailqc-decompose` | basis-gate counting, NuOp templates, decoherence model |
 //! | [`devices`] | `snailqc-devices` | the declarative JSON device-spec format (topologies as data files) |
 //! | [`qasm`] | `snailqc-qasm` | version-aware OpenQASM 2.0 / 3.0 parsers and emitter for external circuit interchange |
+//! | [`sim`] | `snailqc-sim` | verification engines: bit-packed stabilizer tableau, Pauli propagation, routed-circuit equivalence checking |
 //! | [`core`] | `snailqc-core` | `Device`, machines, sweeps, the sweep store and headline ratios |
 //! | [`obs`] | `snailqc-obs` | tracing spans, metrics registry, Chrome-trace/JSON exporters |
 //! | [`serve`] | (this crate) | the `snailqc serve` daemon: line-delimited JSON-RPC over TCP/Unix sockets with warm device/routing caches |
@@ -73,6 +74,7 @@ pub use snailqc_devices as devices;
 pub use snailqc_math as math;
 pub use snailqc_obs as obs;
 pub use snailqc_qasm as qasm;
+pub use snailqc_sim as sim;
 pub use snailqc_topology as topology;
 pub use snailqc_transpiler as transpiler;
 pub use snailqc_workloads as workloads;
@@ -95,6 +97,7 @@ pub mod prelude {
         emit_versioned as emit_qasm_versioned, parse as parse_qasm, parse3 as parse_qasm3,
         parse_any as parse_qasm_any, QasmProgram, QasmVersion,
     };
+    pub use snailqc_sim::{verify_equivalent, Verdict};
     pub use snailqc_topology::{CouplingGraph, TopologyKind};
     pub use snailqc_transpiler::{
         BasisChoice, EdgeErrorSource, LayoutStrategy, PassTrace, Pipeline, RouterConfig,

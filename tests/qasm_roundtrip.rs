@@ -156,6 +156,63 @@ fn every_workload_is_statevector_equivalent_across_dialects() {
     }
 }
 
+#[test]
+fn reimported_circuits_route_and_verify_across_dialects() {
+    // The verification engine closes the interchange loop: a circuit that
+    // goes out as QASM (either dialect), comes back in, and is routed onto
+    // a catalog device must still be provably equivalent to the original
+    // generator output. GHZ exercises the stabilizer engine, QFT the dense
+    // engine (16 physical qubits is exactly the dense ceiling).
+    use snailqc::topology::catalog;
+    use snailqc::transpiler::route;
+    let graph = catalog::by_name("square-lattice-16").unwrap();
+    for version in [QasmVersion::V2, QasmVersion::V3] {
+        for (workload, size) in [(Workload::Ghz, 12), (Workload::Qft, 8)] {
+            let direct = workload.generate(size, 11);
+            let text = workload.emit_qasm_versioned(size, 11, version);
+            let reimported = qasm::parse_any(&text).unwrap().circuit;
+            let layout = LayoutStrategy::Dense.compute(&reimported, &graph);
+            let routed = route(
+                &reimported,
+                &graph,
+                &layout,
+                &RouterConfig::deterministic(11),
+            );
+            let verdict = verify_equivalent(&direct, &routed);
+            assert!(
+                verdict.is_equivalent(),
+                "{} ({version}): {verdict}",
+                workload.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn large_clifford_interchange_is_stabilizer_verified() {
+    // Interchange at a scale no dense simulator reaches: a 60-qubit random
+    // Clifford circuit survives emit → parse (both dialects) → routing onto
+    // a 64-qubit grid, with the stabilizer engine proving exact equivalence.
+    use snailqc::topology::builders;
+    use snailqc::transpiler::route;
+    let direct = snailqc::workloads::random_clifford_circuit(60, 300, 19);
+    let graph = builders::square_lattice(8, 8);
+    for version in [QasmVersion::V2, QasmVersion::V3] {
+        let text = emit_qasm_versioned(&direct, version);
+        let reimported = qasm::parse_any(&text).unwrap().circuit;
+        assert_eq!(reimported, direct, "{version}: interchange drifted");
+        let layout = LayoutStrategy::Dense.compute(&reimported, &graph);
+        let routed = route(
+            &reimported,
+            &graph,
+            &layout,
+            &RouterConfig::deterministic(19),
+        );
+        let verdict = verify_equivalent(&direct, &routed);
+        assert!(verdict.is_equivalent(), "{version}: {verdict}");
+    }
+}
+
 /// Per-workload QASM3 golden files: emission is byte-stable, and every
 /// golden re-parses to the generator's circuit. Regenerate with
 /// `snailqc emit <w> --qubits 6 --seed 7 --qasm3 -o tests/data/<w>_6_v3.qasm`
